@@ -1,0 +1,44 @@
+"""Shared configuration for the benchmark suite.
+
+Scale is controlled by the ``REPRO_SCALE`` environment variable:
+
+* ``smoke`` (default) — 2 instances per family, 10 s IP limit; the whole
+  suite completes in minutes and still reproduces every qualitative
+  claim.
+* ``paper`` — the full §V-A setup (20 instances per type, 30 s IP limit).
+
+Rendered figure/table panels are written to ``results/`` next to the
+repository root so EXPERIMENTS.md can reference byte-identical output.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def current_scale() -> str:
+    scale = os.environ.get("REPRO_SCALE", "smoke")
+    if scale not in ("smoke", "paper"):
+        raise ValueError(f"REPRO_SCALE must be smoke or paper, got {scale!r}")
+    return scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return current_scale()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_panel(results_dir: Path, name: str, content: str) -> None:
+    """Persist one rendered experiment panel."""
+    (results_dir / f"{name}.txt").write_text(content + "\n")

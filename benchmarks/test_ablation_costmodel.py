@@ -1,0 +1,92 @@
+"""Ablation benchmark: sensitivity of simulated speedup to the cost model.
+
+DESIGN.md §6 calls out the two knobs that shape the paper's speedup
+curves: per-state compute (configuration enumeration) versus per-level
+synchronization (barrier).  This ablation sweeps both and checks the
+expected monotonic responses — heavier compute helps scalability, heavier
+barriers hurt it — plus the structural claim that speedup saturates when
+anti-diagonals are narrower than the processor count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dp import DPProblem
+from repro.core.parallel_dp import parallel_dp
+from repro.simcore.costmodel import CostModel
+from repro.simcore.machine import SimulatedMachine
+from repro.workloads.generator import make_instance
+from repro.core.bounds import makespan_bounds
+from repro.core.rounding import round_instance
+
+
+def _wide_problem() -> DPProblem:
+    inst = make_instance("u_10n", 10, 30, seed=3)
+    target = makespan_bounds(inst).midpoint()
+    r = round_instance(inst, target, 4)
+    return DPProblem(r.class_sizes, r.class_counts, target)
+
+
+def _speedup(problem: DPProblem, workers: int, model: CostModel) -> float:
+    machine = SimulatedMachine(workers, model, record_traces=False)
+    parallel_dp(
+        problem, workers, "simulated", machine=machine, cost_model=model,
+        track_schedule=False,
+    )
+    return machine.speedup
+
+
+def test_barrier_cost_degrades_speedup(benchmark):
+    problem = _wide_problem()
+    speedups = []
+    for barrier in (0.0, 50.0, 500.0, 5000.0):
+        model = CostModel(barrier_ops=barrier)
+        speedups.append(_speedup(problem, 16, model))
+    benchmark.pedantic(
+        _speedup, args=(problem, 16, CostModel()), rounds=1, iterations=1
+    )
+    assert speedups == sorted(speedups, reverse=True), speedups
+    assert speedups[0] / speedups[-1] > 1.05
+
+
+def test_enumeration_weight_improves_speedup(benchmark):
+    problem = _wide_problem()
+
+    def sweep() -> list[float]:
+        return [
+            _speedup(
+                problem,
+                16,
+                CostModel(config_enumeration_factor=f, barrier_ops=50.0),
+            )
+            for f in (1.0, 5.0, 25.0, 100.0)
+        ]
+
+    speedups = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert speedups == sorted(speedups), speedups
+
+
+def test_saturation_when_levels_narrower_than_p(benchmark):
+    """A one-dimensional DP table has q_l = 1 everywhere: adding
+    processors cannot help (the paper's scalability limit)."""
+    narrow = DPProblem((7,), (30,), 20)
+    s4 = benchmark.pedantic(
+        _speedup, args=(narrow, 4, CostModel()), rounds=1, iterations=1
+    )
+    s16 = _speedup(narrow, 16, CostModel())
+    assert s4 <= 1.05
+    assert abs(s16 - s4) < 0.1
+
+
+def test_speedup_monotone_in_processors_on_wide_table(benchmark):
+    problem = _wide_problem()
+    model = CostModel()
+
+    def sweep() -> list[float]:
+        return [_speedup(problem, p, model) for p in (1, 2, 4, 8, 16)]
+
+    speedups = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert speedups[0] == pytest.approx(1.0)
+    for lo, hi in zip(speedups, speedups[1:]):
+        assert hi >= lo * 0.99

@@ -1,0 +1,57 @@
+"""Ablation benchmark: shared memory vs message passing.
+
+The paper stresses its algorithm is "specifically designed for execution
+on shared-memory parallel machines."  This ablation quantifies that
+design choice on the simulated machine: wavefront DP states read many
+scattered earlier table entries, so charging even modest per-state
+communication (a message-passing realization where dependency values are
+shipped) erodes the speedup that the shared-memory model (zero
+communication) delivers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import makespan_bounds
+from repro.core.dp import DPProblem
+from repro.core.parallel_dp import parallel_dp
+from repro.core.rounding import round_instance
+from repro.simcore.costmodel import CostModel
+from repro.simcore.machine import SimulatedMachine
+from repro.workloads.generator import make_instance
+
+
+def _problem() -> DPProblem:
+    inst = make_instance("u_10n", 10, 30, seed=3)
+    target = makespan_bounds(inst).midpoint()
+    r = round_instance(inst, target, 4)
+    return DPProblem(r.class_sizes, r.class_counts, target)
+
+
+def _speedup(comm_ops: float, workers: int = 16) -> float:
+    model = CostModel(comm_ops_per_state=comm_ops)
+    machine = SimulatedMachine(workers, model, record_traces=False)
+    parallel_dp(
+        _problem(), workers, "simulated",
+        machine=machine, cost_model=model, track_schedule=False,
+    )
+    return machine.speedup
+
+
+@pytest.mark.parametrize("comm", [0.0, 100.0, 1000.0, 10000.0])
+def test_memory_model_speedup(benchmark, comm):
+    benchmark.group = "memory-model"
+    speedup = benchmark.pedantic(_speedup, args=(comm,), rounds=1, iterations=1)
+    assert speedup > 0
+
+
+def test_communication_erodes_speedup(benchmark):
+    def sweep() -> list[float]:
+        return [_speedup(c) for c in (0.0, 100.0, 1000.0, 10000.0)]
+
+    speedups = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Strictly decreasing with communication cost; heavy messaging
+    # destroys most of the shared-memory speedup.
+    assert speedups == sorted(speedups, reverse=True), speedups
+    assert speedups[0] > 2 * speedups[-1], speedups

@@ -1,0 +1,51 @@
+"""Benchmark: parallel DP backends head-to-head on one real problem.
+
+Measures the wall time of each backend at 2 workers.  On this
+single-core reproduction host the expectation is inverted from
+production: serial is fastest, threads pay the GIL, processes pay the
+pool spin-up — the point of the bench is to document those constants
+honestly next to the simulated numbers (EXPERIMENTS.md, deviation 4).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import makespan_bounds
+from repro.core.dp import DPProblem
+from repro.core.parallel_dp import parallel_dp
+from repro.core.rounding import round_instance
+from repro.workloads.generator import make_instance
+
+
+def _problem() -> DPProblem:
+    inst = make_instance("u_10n", 10, 30, seed=1)
+    target = makespan_bounds(inst).midpoint()
+    r = round_instance(inst, target, 4)
+    return DPProblem(r.class_sizes, r.class_counts, target)
+
+
+PROBLEM = _problem()
+REFERENCE = parallel_dp(PROBLEM, 1, "serial", track_schedule=False)
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "simulated"])
+def test_backend_wall_time(benchmark, backend):
+    benchmark.group = "parallel-dp-backends"
+    result = benchmark(
+        parallel_dp, PROBLEM, 2, backend, track_schedule=False
+    )
+    assert result.opt == REFERENCE.opt
+
+
+@pytest.mark.slow
+def test_process_backend_wall_time(benchmark):
+    benchmark.group = "parallel-dp-backends"
+    result = benchmark.pedantic(
+        parallel_dp,
+        args=(PROBLEM, 2, "process"),
+        kwargs={"track_schedule": False},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.opt == REFERENCE.opt

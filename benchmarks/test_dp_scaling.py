@@ -1,0 +1,45 @@
+"""Benchmark: DP cost scaling with table size (the §IV complexity claim).
+
+The paper's analysis says filling the table costs ``O(sigma * |C|)``
+(each of the ``sigma`` entries scans the configuration set).  This bench
+measures the faithful table engine over a family of growing synthetic
+problems and checks the measured operation counts track ``sigma * |C|``
+exactly, while wall time stays roughly proportional — the empirical
+version of the complexity statement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dp import DPProblem, solve_table
+
+#: Two-class problems with growing counts: sigma = (a+1)(b+1).
+CASES = {
+    "sigma~100": DPProblem((5, 8), (9, 9), 24),
+    "sigma~400": DPProblem((5, 8), (19, 19), 24),
+    "sigma~1600": DPProblem((5, 8), (39, 39), 24),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_table_engine_scaling(benchmark, name):
+    problem = CASES[name]
+    benchmark.group = "dp-table-scaling"
+    result = benchmark(solve_table, problem, track_schedule=False)
+    assert result.opt is not None
+
+
+def test_ops_match_sigma_times_configs(benchmark):
+    def measure() -> list[tuple[int, int]]:
+        out = []
+        for problem in CASES.values():
+            res = solve_table(problem, track_schedule=False, collect_stats=True)
+            assert res.stats is not None
+            expected = (problem.table_size - 1) * res.stats.num_configs
+            out.append((res.stats.config_scans, expected))
+        return out
+
+    pairs = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for measured, expected in pairs:
+        assert measured == expected

@@ -1,0 +1,43 @@
+"""Benchmark: Figure 2 — speedups and runtimes at m=20, n=100.
+
+Regenerates all three panels and asserts the paper's qualitative claims:
+
+* the parallel algorithm's average speedup over the sequential PTAS
+  grows monotonically from 2 to 16 cores and is substantial at 16;
+* the parallel algorithm beats the IP solver's wall time;
+* parallel and sequential makespans are identical (same schedule).
+"""
+
+from __future__ import annotations
+
+from conftest import save_panel
+
+from repro.experiments.figures import run_figure2
+
+
+def test_figure2(benchmark, scale, results_dir):
+    fig = benchmark.pedantic(
+        run_figure2, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    save_panel(results_dir, "figure2", fig.render())
+
+    cores = fig.cores
+    for fam in fig.families:
+        speedups = [fam.mean_speedup_vs_ptas(c) for c in cores]
+        # Monotone scaling (allow a 5% plateau wobble at the top end).
+        for lo, hi in zip(speedups, speedups[1:]):
+            assert hi >= lo * 0.95, (
+                f"{fam.label}: speedup dropped from {lo:.2f} to {hi:.2f}"
+            )
+        # Substantial speedup at 16 cores (paper: 6.5-11.7x across
+        # families; we require > 3x as the robust qualitative floor).
+        assert speedups[-1] > 3.0, f"{fam.label}: {speedups[-1]:.2f}x at 16"
+        # Near-linear at 2 cores for these wide tables.
+        assert fam.mean_speedup_vs_ptas(2) > 1.4
+
+        # The parallel algorithm is far faster than the MILP.
+        assert fam.mean_speedup_vs_ip(max(cores)) > 1.0
+
+        for record in fam.records:
+            for run in record.parallel:
+                assert run.makespan == record.sequential.makespan

@@ -1,0 +1,38 @@
+"""Benchmark: Figure 4 — m=10, n=30, the paper's worst case vs IP.
+
+Here CPLEX solved most families quickly, so the paper's speedup vs IP is
+modest except for U(1, 10n).  The preservable shape: U(1, 10n) remains
+clearly ahead of U(1, 2m-1) (the family the MILP handles best in our
+setup too), and speedup vs the PTAS still scales with cores.
+"""
+
+from __future__ import annotations
+
+from conftest import save_panel
+
+from repro.experiments.figures import run_figure4
+
+
+def test_figure4(benchmark, scale, results_dir):
+    fig = benchmark.pedantic(
+        run_figure4, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    save_panel(results_dir, "figure4", fig.render())
+
+    # Panel (a): monotone scaling vs the sequential PTAS.
+    for fam in fig.families:
+        speedups = [fam.mean_speedup_vs_ptas(c) for c in fig.cores]
+        for lo, hi in zip(speedups, speedups[1:]):
+            assert hi >= lo * 0.95
+
+    # Panel (b): the u_10n family dominates u_2m in speedup vs IP, as in
+    # the paper (the MILP struggles most with wide processing-time
+    # ranges).
+    max_cores = max(fig.cores)
+    by_family = {
+        fam.family_key: fam.mean_speedup_vs_ip(max_cores) for fam in fig.families
+    }
+    assert by_family["u_10n"] > by_family["u_2m"], by_family
+
+    # The figure omits panel (c) in the paper.
+    assert "(c)" not in fig.render() or fig.include_runtime_panel is False

@@ -1,0 +1,49 @@
+"""Benchmark: phase breakdown of the PTAS — the §III parallelization
+rationale, measured.
+
+The paper parallelizes only the DP, asserting the remaining phases are
+negligible.  This bench profiles the sequential PTAS across the four
+speedup families and records the DP's share of total runtime; the
+assertion encodes the claim (DP > 50% wherever the table is
+non-trivial), and the saved panel documents the full breakdown.
+"""
+
+from __future__ import annotations
+
+from conftest import save_panel
+
+from repro.experiments.profiling import PHASES, profile_ptas
+from repro.experiments.reporting import ascii_table
+from repro.workloads.generator import make_instance
+
+CASES = {
+    "u_100 m=10 n=30": make_instance("u_100", 10, 30, seed=0),
+    "u_10n m=10 n=30": make_instance("u_10n", 10, 30, seed=0),
+    "lpt_adv m=10": make_instance("lpt_adversarial", 10, 21, seed=0),
+}
+
+
+def test_phase_breakdown(benchmark, results_dir):
+    def run_all():
+        return {name: profile_ptas(inst, 0.3) for name, inst in CASES.items()}
+
+    profiles = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for name, prof in profiles.items():
+        rows.append(
+            [name, prof.dp_iterations]
+            + [prof.share(p) for p in PHASES]
+        )
+    panel = ascii_table(
+        ["instance", "DP runs"] + list(PHASES),
+        rows,
+        title="PTAS phase shares (fraction of total runtime)",
+    )
+    save_panel(results_dir, "phase_profile", panel)
+
+    for name, prof in profiles.items():
+        assert prof.share("dp") > 0.5, (name, dict(prof.seconds))
+        # No auxiliary phase individually rivals the DP.
+        for phase in ("bounds", "rounding", "reconstruction"):
+            assert prof.share(phase) < prof.share("dp"), (name, phase)

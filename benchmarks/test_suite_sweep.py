@@ -1,0 +1,67 @@
+"""Benchmark: algorithm quality sweep over the ratio suite.
+
+Runs the cheap algorithms (LPT, LPT+local search, MULTIFIT, PTAS with
+the optimized engine) across the ``paper-ratio`` suite and reports mean
+actual approximation ratios against the branch-and-bound optimum — the
+library-wide quality scoreboard.
+"""
+
+from __future__ import annotations
+
+from conftest import save_panel
+
+from repro.algorithms.local_search import lpt_with_local_search
+from repro.algorithms.lpt import lpt
+from repro.algorithms.multifit import multifit
+from repro.core.ptas import ptas
+from repro.exact.branch_and_bound import branch_and_bound
+from repro.experiments.metrics import mean
+from repro.experiments.reporting import ascii_table
+from repro.workloads.suites import suite
+
+
+def test_quality_scoreboard(benchmark, scale, results_dir):
+    items = list(suite("paper-ratio"))
+    if scale != "paper":
+        items = items[::5]  # one replicate per (kind, size) cell
+
+    def sweep():
+        ratios: dict[str, list[float]] = {
+            "LPT": [],
+            "LPT+LS": [],
+            "MULTIFIT": [],
+            "PTAS(0.3)": [],
+        }
+        solved = 0
+        for item in items:
+            exact = branch_and_bound(item.instance, node_budget=2_000_000)
+            if not exact.optimal:
+                continue
+            solved += 1
+            opt = exact.makespan
+            ratios["LPT"].append(lpt(item.instance).makespan / opt)
+            ratios["LPT+LS"].append(
+                lpt_with_local_search(item.instance).makespan / opt
+            )
+            ratios["MULTIFIT"].append(multifit(item.instance).makespan / opt)
+            ratios["PTAS(0.3)"].append(ptas(item.instance, 0.3).makespan / opt)
+        return solved, ratios
+
+    solved, ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert solved >= len(items) * 0.6, "too few instances solved exactly"
+
+    rows = [
+        [name, mean(vals), max(vals)] for name, vals in ratios.items()
+    ]
+    panel = ascii_table(
+        ["algorithm", "mean ratio", "worst ratio"],
+        rows,
+        title=f"Quality scoreboard over paper-ratio suite ({solved} instances)",
+    )
+    save_panel(results_dir, "quality_scoreboard", panel)
+
+    # Guarantees hold instance-wise.
+    assert max(ratios["LPT"]) <= 4 / 3 + 1e-9
+    assert max(ratios["PTAS(0.3)"]) <= 1.3 + 1e-9
+    # Local search never hurts LPT.
+    assert mean(ratios["LPT+LS"]) <= mean(ratios["LPT"]) + 1e-9

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Scenario: where the PTAS earns its keep — LPT's worst case.
+
+The paper's Table II/Fig. 5 best cases come from the family
+``U(m, 2m-1)`` with ``n = 2m+1``, which is built to trip LPT (Graham's
+tight example lives there: LPT = 4m-1 vs OPT = 3m).  This example runs
+both the deterministic tight instance and random draws from the family,
+showing LPT stuck near ratio 4/3 while the parallel PTAS lands on the
+optimum.
+
+Run:  python examples/adversarial_lpt.py
+"""
+
+from __future__ import annotations
+
+from repro import lpt, parallel_ptas, solve_exact
+from repro.workloads.generator import lpt_adversarial, lpt_worst_case_exact
+
+
+def report(name: str, inst, opt: int) -> None:
+    lpt_ms = lpt(inst).makespan
+    ptas_ms = parallel_ptas(inst, 0.3, num_workers=4).makespan
+    print(
+        f"  {name:<26} OPT={opt:4d}  LPT={lpt_ms:4d} ({lpt_ms/opt:.3f})  "
+        f"parallel PTAS={ptas_ms:4d} ({ptas_ms/opt:.3f})"
+    )
+
+
+def main() -> None:
+    print("Graham's deterministic tight examples (LPT = (4m-1)/(3m) * OPT):")
+    for m in (3, 5, 7):
+        inst = lpt_worst_case_exact(m)
+        opt = 3 * m  # known in closed form for this construction
+        report(f"tight m={m} (n={inst.num_jobs})", inst, opt)
+
+    print("\nRandom draws from the paper's adversarial family "
+          "U(m, 2m-1), n=2m+1:")
+    for seed in range(5):
+        inst = lpt_adversarial(m=8, seed=seed)
+        opt = solve_exact(inst, "bnb").makespan
+        report(f"U(8,15) n=17 seed={seed}", inst, opt)
+
+    print(
+        "\nReading: on this family the PTAS's rounding + exact packing of "
+        "long jobs sidesteps the greedy trap; its ratio stays near 1.0 "
+        "while LPT pays up to a third extra — the 0.28 gap the paper "
+        "reports as its best case."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Study: the accuracy/runtime trade-off of the PTAS.
+
+Sweeps ``eps`` and reports, for each setting, the accuracy parameter
+``k``, the certified target, the achieved makespan, the DP table sizes
+the bisection encountered, and the wall time — making the PTAS's
+"exponential in 1/eps" character tangible, as well as why the paper picks
+``eps = 0.3`` (k=4): it is the point where the guarantee beats LPT's 4/3
+while the DP stays tractable.
+
+Run:  python examples/epsilon_tradeoff.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import lpt, make_instance, ptas, solve_exact
+
+
+def main() -> None:
+    inst = make_instance("u_10n", m=6, n=24, seed=11)
+    print(f"Instance: {inst}\n")
+
+    optimal = solve_exact(inst, "bnb").makespan
+    lpt_makespan = lpt(inst).makespan
+    print(f"optimal makespan (branch & bound): {optimal}")
+    print(f"LPT makespan: {lpt_makespan} (ratio {lpt_makespan/optimal:.3f})\n")
+
+    header = (
+        f"{'eps':>5} {'k':>3} {'target':>7} {'makespan':>9} {'ratio':>7} "
+        f"{'max sigma':>10} {'probes':>7} {'time [s]':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for eps in (2.0, 1.0, 0.6, 0.45, 0.3, 0.22):
+        t0 = time.perf_counter()
+        result = ptas(inst, eps, engine="table")
+        elapsed = time.perf_counter() - t0
+        max_sigma = max(it.table_size for it in result.outcome.iterations)
+        print(
+            f"{eps:>5.2f} {result.k:>3} {result.final_target:>7} "
+            f"{result.makespan:>9} {result.makespan/optimal:>7.3f} "
+            f"{max_sigma:>10} {result.num_bisection_iterations:>7} "
+            f"{elapsed:>9.4f}"
+        )
+
+    print(
+        "\nReading: smaller eps -> larger k -> finer rounding classes -> "
+        "bigger DP tables and slower solves, in exchange for a tighter "
+        "certified ratio.  The actual ratio is usually far below 1+eps."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so the package
+can be installed in environments whose setuptools predates PEP 660
+editable wheels (``python setup.py develop`` / offline boxes without the
+``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""repro — parallel approximation algorithms for ``P || Cmax``.
+
+A production-grade reproduction of *"A Parallel Approximation Algorithm
+for Scheduling Parallel Identical Machines"* (L. Ghalami & D. Grosu,
+IPPS 2017): the Hochbaum–Shmoys PTAS, its wavefront-parallel dynamic
+program for shared-memory machines, the classical baselines (LS, LPT,
+MULTIFIT), exact solvers standing in for CPLEX, the paper's workload
+generators, and a full experiment harness regenerating every figure and
+table of the evaluation.
+
+Quickstart
+----------
+>>> from repro import Instance, parallel_ptas, lpt, solve_exact
+>>> inst = Instance([9, 8, 7, 6, 5, 5, 4, 3, 2, 1], num_machines=3)
+>>> result = parallel_ptas(inst, eps=0.3, num_workers=4)
+>>> result.makespan <= lpt(inst).makespan
+True
+>>> result.makespan <= 1.3 * solve_exact(inst, "brute").makespan
+True
+"""
+
+from repro.algorithms import list_scheduling, lpt, multifit
+from repro.core import PTASResult, parallel_ptas, ptas
+from repro.exact import ExactResult, solve_exact
+from repro.model import Instance, Schedule
+from repro.workloads import make_instance, uniform_instance
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Instance",
+    "Schedule",
+    "ptas",
+    "parallel_ptas",
+    "PTASResult",
+    "list_scheduling",
+    "lpt",
+    "multifit",
+    "solve_exact",
+    "ExactResult",
+    "make_instance",
+    "uniform_instance",
+    "__version__",
+]

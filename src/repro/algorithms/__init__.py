@@ -1,0 +1,25 @@
+"""Classical sequential approximation algorithms for ``P || Cmax``.
+
+These are the baselines of the paper's evaluation (§V) plus the MULTIFIT
+algorithm its related-work section discusses:
+
+* :func:`~repro.algorithms.list_scheduling.list_scheduling` — Graham's
+  list scheduling, 2-approximation.
+* :func:`~repro.algorithms.lpt.lpt` — longest processing time first,
+  4/3-approximation.
+* :func:`~repro.algorithms.multifit.multifit` — Coffman–Garey–Johnson
+  MULTIFIT via binary search over FFD bin packing, 1.22-approximation.
+"""
+
+from repro.algorithms.list_scheduling import list_scheduling
+from repro.algorithms.local_search import improve, lpt_with_local_search
+from repro.algorithms.lpt import lpt
+from repro.algorithms.multifit import multifit
+
+__all__ = [
+    "list_scheduling",
+    "lpt",
+    "multifit",
+    "improve",
+    "lpt_with_local_search",
+]

@@ -1,0 +1,55 @@
+"""Graham's list scheduling (LS) — the 2-approximation baseline.
+
+Jobs are taken from a list in order; each is started on the machine that
+becomes available first (equivalently, the machine with the smallest
+current load, since all jobs are released at time zero).  Graham (1966)
+showed the makespan is at most ``2 - 1/m`` times optimal, and Helmbold &
+Mayr showed producing LS schedules is P-complete — the reason the paper
+parallelizes the PTAS rather than the greedy heuristics.
+
+A binary heap keyed by ``(load, machine)`` gives ``O(n log m)`` total
+work; the machine-index tiebreak reproduces the deterministic behaviour
+of the usual sequential implementation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+from repro.model.instance import Instance
+from repro.model.schedule import Schedule
+
+
+def list_scheduling(
+    instance: Instance, order: Sequence[int] | None = None
+) -> Schedule:
+    """Schedule jobs in ``order`` (default: input order) greedily onto the
+    least-loaded machine.
+
+    >>> inst = Instance([2, 3, 4, 6], num_machines=2)
+    >>> list_scheduling(inst).machine_loads
+    (6, 9)
+    """
+    n = instance.num_jobs
+    if order is None:
+        order = range(n)
+    else:
+        if sorted(order) != list(range(n)):
+            raise ValueError("order must be a permutation of all job indices")
+    t = instance.processing_times
+    heap: list[tuple[int, int]] = [(0, i) for i in range(instance.num_machines)]
+    heapq.heapify(heap)
+    groups: list[list[int]] = [[] for _ in range(instance.num_machines)]
+    for j in order:
+        load, machine = heapq.heappop(heap)
+        groups[machine].append(j)
+        heapq.heappush(heap, (load + t[j], machine))
+    return Schedule(instance, groups)
+
+
+def list_scheduling_worst_case_ratio(num_machines: int) -> float:
+    """Graham's tight bound ``2 - 1/m`` for LS."""
+    if num_machines < 1:
+        raise ValueError("num_machines must be >= 1")
+    return 2.0 - 1.0 / num_machines

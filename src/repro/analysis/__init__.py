@@ -1,0 +1,27 @@
+"""Statistical and scaling analysis of experiment results.
+
+* :mod:`repro.analysis.stats` — bootstrap confidence intervals and
+  summary statistics for the per-family averages the figures report.
+* :mod:`repro.analysis.scaling` — parallel-scaling diagnostics: Amdahl
+  fits, the Karp–Flatt experimentally-determined serial fraction, and
+  parallel efficiency, applied to speedup curves to explain *why* they
+  saturate (growing serial fraction = overhead-bound; flat = genuinely
+  load-balance-bound).
+"""
+
+from repro.analysis.scaling import (
+    amdahl_fit,
+    amdahl_speedup,
+    karp_flatt,
+    parallel_efficiency,
+)
+from repro.analysis.stats import bootstrap_ci, mean_and_ci
+
+__all__ = [
+    "karp_flatt",
+    "amdahl_speedup",
+    "amdahl_fit",
+    "parallel_efficiency",
+    "bootstrap_ci",
+    "mean_and_ci",
+]

@@ -1,0 +1,96 @@
+"""Parallel-scaling diagnostics for speedup curves.
+
+The paper reports raw speedup numbers; these helpers extract the
+standard second-order quantities from them:
+
+* :func:`parallel_efficiency` — ``S/P``.
+* :func:`karp_flatt` — the experimentally determined serial fraction
+  ``e = (1/S - 1/P) / (1 - 1/P)``.  Constant ``e`` across ``P`` indicates
+  a genuinely serial component (Amdahl); *growing* ``e`` indicates
+  overhead that scales with ``P`` (barriers, dispatch) — which is what
+  wavefront DP exhibits once anti-diagonals get narrower than ``P``.
+* :func:`amdahl_fit` — least-squares fit of the serial fraction of
+  Amdahl's law to a measured speedup curve, plus the implied asymptote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def parallel_efficiency(speedup: float, processors: int) -> float:
+    """``S / P`` — 1.0 is ideal linear scaling."""
+    if processors < 1:
+        raise ValueError("processors must be >= 1")
+    if speedup < 0:
+        raise ValueError("speedup must be non-negative")
+    return speedup / processors
+
+
+def karp_flatt(speedup: float, processors: int) -> float:
+    """Karp–Flatt metric: the serial fraction a measured (S, P) implies.
+
+    >>> round(karp_flatt(6.5, 8), 4)   # the paper's 8-core best case
+    0.033
+    """
+    if processors < 2:
+        raise ValueError("the Karp-Flatt metric needs P >= 2")
+    if speedup <= 0:
+        raise ValueError("speedup must be positive")
+    return (1.0 / speedup - 1.0 / processors) / (1.0 - 1.0 / processors)
+
+
+def amdahl_speedup(serial_fraction: float, processors: int) -> float:
+    """Amdahl's law: ``S(P) = 1 / (f + (1-f)/P)``."""
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError("serial fraction must be in [0, 1]")
+    if processors < 1:
+        raise ValueError("processors must be >= 1")
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / processors)
+
+
+@dataclass(frozen=True)
+class AmdahlFit:
+    """Result of fitting Amdahl's law to a measured curve."""
+
+    serial_fraction: float
+    max_speedup: float  # the asymptote 1/f (inf when f == 0)
+    residual: float  # RMS error of the fit in speedup units
+
+    def predict(self, processors: int) -> float:
+        """Speedup the fitted Amdahl curve predicts at ``processors``."""
+        return amdahl_speedup(self.serial_fraction, processors)
+
+
+def amdahl_fit(
+    processors: Sequence[int], speedups: Sequence[float]
+) -> AmdahlFit:
+    """Least-squares fit of the serial fraction ``f``.
+
+    Amdahl's law is linear in ``f`` after the substitution
+    ``1/S = f (1 - 1/P) + 1/P``, so the fit is closed-form.
+    """
+    if len(processors) != len(speedups) or not processors:
+        raise ValueError("need equally many processors and speedups, >= 1")
+    xs, ys = [], []
+    for p, s in zip(processors, speedups):
+        if p < 2:
+            continue  # P=1 carries no information about f
+        if s <= 0:
+            raise ValueError("speedups must be positive")
+        xs.append(1.0 - 1.0 / p)
+        ys.append(1.0 / s - 1.0 / p)
+    if not xs:
+        raise ValueError("need at least one measurement with P >= 2")
+    f = sum(x * y for x, y in zip(xs, ys)) / sum(x * x for x in xs)
+    f = min(max(f, 0.0), 1.0)
+    residual_sq = 0.0
+    for p, s in zip(processors, speedups):
+        residual_sq += (amdahl_speedup(f, p) - s) ** 2
+    rms = (residual_sq / len(processors)) ** 0.5
+    return AmdahlFit(
+        serial_fraction=f,
+        max_speedup=float("inf") if f == 0 else 1.0 / f,
+        residual=rms,
+    )

@@ -1,0 +1,364 @@
+"""Command-line interface: ``repro-pcmax`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``solve``
+    Solve one instance (from ``--times`` or a generated family) with any
+    algorithm in the library and print the schedule and makespan.
+``generate``
+    Print the processing times of a generated instance (for piping into
+    other tools).
+``figure``
+    Regenerate one of the paper's figures (2, 3, 4, 5) at smoke or paper
+    scale and print the panels.
+``table``
+    Regenerate Table I, II or III.
+``bench-dp``
+    Compare the DP engines on one generated instance (the ablation of
+    DESIGN.md §7) — handy for quick profiling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.algorithms.list_scheduling import list_scheduling
+from repro.algorithms.lpt import lpt
+from repro.algorithms.multifit import multifit
+from repro.core.ptas import parallel_ptas, ptas
+from repro.exact.api import solve_exact
+from repro.model.instance import Instance
+from repro.workloads.families import FAMILIES
+from repro.workloads.generator import make_instance
+
+ALGORITHMS = (
+    "ptas",
+    "parallel-ptas",
+    "lpt",
+    "ls",
+    "multifit",
+    "ilp",
+    "bnb",
+    "brute",
+)
+
+
+def _instance_from_args(args: argparse.Namespace) -> Instance:
+    if getattr(args, "input", None):
+        from repro.io.instances import read_instance
+
+        return read_instance(args.input)
+    if args.times:
+        times = [int(x) for x in args.times.split(",")]
+        return Instance(times, args.machines)
+    if args.family:
+        return make_instance(args.family, args.machines, args.jobs, seed=args.seed)
+    raise SystemExit("provide --times, --family, or --input")
+
+
+def _add_instance_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--times", help="comma-separated processing times")
+    sub.add_argument(
+        "--family", choices=sorted(FAMILIES), help="generated instance family"
+    )
+    sub.add_argument(
+        "--input", help="read the instance from a .json/.csv/.txt file"
+    )
+    sub.add_argument("-m", "--machines", type=int, default=10)
+    sub.add_argument("-n", "--jobs", type=int, default=30)
+    sub.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    inst = _instance_from_args(args)
+    t0 = time.perf_counter()
+    if args.algorithm == "ptas":
+        res = ptas(inst, args.eps, engine=args.engine)
+        schedule = res.schedule
+    elif args.algorithm == "parallel-ptas":
+        res = parallel_ptas(
+            inst, args.eps, num_workers=args.workers, backend=args.backend
+        )
+        schedule = res.schedule
+    elif args.algorithm == "lpt":
+        schedule = lpt(inst)
+    elif args.algorithm == "ls":
+        schedule = list_scheduling(inst)
+    elif args.algorithm == "multifit":
+        schedule = multifit(inst)
+    else:
+        schedule = solve_exact(
+            inst, args.algorithm, time_limit=args.time_limit
+        ).schedule
+    elapsed = time.perf_counter() - t0
+    print(f"instance : {inst}")
+    print(f"algorithm: {args.algorithm}")
+    print(f"makespan : {schedule.makespan}")
+    print(f"time     : {elapsed:.4f}s")
+    if args.show_schedule:
+        for i, grp in enumerate(schedule.assignment):
+            load = sum(inst.processing_times[j] for j in grp)
+            print(f"  machine {i:3d} (load {load:6d}): jobs {list(grp)}")
+    if args.gantt:
+        from repro.model.gantt import render_gantt
+
+        print(render_gantt(schedule))
+    if args.output:
+        from repro.io.schedules import write_schedule
+
+        path = write_schedule(
+            schedule, args.output, metadata={"algorithm": args.algorithm}
+        )
+        print(f"schedule written to {path}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    inst = make_instance(args.family, args.machines, args.jobs, seed=args.seed)
+    print(",".join(str(t) for t in inst.processing_times))
+    if args.output:
+        from repro.io.instances import write_instance
+
+        path = write_instance(
+            inst, args.output, metadata={"family": args.family, "seed": args.seed}
+        )
+        print(f"instance written to {path}")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from repro.io.instances import read_instance, write_instance
+
+    inst = read_instance(args.source)
+    path = write_instance(inst, args.dest)
+    print(f"converted {args.source} -> {path} ({inst})")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.number == "1":
+        from repro.core.depgraph import render_figure1
+        from repro.experiments.tables import TABLE1_PROBLEM
+
+        print(render_figure1(TABLE1_PROBLEM))
+        return 0
+    from repro.experiments import figures
+
+    runner = {
+        "2": figures.run_figure2,
+        "3": figures.run_figure3,
+        "4": figures.run_figure4,
+        "5": figures.run_figure5,
+    }[args.number]
+    result = runner(scale=args.scale)
+    print(result.render())
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.io.schedules import read_schedule
+    from repro.model.verify import verify_schedule
+
+    schedule = read_schedule(args.schedule)
+    report = verify_schedule(schedule)
+    if report.ok:
+        print(
+            f"OK: valid schedule, makespan {schedule.makespan}, "
+            f"loads {schedule.machine_loads}"
+        )
+        return 0
+    print(f"INVALID: {len(report.violations)} violation(s)")
+    for v in report.violations:
+        print(f"  - {v}")
+    return 1
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.experiments import tables
+
+    if args.number == "1":
+        print(tables.run_table1().render())
+    elif args.number == "2":
+        print(tables.run_table2(scale=args.scale).render())
+    else:
+        print(tables.run_table3(scale=args.scale).render())
+    return 0
+
+
+def _cmd_bench_dp(args: argparse.Namespace) -> int:
+    from repro.core.bounds import makespan_bounds
+    from repro.core.dp import SEQUENTIAL_ENGINES, DPProblem, solve
+    from repro.core.rounding import accuracy_parameter, round_instance
+
+    inst = _instance_from_args(args)
+    k = accuracy_parameter(args.eps)
+    target = makespan_bounds(inst).midpoint()
+    rounded = round_instance(inst, target, k)
+    problem = DPProblem(rounded.class_sizes, rounded.class_counts, target)
+    print(
+        f"T={target} classes={rounded.num_classes} long={rounded.num_long_jobs} "
+        f"sigma={problem.table_size}"
+    )
+    for engine in SEQUENTIAL_ENGINES:
+        t0 = time.perf_counter()
+        res = solve(problem, engine, track_schedule=False, collect_stats=True)
+        dt = time.perf_counter() - t0
+        assert res.stats is not None
+        print(
+            f"  {engine:10s} opt={res.opt} time={dt:.4f}s "
+            f"states={res.stats.states_computed} scans={res.stats.config_scans}"
+        )
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments.reproduce import reproduce_all
+
+    golden = args.golden or None
+    run = reproduce_all(args.out, scale=args.scale, golden_path=golden)
+    print(run.render())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import run_campaign
+    from repro.experiments.harness import ExperimentConfig
+    from repro.workloads.generator import family_of_types
+
+    if args.grid == "paper":
+        grid = family_of_types()
+    else:
+        grid = []
+        for triple in args.grid.split(","):
+            kind, m, n = triple.split(":")
+            grid.append((kind, int(m), int(n)))
+    cores = tuple(int(c) for c in args.cores.split(","))
+    config = ExperimentConfig(cores=cores, ip_time_limit=args.ip_time_limit)
+    result = run_campaign(
+        grid,
+        instances_per_type=args.instances,
+        config=config,
+        base_seed=args.seed,
+    )
+    print(result.render())
+    if args.csv_dir:
+        from repro.experiments.manifest import build_manifest, write_manifest
+
+        for path in result.export_csv(args.csv_dir):
+            print(f"wrote {path}")
+        manifest = build_manifest(
+            experiment="campaign",
+            grid=grid,
+            instances_per_type=args.instances,
+            base_seed=args.seed,
+            config=config,
+        )
+        print(f"wrote {write_manifest(args.csv_dir, manifest)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-pcmax",
+        description="Parallel approximation algorithms for P||Cmax "
+        "(Ghalami & Grosu, IPPS 2017 reproduction)",
+    )
+    subs = parser.add_subparsers(dest="command", required=True)
+
+    solve = subs.add_parser("solve", help="solve one instance")
+    _add_instance_args(solve)
+    solve.add_argument("-a", "--algorithm", choices=ALGORITHMS, default="parallel-ptas")
+    solve.add_argument("--eps", type=float, default=0.3)
+    solve.add_argument("--engine", default="dominance")
+    solve.add_argument("--workers", type=int, default=4)
+    solve.add_argument("--backend", default="serial")
+    solve.add_argument("--time-limit", type=float, default=None)
+    solve.add_argument("--show-schedule", action="store_true")
+    solve.add_argument(
+        "--gantt", action="store_true", help="render an ASCII Gantt chart"
+    )
+    solve.add_argument(
+        "--output", help="write the schedule to a JSON file"
+    )
+    solve.set_defaults(fn=_cmd_solve)
+
+    gen = subs.add_parser("generate", help="print a generated instance")
+    gen.add_argument("--family", choices=sorted(FAMILIES), required=True)
+    gen.add_argument("-m", "--machines", type=int, default=10)
+    gen.add_argument("-n", "--jobs", type=int, default=30)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument(
+        "--output", help="also write the instance to a .json/.csv/.txt file"
+    )
+    gen.set_defaults(fn=_cmd_generate)
+
+    conv = subs.add_parser(
+        "convert", help="convert an instance file between formats"
+    )
+    conv.add_argument("source", help="input instance file (.json/.csv/.txt)")
+    conv.add_argument("dest", help="output instance file (.json/.csv/.txt)")
+    conv.set_defaults(fn=_cmd_convert)
+
+    fig = subs.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument("number", choices=("1", "2", "3", "4", "5"))
+    fig.add_argument("--scale", choices=("smoke", "paper"), default="smoke")
+    fig.set_defaults(fn=_cmd_figure)
+
+    ver = subs.add_parser("verify", help="verify a schedule JSON file")
+    ver.add_argument("schedule", help="path to a schedule .json")
+    ver.set_defaults(fn=_cmd_verify)
+
+    tab = subs.add_parser("table", help="regenerate a paper table")
+    tab.add_argument("number", choices=("1", "2", "3"))
+    tab.add_argument("--scale", choices=("smoke", "paper"), default="smoke")
+    tab.set_defaults(fn=_cmd_table)
+
+    bench = subs.add_parser("bench-dp", help="compare DP engines")
+    _add_instance_args(bench)
+    bench.add_argument("--eps", type=float, default=0.3)
+    bench.set_defaults(fn=_cmd_bench_dp)
+
+    rep = subs.add_parser(
+        "reproduce", help="regenerate every paper artifact into a directory"
+    )
+    rep.add_argument("--out", default="results")
+    rep.add_argument("--scale", choices=("smoke", "paper"), default="smoke")
+    rep.add_argument(
+        "--golden",
+        default="results/golden/smoke.json",
+        help="golden file to verify against ('' to skip)",
+    )
+    rep.set_defaults(fn=_cmd_reproduce)
+
+    exp = subs.add_parser(
+        "experiment", help="run an evaluation campaign over instance types"
+    )
+    exp.add_argument(
+        "--grid",
+        default="paper",
+        help="'paper' for the full 24-type grid of §V-A, or a "
+        "comma-separated list of kind:m:n triples "
+        "(e.g. u_10:10:30,u_100:20:100)",
+    )
+    exp.add_argument("--instances", type=int, default=20)
+    exp.add_argument("--cores", default="2,4,8,16")
+    exp.add_argument("--ip-time-limit", type=float, default=30.0)
+    exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument("--csv-dir", help="export per-run and summary CSVs here")
+    exp.set_defaults(fn=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""Bisection search over target makespans (Alg. 1, lines 5–30).
+
+The PTAS is a *dual approximation*: for a candidate makespan ``T`` the
+rounded DP answers "can the long jobs be packed into at most ``m``
+machines within ``T``?".  Bisection narrows ``[LB, UB]`` — feasible
+targets shrink ``UB`` to ``T``, infeasible ones raise ``LB`` to ``T+1`` —
+until ``LB == UB``.  Because the DP is exact on the *rounded* jobs and
+rounding only shrinks processing times, feasibility is monotone in ``T``
+and the final ``UB`` is a valid (rounded) packing target whose un-rounded
+schedule is within the PTAS guarantee.
+
+Termination: the initial width is at most ``max t`` (Eqs. 1–2) and halves
+every iteration, so the loop runs ``O(log max t)`` times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.bounds import makespan_bounds
+from repro.core.dp import DPProblem, DPResult
+from repro.core.rounding import RoundedInstance, round_instance
+from repro.model.instance import Instance
+
+#: A solver takes the rounded problem of one iteration and the machine
+#: budget ``m``, and must report ``opt=None`` when ``OPT(N) > m``.
+DecisionSolver = Callable[[DPProblem, int], DPResult]
+
+
+@dataclass(frozen=True)
+class BisectionIteration:
+    """Record of one probe of the bisection search."""
+
+    target: int
+    lower: int
+    upper: int
+    feasible: bool
+    opt: int | None
+    table_size: int
+    num_long_jobs: int
+    num_classes: int
+
+
+@dataclass
+class BisectionOutcome:
+    """Final state of the search: the certified target and its packing."""
+
+    final_target: int
+    rounded: RoundedInstance
+    dp_result: DPResult
+    iterations: list[BisectionIteration] = field(default_factory=list)
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+
+def bisect_target_makespan(
+    instance: Instance,
+    k: int,
+    solver: DecisionSolver,
+    job_cap: int | None = None,
+) -> BisectionOutcome:
+    """Run the dual-approximation bisection and return the last feasible
+    probe (whose target equals the final ``UB = LB``).
+
+    ``solver`` is invoked once per probe; its ``DPResult`` must carry the
+    machine configurations when feasible so the schedule can be
+    reconstructed without re-solving.  ``job_cap`` (typically ``k - 1``)
+    is threaded into every probe's :class:`DPProblem` — the guarantee fix
+    of :mod:`repro.core.configurations`; the cap never cuts off a true
+    schedule because each long job strictly exceeds ``T/k``.
+    """
+    m = instance.num_machines
+    bounds = makespan_bounds(instance)
+    lb, ub = bounds.lower, bounds.upper
+    best: tuple[RoundedInstance, DPResult] | None = None
+    trace: list[BisectionIteration] = []
+    while lb < ub:
+        target = (lb + ub) // 2
+        rounded = round_instance(instance, target, k)
+        problem = DPProblem(
+            rounded.class_sizes, rounded.class_counts, target, job_cap=job_cap
+        )
+        result = solver(problem, m)
+        feasible = result.opt is not None and result.opt <= m
+        trace.append(
+            BisectionIteration(
+                target=target,
+                lower=lb,
+                upper=ub,
+                feasible=feasible,
+                opt=result.opt,
+                table_size=problem.table_size,
+                num_long_jobs=rounded.num_long_jobs,
+                num_classes=rounded.num_classes,
+            )
+        )
+        if feasible:
+            ub = target
+            best = (rounded, result)
+        else:
+            lb = target + 1
+    if best is None or best[0].target != ub:
+        # Either the interval was empty to begin with, or every probe
+        # below the final UB was infeasible.  The final UB itself is
+        # always feasible (an LPT schedule fits within Eq. 2's bound and
+        # rounding only shrinks loads), so one more solve certifies it.
+        rounded = round_instance(instance, ub, k)
+        problem = DPProblem(
+            rounded.class_sizes, rounded.class_counts, ub, job_cap=job_cap
+        )
+        result = solver(problem, m)
+        if result.opt is None or result.opt > m:  # pragma: no cover - guard
+            raise AssertionError(
+                f"DP infeasible at the guaranteed-feasible target {ub}"
+            )
+        trace.append(
+            BisectionIteration(
+                target=ub,
+                lower=lb,
+                upper=ub,
+                feasible=True,
+                opt=result.opt,
+                table_size=problem.table_size,
+                num_long_jobs=rounded.num_long_jobs,
+                num_classes=rounded.num_classes,
+            )
+        )
+        best = (rounded, result)
+    rounded, result = best
+    return BisectionOutcome(
+        final_target=rounded.target,
+        rounded=rounded,
+        dp_result=result,
+        iterations=trace,
+    )

@@ -1,0 +1,75 @@
+"""Lower and upper bounds on the optimal makespan (Eq. 1 and 2).
+
+The bisection search of the PTAS needs an interval ``[LB, UB]`` that is
+guaranteed to contain the optimal makespan:
+
+* ``LB = max(ceil(sum(t)/m), max(t))`` — Eq. (1).  Any schedule must run
+  the longest job somewhere, and some machine must receive at least the
+  average load; since processing times are integral the average may be
+  rounded up.
+* ``UB = ceil(sum(t)/m) + max(t)`` — Eq. (2).  This is (a slight
+  relaxation of) Graham's list-scheduling guarantee: when LS places the
+  job that finishes last, every machine is busy, so the start time is at
+  most the average load and the completion time at most average + max.
+
+Both quantities are integers, so bisection on integers terminates after
+``O(log(max t))`` iterations (the width of the interval is at most
+``max t``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.model.instance import Instance
+
+
+@dataclass(frozen=True)
+class MakespanBounds:
+    """An integer interval ``[lower, upper]`` bracketing the optimum."""
+
+    lower: int
+    upper: int
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper:
+            raise ValueError(
+                f"lower bound {self.lower} exceeds upper bound {self.upper}"
+            )
+
+    @property
+    def width(self) -> int:
+        """Size of the search interval (``upper - lower``)."""
+        return self.upper - self.lower
+
+    def midpoint(self) -> int:
+        """The bisection pivot ``floor((lower + upper) / 2)`` (Alg. 1, l. 6)."""
+        return (self.lower + self.upper) // 2
+
+    def contains(self, value: int) -> bool:
+        """Whether ``value`` lies inside the closed interval."""
+        return self.lower <= value <= self.upper
+
+
+def lower_bound(instance: Instance) -> int:
+    """Eq. (1): ``max(ceil(total/m), max t)``."""
+    return max(
+        math.ceil(instance.total_work / instance.num_machines), instance.max_time
+    )
+
+
+def upper_bound(instance: Instance) -> int:
+    """Eq. (2): ``ceil(total/m) + max t``."""
+    return math.ceil(instance.total_work / instance.num_machines) + instance.max_time
+
+
+def makespan_bounds(instance: Instance) -> MakespanBounds:
+    """Both bounds bundled for the bisection driver."""
+    return MakespanBounds(lower_bound(instance), upper_bound(instance))
+
+
+def bounds_from_times(times: Iterable[int], num_machines: int) -> MakespanBounds:
+    """Convenience wrapper building the bounds straight from raw times."""
+    return makespan_bounds(Instance(times, num_machines))

@@ -1,0 +1,376 @@
+"""Parallel DP (Alg. 3): the anti-diagonal wavefront over the DP table.
+
+The key structural facts (paper §III):
+
+* the subproblems on one anti-diagonal — states whose component sum
+  ``d_i`` equals the level index ``l`` — are mutually independent;
+* every dependency of a level-``l`` state lies on a strictly earlier
+  anti-diagonal, because subtracting a non-zero configuration strictly
+  decreases the component sum.
+
+So the table is filled level by level (``l = 0 .. n'``); within a level
+the states are assigned to ``P`` processors round-robin and computed in
+parallel, with a barrier between levels.
+
+Backends
+--------
+``serial``
+    The wavefront order executed by one worker — bit-identical results to
+    the sequential row-major sweep, used as the reference.
+``thread``
+    Shared-memory threads over one Python list (the faithful OpenMP
+    analogue; correctness, not speed, under the GIL).
+``process``
+    Worker processes attached to one ``multiprocessing.shared_memory``
+    block holding the table as an int64 numpy array — genuinely parallel
+    on multicore hosts; each level ships only the flat indices of its
+    chunk.
+``simulated``
+    Serial execution plus deterministic cost accounting on a
+    :class:`~repro.simcore.machine.SimulatedMachine` — the testbed
+    substitute used by the speedup experiments (DESIGN.md §6).
+
+All backends produce exactly the same table, hence the same ``OPT(N)``
+and the same reconstructed machine configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.configurations import ConfigurationSet
+from repro.core.dp import (
+    DPProblem,
+    DPResult,
+    DPStats,
+    backtrack_schedule,
+    state_levels_array,
+)
+from repro.parallel.executor import make_executor
+from repro.parallel.partition import round_robin_partition
+from repro.simcore.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.simcore.machine import SimulatedMachine
+
+BACKENDS = ("serial", "thread", "process", "simulated")
+
+
+@dataclass(frozen=True)
+class LevelIndex:
+    """Flat state indices of every anti-diagonal, in row-major order.
+
+    ``levels[l]`` lists the DP-table entries with component sum ``l``;
+    this is the materialized form of Alg. 3's ``D`` array plus the
+    per-level grouping its main loop performs with the ``d_i = l`` test.
+    """
+
+    levels: tuple[tuple[int, ...], ...]
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def sizes(self) -> tuple[int, ...]:
+        return tuple(len(lv) for lv in self.levels)
+
+
+def build_level_index(problem: DPProblem) -> LevelIndex:
+    """Group all ``sigma`` states by anti-diagonal (vectorized)."""
+    levels_arr = state_levels_array(problem)
+    order = np.argsort(levels_arr, kind="stable")
+    sorted_levels = levels_arr[order]
+    n_levels = int(levels_arr.max()) + 1 if len(levels_arr) else 1
+    boundaries = np.searchsorted(sorted_levels, np.arange(n_levels + 1))
+    levels: list[tuple[int, ...]] = []
+    for l in range(n_levels):
+        lo, hi = boundaries[l], boundaries[l + 1]
+        levels.append(tuple(int(i) for i in order[lo:hi]))
+    return LevelIndex(tuple(levels))
+
+
+def _config_offsets(
+    configs: ConfigurationSet, strides: Sequence[int]
+) -> list[tuple[tuple[int, ...], int]]:
+    return [
+        (cfg, sum(s * st for s, st in zip(cfg, strides))) for cfg in configs.configs
+    ]
+
+
+def _compute_states(
+    chunk: Sequence[int],
+    table: list[int | None],
+    dims: Sequence[int],
+    strides: Sequence[int],
+    cfg_offsets: Sequence[tuple[tuple[int, ...], int]],
+) -> list[int]:
+    """Compute one chunk of a level against a shared table (list form).
+
+    Writes are disjoint across chunks (each state belongs to exactly one
+    chunk) and reads touch earlier levels only, so no locking is needed —
+    the same argument that makes the OpenMP version race-free.
+
+    Returns, per state, the size of its configuration set ``|C_v|`` (the
+    configurations that passed the componentwise bound) — the quantity
+    Alg. 3's per-state enumeration pays for, consumed by the per-state
+    cost fidelity of the simulated backend.
+    """
+    d = len(dims)
+    counts: list[int] = []
+    for flat in chunk:
+        if flat == 0:
+            table[0] = 0
+            counts.append(0)
+            continue
+        # Unrank the state vector.
+        v = [(flat // strides[c]) % dims[c] for c in range(d)]
+        best: int | None = None
+        applicable = 0
+        for cfg, offset in cfg_offsets:
+            ok = True
+            for c in range(d):
+                if cfg[c] > v[c]:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            applicable += 1
+            prev = table[flat - offset]
+            if prev is not None and prev >= 0 and (best is None or prev < best):
+                best = prev
+        table[flat] = None if best is None else best + 1
+        counts.append(applicable)
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# Process backend: shared-memory numpy table
+# ---------------------------------------------------------------------------
+
+_SHARED: dict[str, object] = {}
+
+
+def _process_worker_init(
+    shm_name: str,
+    sigma: int,
+    dims: tuple[int, ...],
+    strides: tuple[int, ...],
+    cfg_offsets: tuple[tuple[tuple[int, ...], int], ...],
+) -> None:  # pragma: no cover - runs in worker processes
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=shm_name)
+    table = np.ndarray((sigma,), dtype=np.int64, buffer=shm.buf)
+    _SHARED["shm"] = shm  # keep a reference so the mapping stays alive
+    _SHARED["table"] = table
+    _SHARED["dims"] = dims
+    _SHARED["strides"] = strides
+    _SHARED["cfg_offsets"] = cfg_offsets
+
+
+def _process_worker_compute(chunk: Sequence[int]) -> None:  # pragma: no cover
+    table: np.ndarray = _SHARED["table"]  # type: ignore[assignment]
+    dims: tuple[int, ...] = _SHARED["dims"]  # type: ignore[assignment]
+    strides: tuple[int, ...] = _SHARED["strides"]  # type: ignore[assignment]
+    cfg_offsets = _SHARED["cfg_offsets"]  # type: ignore[assignment]
+    d = len(dims)
+    for flat in chunk:
+        if flat == 0:
+            table[0] = 0
+            continue
+        v = [(flat // strides[c]) % dims[c] for c in range(d)]
+        best = -1
+        for cfg, offset in cfg_offsets:  # type: ignore[union-attr]
+            ok = True
+            for c in range(d):
+                if cfg[c] > v[c]:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            prev = table[flat - offset]
+            if prev >= 0 and (best < 0 or prev < best):
+                best = int(prev)
+        table[flat] = -1 if best < 0 else best + 1
+
+
+def _run_process_backend(
+    problem: DPProblem,
+    level_index: LevelIndex,
+    cfg_offsets: list[tuple[tuple[int, ...], int]],
+    num_workers: int,
+) -> list[int | None]:
+    from multiprocessing import shared_memory
+
+    sigma = problem.table_size
+    shm = shared_memory.SharedMemory(create=True, size=max(sigma * 8, 8))
+    try:
+        table = np.ndarray((sigma,), dtype=np.int64, buffer=shm.buf)
+        table[:] = -1
+        table[0] = 0
+        executor = make_executor(
+            "process",
+            num_workers,
+            initializer=_process_worker_init,
+            initargs=(
+                shm.name,
+                sigma,
+                problem.dims,
+                problem.strides(),
+                tuple(cfg_offsets),
+            ),
+        )
+        try:
+            for level_items in level_index.levels[1:]:
+                chunks = round_robin_partition(level_items, num_workers)
+                executor.map_chunks(_process_worker_compute, chunks)
+        finally:
+            executor.close()
+        return [None if x < 0 else int(x) for x in table]
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def parallel_dp(
+    problem: DPProblem,
+    num_workers: int,
+    backend: str = "serial",
+    *,
+    limit: int | None = None,
+    track_schedule: bool = True,
+    collect_stats: bool = False,
+    machine: SimulatedMachine | None = None,
+    cost_model: CostModel | None = None,
+    cost_fidelity: str = "uniform",
+) -> DPResult:
+    """Fill the DP table with the wavefront schedule of Alg. 3.
+
+    Parameters
+    ----------
+    problem:
+        The rounded packing problem of one bisection iteration.
+    num_workers:
+        ``P`` — processors of the (real or simulated) parallel machine.
+    backend:
+        One of :data:`BACKENDS`.
+    machine:
+        For ``backend="simulated"``: the accumulator that receives the
+        cost accounting.  A fresh one is created when omitted; pass your
+        own to aggregate multiple DP invocations (the bisection does).
+    limit:
+        Decision threshold: report infeasible when ``OPT(N) > limit``.
+        The table is always filled completely (faithful to the paper).
+    cost_fidelity:
+        For the simulated backend: ``"uniform"`` charges every state the
+        full configuration scan ``|C|`` (the paper's worst-case
+        accounting); ``"per_state"`` charges the measured ``|C_v|`` of
+        each state, which varies across a level and lets assignment
+        policies (round-robin vs dynamic) be compared meaningfully.
+
+    Returns
+    -------
+    DPResult
+        Same contract as the sequential engines; ``engine`` is
+        ``"parallel-<backend>"``.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    if cost_fidelity not in ("uniform", "per_state"):
+        raise ValueError(
+            f"unknown cost_fidelity {cost_fidelity!r}; expected uniform/per_state"
+        )
+    if not problem.counts:
+        stats = (
+            DPStats(
+                sigma=1,
+                num_levels=1,
+                level_sizes=(1,),
+                num_configs=0,
+                states_computed=1,
+                config_scans=0,
+            )
+            if collect_stats
+            else None
+        )
+        if backend == "simulated" and machine is not None:
+            machine.record_sequential(0.0)
+        return DPResult(opt=0, engine=f"parallel-{backend}", stats=stats)
+
+    configs = problem.configurations()
+    strides = problem.strides()
+    dims = problem.dims
+    cfg_offsets = _config_offsets(configs, strides)
+    level_index = build_level_index(problem)
+    sigma = problem.table_size
+
+    if backend == "process":
+        table = _run_process_backend(problem, level_index, cfg_offsets, num_workers)
+    else:
+        table: list[int | None] = [None] * sigma  # type: ignore[no-redef]
+        table[0] = 0
+
+        def worker(chunk: Sequence[int]) -> None:
+            _compute_states(chunk, table, dims, strides, cfg_offsets)
+
+        if backend == "simulated":
+            model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+            sim = machine if machine is not None else SimulatedMachine(
+                num_workers, model
+            )
+            # Alg. 3 lines 4-8: the parallel computation of the D array.
+            sim.record_parallel_for(sigma, cost_per_item=float(len(dims)))
+            cost_per_state = model.state_cost(len(configs))
+            for level, items in enumerate(level_index.levels):
+                if level == 0:
+                    # Initialization of OPT(0,...,0) by one processor.
+                    sim.record_uniform_level(0, 1, model.state_overhead_ops)
+                    continue
+                counts = _compute_states(items, table, dims, strides, cfg_offsets)
+                if cost_fidelity == "per_state":
+                    sim.record_level(
+                        level, [model.state_cost(c) for c in counts]
+                    )
+                else:
+                    sim.record_uniform_level(level, len(items), cost_per_state)
+        else:
+            executor = make_executor(backend, num_workers)
+            try:
+                for items in level_index.levels[1:]:
+                    chunks = round_robin_partition(items, num_workers)
+                    executor.map_chunks(worker, chunks)
+            finally:
+                executor.close()
+
+    opt = table[sigma - 1]
+    if opt is None:  # pragma: no cover - singleton configs guarantee feasibility
+        raise AssertionError("parallel DP ended infeasible")
+    stats = None
+    if collect_stats:
+        stats = DPStats(
+            sigma=sigma,
+            num_levels=level_index.num_levels,
+            level_sizes=level_index.sizes,
+            num_configs=len(configs),
+            states_computed=sigma,
+            config_scans=sigma * len(configs),
+        )
+    if limit is not None and opt > limit:
+        return DPResult(opt=None, engine=f"parallel-{backend}", stats=stats)
+    machine_configs: tuple[tuple[int, ...], ...] = ()
+    if track_schedule:
+        machine_configs = backtrack_schedule(lambda i: table[i], problem, configs)
+    return DPResult(
+        opt=opt,
+        machine_configs=machine_configs,
+        engine=f"parallel-{backend}",
+        stats=stats,
+    )

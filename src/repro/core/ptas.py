@@ -1,0 +1,206 @@
+"""Public entry points: the sequential PTAS and its parallel version.
+
+:func:`ptas` is Algorithm 1 — bounds, bisection over targets, rounded DP,
+reconstruction, LPT fill — with a pluggable sequential DP engine.
+:func:`parallel_ptas` is the paper's contribution: the identical driver
+with the DP replaced by the wavefront Parallel DP (Alg. 3) on a chosen
+backend.  Both return a :class:`PTASResult` carrying the schedule, the
+certified target, the bisection trace and (for the simulated backend) the
+multicore cost accounting used by the speedup experiments.
+
+Guarantee: the returned makespan is at most ``(1 + eps)`` times optimal
+(Hochbaum & Shmoys); the parallel version computes the *same* schedule as
+the sequential one, so it inherits the guarantee verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bisection import BisectionOutcome, bisect_target_makespan
+from repro.core.dp import DPProblem, DPResult, solve
+from repro.core.parallel_dp import BACKENDS, parallel_dp
+from repro.core.rounding import accuracy_parameter
+from repro.model.instance import Instance
+from repro.model.schedule import Schedule
+from repro.core.reconstruct import build_schedule
+from repro.simcore.costmodel import CostModel
+from repro.simcore.machine import SimulatedMachine
+
+
+@dataclass(frozen=True)
+class PTASResult:
+    """Outcome of a (parallel) PTAS run."""
+
+    schedule: Schedule
+    eps: float
+    k: int
+    final_target: int
+    outcome: BisectionOutcome
+    dp_engine: str
+    num_workers: int = 1
+    machine: SimulatedMachine | None = None
+
+    @property
+    def makespan(self) -> int:
+        return self.schedule.makespan
+
+    @property
+    def num_bisection_iterations(self) -> int:
+        return self.outcome.num_iterations
+
+    @property
+    def guarantee_factor(self) -> float:
+        """The a-priori approximation factor ``1 + eps`` of the scheme."""
+        return 1.0 + self.eps
+
+    @property
+    def simulated_speedup(self) -> float | None:
+        """Simulated multicore speedup (only for the simulated backend)."""
+        if self.machine is None:
+            return None
+        return self.machine.speedup
+
+
+def _effective_job_cap(k: int, guarantee_fix: bool) -> int | None:
+    """The per-machine long-job cap ``k - 1`` of the guarantee fix.
+
+    Any schedule of makespan ``<= T`` holds fewer than ``k`` long jobs per
+    machine (each strictly exceeds ``T/k``), so the cap never excludes a
+    true schedule; it only stops the integral rounding from packing
+    machines that would overshoot ``(1 + 1/k) T`` after un-rounding.
+    ``None`` reproduces the paper's Eq. 3 verbatim (weight-only).
+    """
+    if not guarantee_fix or k < 2:
+        return None
+    return k - 1
+
+
+def ptas(
+    instance: Instance,
+    eps: float,
+    *,
+    engine: str = "dominance",
+    collect_stats: bool = False,
+    guarantee_fix: bool = True,
+) -> PTASResult:
+    """Sequential Hochbaum–Shmoys PTAS (Algorithm 1).
+
+    Parameters
+    ----------
+    instance:
+        The ``P || Cmax`` instance (positive integer times).
+    eps:
+        Relative error; the schedule's makespan is at most
+        ``(1 + eps) * OPT``.  The paper's experiments use ``eps = 0.3``.
+    engine:
+        Sequential DP engine (see :data:`repro.core.dp.SEQUENTIAL_ENGINES`).
+        ``"table"`` is the faithful full-table sweep; the default
+        ``"dominance"`` is the optimized equivalent engine.
+    guarantee_fix:
+        Cap machine configurations at ``k - 1`` long jobs (default).  The
+        algorithm *as printed* can exceed ``(1 + eps) OPT`` on integral
+        instances because a long job may round below ``T/k``; the cap
+        restores the proof without excluding any true schedule.  Pass
+        ``False`` for the verbatim printed behaviour (what
+        :func:`repro.core.reference.algorithm1` implements).
+
+    Examples
+    --------
+    >>> inst = Instance([7, 7, 6, 6, 5, 4, 4, 3], num_machines=3)
+    >>> result = ptas(inst, eps=0.3)
+    >>> result.schedule.makespan <= 1.3 * 14
+    True
+    """
+    k = accuracy_parameter(eps)
+
+    def solver(problem: DPProblem, m: int) -> DPResult:
+        return solve(
+            problem,
+            engine,
+            limit=m,
+            track_schedule=True,
+            collect_stats=collect_stats,
+        )
+
+    outcome = bisect_target_makespan(
+        instance, k, solver, job_cap=_effective_job_cap(k, guarantee_fix)
+    )
+    schedule = build_schedule(
+        instance, outcome.rounded, outcome.dp_result.machine_configs
+    )
+    return PTASResult(
+        schedule=schedule,
+        eps=eps,
+        k=k,
+        final_target=outcome.final_target,
+        outcome=outcome,
+        dp_engine=engine,
+        num_workers=1,
+    )
+
+
+def parallel_ptas(
+    instance: Instance,
+    eps: float,
+    num_workers: int,
+    *,
+    backend: str = "simulated",
+    cost_model: CostModel | None = None,
+    collect_stats: bool = False,
+    guarantee_fix: bool = True,
+) -> PTASResult:
+    """Parallel approximation algorithm (paper §III): Algorithm 1 with the
+    DP replaced by the wavefront Parallel DP (Alg. 3).
+
+    Parameters
+    ----------
+    num_workers:
+        ``P`` — number of (real or simulated) processors.
+    backend:
+        ``"serial"`` (reference), ``"thread"`` (shared-memory threads),
+        ``"process"`` (shared-memory worker processes; true parallelism),
+        or ``"simulated"`` (deterministic multicore model used by the
+        speedup experiments — see DESIGN.md §6).
+
+    The returned schedule is identical to :func:`ptas` with
+    ``engine="table"`` — parallelization changes execution order within
+    anti-diagonals only, never the table contents.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    k = accuracy_parameter(eps)
+    machine = (
+        SimulatedMachine(num_workers, cost_model or CostModel())
+        if backend == "simulated"
+        else None
+    )
+
+    def solver(problem: DPProblem, m: int) -> DPResult:
+        return parallel_dp(
+            problem,
+            num_workers,
+            backend,
+            limit=m,
+            track_schedule=True,
+            collect_stats=collect_stats,
+            machine=machine,
+            cost_model=cost_model,
+        )
+
+    outcome = bisect_target_makespan(
+        instance, k, solver, job_cap=_effective_job_cap(k, guarantee_fix)
+    )
+    schedule = build_schedule(
+        instance, outcome.rounded, outcome.dp_result.machine_configs
+    )
+    return PTASResult(
+        schedule=schedule,
+        eps=eps,
+        k=k,
+        final_target=outcome.final_target,
+        outcome=outcome,
+        dp_engine=f"parallel-{backend}",
+        num_workers=num_workers,
+        machine=machine,
+    )

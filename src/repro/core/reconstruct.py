@@ -1,0 +1,102 @@
+"""Turning the DP packing into a full schedule (Alg. 1, lines 31–51).
+
+Two steps remain once the bisection has certified a target ``T`` and the
+DP has produced one machine configuration per used machine:
+
+1. **Un-rounding** (lines 31–40): each slot of a configuration asks for
+   one long job of a given rounded class; we hand it an *original* long
+   job of that class (original time in ``[size, size + unit)``).  The
+   class queues of :class:`~repro.core.rounding.RoundedInstance` make the
+   paper's linear scan an O(1) pop.
+2. **Short-job fill** (lines 41–51): the short jobs are sorted by
+   non-increasing processing time and each is placed on the machine with
+   the currently smallest load (LPT).  The original Hochbaum–Shmoys
+   scheme used plain list scheduling here; the paper switches to LPT,
+   which improves practical quality without affecting the guarantee, and
+   so do we.
+
+Determinism: class queues pop in input order and load ties break toward
+the lowest machine index, so reconstruction is a pure function of the DP
+output — the property behind the "parallel schedule == sequential
+schedule" tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.rounding import RoundedInstance
+from repro.model.instance import Instance
+from repro.model.schedule import Schedule
+
+
+def expand_long_jobs(
+    instance: Instance,
+    rounded: RoundedInstance,
+    machine_configs: Sequence[Sequence[int]],
+) -> list[list[int]]:
+    """Replace rounded slots by original long-job indices.
+
+    Returns one job-index list per machine of the instance (machines
+    beyond ``len(machine_configs)`` start empty).  Raises when the
+    configurations do not sum exactly to the class counts — that would
+    mean the DP witness is corrupt.
+    """
+    m = instance.num_machines
+    if len(machine_configs) > m:
+        raise ValueError(
+            f"DP used {len(machine_configs)} machines but only {m} exist"
+        )
+    queues = [list(members) for members in rounded.class_members]
+    groups: list[list[int]] = [[] for _ in range(m)]
+    for machine, cfg in enumerate(machine_configs):
+        if len(cfg) != rounded.num_classes:
+            raise ValueError(
+                f"configuration {cfg!r} has {len(cfg)} classes, expected "
+                f"{rounded.num_classes}"
+            )
+        for c, count in enumerate(cfg):
+            if count > len(queues[c]):
+                raise ValueError(
+                    f"configurations demand more class-{c} jobs than exist"
+                )
+            for _ in range(count):
+                groups[machine].append(queues[c].pop(0))
+    leftovers = [q for q in queues if q]
+    if leftovers:
+        raise ValueError(
+            f"configurations do not cover all long jobs; {sum(map(len, leftovers))} left"
+        )
+    return groups
+
+
+def fill_short_jobs_lpt(
+    instance: Instance,
+    groups: list[list[int]],
+    short_jobs: Sequence[int],
+) -> list[list[int]]:
+    """LPT placement of the short jobs onto the partially loaded machines.
+
+    Jobs are processed in non-increasing processing time (ties by index);
+    each goes to the machine with the smallest current load (ties by
+    machine index) — Alg. 1, lines 41–51.
+    """
+    t = instance.processing_times
+    loads = [sum(t[j] for j in grp) for grp in groups]
+    ordered = sorted(short_jobs, key=lambda j: (-t[j], j))
+    for j in ordered:
+        target = min(range(len(loads)), key=lambda i: (loads[i], i))
+        groups[target].append(j)
+        loads[target] += t[j]
+    return groups
+
+
+def build_schedule(
+    instance: Instance,
+    rounded: RoundedInstance,
+    machine_configs: Sequence[Sequence[int]],
+) -> Schedule:
+    """Full reconstruction: un-round the long jobs, then LPT the shorts."""
+    groups = expand_long_jobs(instance, rounded, machine_configs)
+    groups = fill_short_jobs_lpt(instance, groups, rounded.short_jobs)
+    return Schedule(instance, groups)

@@ -1,0 +1,171 @@
+"""Long/short split and rounding of long jobs (Alg. 1, lines 9–24).
+
+Given a target makespan ``T`` and ``k = ceil(1/eps)``:
+
+* a job is **short** when ``t <= T/k`` and **long** otherwise;
+* every long job's processing time is rounded **down** to the nearest
+  multiple of ``unit = ceil(T / k^2)``, i.e. to ``(t // unit) * unit``;
+* the rounded long jobs form at most ``k^2`` size classes; class ``i``
+  (``1 <= i <= k^2``) holds the jobs of rounded size ``i * unit``, and the
+  vector ``N = (n_1, ..., n_{k^2})`` of class counts is the input of the
+  dynamic program.
+
+Because most classes are empty for realistic instances, the DP operates
+on the *compressed* representation produced here — only the classes with
+``n_i > 0`` — which changes nothing semantically (empty dimensions of the
+DP table have extent 1) but keeps the table as small as the instance
+allows.
+
+Rounding error accounting: a long job satisfies ``t > T/k >= k * (unit-1)
+>= ...``, and its rounded size differs from ``t`` by less than ``unit <=
+T/k^2 + 1``.  A machine receives fewer than ``k + 1`` long jobs within a
+rounded budget of ``T`` (each rounded long job is larger than ``T/k -
+unit``), so un-rounding inflates a machine's load by at most ``~ k * unit
+~ T/k`` — this is the source of the ``(1 + 1/k) T`` guarantee.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.model.instance import Instance
+
+
+@dataclass(frozen=True)
+class RoundedInstance:
+    """The compressed rounded view of an instance at target makespan ``T``.
+
+    Attributes
+    ----------
+    target:
+        The target makespan ``T`` of this bisection iteration.
+    k:
+        Accuracy parameter ``k = ceil(1/eps)``.
+    unit:
+        Rounding quantum ``ceil(T / k^2)``.
+    class_sizes:
+        Rounded size of each *non-empty* class, ascending.  Entry ``c`` is
+        ``i_c * unit`` for the class index ``i_c`` of Alg. 1.
+    class_counts:
+        ``N`` restricted to non-empty classes; ``class_counts[c]`` long
+        jobs have rounded size ``class_sizes[c]``.
+    class_members:
+        For reconstruction: ``class_members[c]`` is the tuple of original
+        job indices whose rounded size is ``class_sizes[c]``, in input
+        order.
+    short_jobs:
+        Original indices of the short jobs (``t <= T/k``).
+    """
+
+    target: int
+    k: int
+    unit: int
+    class_sizes: tuple[int, ...]
+    class_counts: tuple[int, ...]
+    class_members: tuple[tuple[int, ...], ...]
+    short_jobs: tuple[int, ...]
+
+    @property
+    def num_classes(self) -> int:
+        """Number of non-empty rounded size classes (``d`` in the docs)."""
+        return len(self.class_sizes)
+
+    @property
+    def num_long_jobs(self) -> int:
+        """``n'`` — total count of long jobs (= number of DP anti-diagonals
+        minus one)."""
+        return sum(self.class_counts)
+
+    @property
+    def table_size(self) -> int:
+        """``sigma = prod(n_i + 1)`` — number of entries of the DP table."""
+        size = 1
+        for c in self.class_counts:
+            size *= c + 1
+        return size
+
+    def full_vector(self) -> tuple[int, ...]:
+        """The uncompressed ``k^2``-dimensional vector ``N`` of Alg. 1.
+
+        Provided for fidelity checks against the paper's notation; all
+        computation uses the compressed form.
+        """
+        n = [0] * (self.k * self.k)
+        for size, count in zip(self.class_sizes, self.class_counts):
+            index = size // self.unit
+            n[index - 1] = count
+        return tuple(n)
+
+
+def accuracy_parameter(eps: float) -> int:
+    """``k = ceil(1/eps)`` (Alg. 1, line 4).
+
+    ``eps`` must be positive; values ``>= 1`` give ``k = 1``, for which
+    every job is short and the PTAS degenerates to plain LPT.
+    """
+    if eps <= 0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    return math.ceil(1.0 / eps)
+
+
+def rounding_unit(target: int, k: int) -> int:
+    """The quantum ``ceil(T / k^2)`` long jobs are rounded down to."""
+    if target < 1:
+        raise ValueError(f"target makespan must be >= 1, got {target}")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return math.ceil(target / (k * k))
+
+
+def is_long(t: int, target: int, k: int) -> bool:
+    """True iff a job of processing time ``t`` is *long* at target ``T``:
+    ``t > T/k`` (Alg. 1, lines 10–13, strict comparison)."""
+    return t * k > target
+
+
+def rounded_size(t: int, unit: int) -> int:
+    """Round ``t`` down to the nearest multiple of ``unit``
+    (Alg. 1, lines 15–18: the ``i`` with ``i*unit <= t < (i+1)*unit``)."""
+    return (t // unit) * unit
+
+
+def round_instance(instance: Instance, target: int, k: int) -> RoundedInstance:
+    """Perform the complete split + rounding for one bisection iteration.
+
+    Returns the compressed :class:`RoundedInstance`.  Raises
+    ``ValueError`` when some job exceeds the target — the bisection driver
+    never lets that happen because ``LB >= max t``, but direct callers may.
+    """
+    unit = rounding_unit(target, k)
+    per_class: dict[int, list[int]] = {}
+    short: list[int] = []
+    for j, t in enumerate(instance.processing_times):
+        if t > target:
+            raise ValueError(
+                f"job {j} (t={t}) exceeds the target makespan T={target}; "
+                "no schedule can fit it"
+            )
+        if is_long(t, target, k):
+            per_class.setdefault(rounded_size(t, unit), []).append(j)
+        else:
+            short.append(j)
+    sizes = sorted(per_class)
+    for size in sizes:
+        # Long jobs have t > T/k >= unit * k / k ... ensure rounding kept a
+        # positive class index; guaranteed for k >= 2 and trivially absent
+        # for k == 1 (no long jobs).  Defensive check only.
+        if size <= 0:
+            raise AssertionError(
+                "rounded size of a long job must be positive; "
+                f"got {size} (T={target}, k={k}, unit={unit})"
+            )
+    return RoundedInstance(
+        target=target,
+        k=k,
+        unit=unit,
+        class_sizes=tuple(sizes),
+        class_counts=tuple(len(per_class[s]) for s in sizes),
+        class_members=tuple(tuple(per_class[s]) for s in sizes),
+        short_jobs=tuple(short),
+    )

@@ -1,0 +1,36 @@
+"""Exact solvers for ``P || Cmax`` — the paper's "IP" baseline.
+
+The paper obtains optimal makespans by handing the integer-program
+formulation to IBM CPLEX.  CPLEX is proprietary, so this reproduction
+provides three exact solvers (DESIGN.md §6, substitution 1):
+
+* :mod:`repro.exact.ilp` — the identical MILP formulation solved with
+  scipy's bundled HiGHS solver (the drop-in CPLEX substitute used by the
+  experiment harness);
+* :mod:`repro.exact.branch_and_bound` — a self-contained depth-first
+  branch-and-bound with an LPT incumbent, load-based lower bounds and
+  machine-symmetry breaking (no third-party solver at all);
+* :mod:`repro.exact.brute` — exhaustive search for tiny instances, the
+  oracle the others are verified against.
+
+:func:`solve_exact` dispatches by name and is what the public API
+re-exports.
+"""
+
+from repro.exact.api import ExactResult, solve_exact
+from repro.exact.branch_and_bound import branch_and_bound
+from repro.exact.brute import brute_force
+from repro.exact.ilp import ilp_solve
+from repro.exact.lower_bounds import lb_best
+from repro.exact.sahni import exact_dp, sahni_fptas
+
+__all__ = [
+    "solve_exact",
+    "ExactResult",
+    "brute_force",
+    "branch_and_bound",
+    "ilp_solve",
+    "exact_dp",
+    "sahni_fptas",
+    "lb_best",
+]

@@ -1,0 +1,61 @@
+"""Uniform front door for the exact solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exact.branch_and_bound import branch_and_bound
+from repro.exact.brute import brute_force
+from repro.exact.ilp import ilp_solve
+from repro.model.instance import Instance
+from repro.model.schedule import Schedule
+
+METHODS = ("ilp", "bnb", "brute")
+
+
+@dataclass(frozen=True)
+class ExactResult:
+    """Normalized result of any exact method."""
+
+    schedule: Schedule
+    optimal: bool
+    method: str
+
+    @property
+    def makespan(self) -> int:
+        return self.schedule.makespan
+
+
+def solve_exact(
+    instance: Instance,
+    method: str = "ilp",
+    *,
+    time_limit: float | None = None,
+    node_budget: int | None = None,
+) -> ExactResult:
+    """Solve ``P || Cmax`` exactly.
+
+    Parameters
+    ----------
+    method:
+        ``"ilp"`` (HiGHS MILP — the CPLEX stand-in), ``"bnb"`` (own
+        branch-and-bound), or ``"brute"`` (tiny instances only).
+    time_limit:
+        Wall-clock budget for ``"ilp"``.
+    node_budget:
+        Node budget for ``"bnb"``.
+
+    When a budget is exhausted the best incumbent is returned with
+    ``optimal=False`` — matching how the paper reports CPLEX runs that
+    time out.
+    """
+    if method == "ilp":
+        res = ilp_solve(instance, time_limit=time_limit)
+        return ExactResult(res.schedule, res.optimal, "ilp")
+    if method == "bnb":
+        res = branch_and_bound(instance, node_budget=node_budget)
+        return ExactResult(res.schedule, res.optimal, "bnb")
+    if method == "brute":
+        schedule = brute_force(instance)
+        return ExactResult(schedule, True, "brute")
+    raise ValueError(f"unknown exact method {method!r}; expected one of {METHODS}")

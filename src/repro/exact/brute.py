@@ -1,0 +1,67 @@
+"""Exhaustive exact solver — the oracle for tiny instances.
+
+Enumerates assignments job-by-job with two safe prunings (running
+makespan against the incumbent, and first-empty-machine symmetry
+breaking: job ``j`` may open at most one new machine).  Exponential, of
+course — callers should keep ``n`` below ~15.  Every other solver and
+every approximation bound in the test suite is checked against this one.
+"""
+
+from __future__ import annotations
+
+from repro.model.instance import Instance
+from repro.model.schedule import Schedule
+
+
+def brute_force(instance: Instance, max_jobs: int = 18) -> Schedule:
+    """Optimal schedule by depth-first enumeration.
+
+    Raises ``ValueError`` when the instance exceeds ``max_jobs`` — a
+    guard against accidentally exploding a test run.
+
+    >>> brute_force(Instance([5, 4, 3, 3, 3], num_machines=2)).makespan
+    9
+    """
+    n = instance.num_jobs
+    if n > max_jobs:
+        raise ValueError(
+            f"brute force limited to {max_jobs} jobs, instance has {n}"
+        )
+    m = instance.num_machines
+    # Sorting jobs descending makes the incumbent good early and the
+    # makespan pruning effective.
+    order = instance.sorted_jobs_desc()
+    t = instance.processing_times
+    loads = [0] * m
+    assign: list[int] = [0] * n  # position in `order` -> machine
+    best_makespan = sum(t) + 1
+    best_assign: list[int] = []
+
+    def dfs(pos: int, current_max: int) -> None:
+        nonlocal best_makespan, best_assign
+        if current_max >= best_makespan:
+            return
+        if pos == n:
+            best_makespan = current_max
+            best_assign = assign[:n]
+            return
+        j = order[pos]
+        seen_empty = False
+        for machine in range(m):
+            if loads[machine] == 0:
+                if seen_empty:
+                    continue  # identical empty machines — try only one
+                seen_empty = True
+            new_load = loads[machine] + t[j]
+            if new_load >= best_makespan:
+                continue
+            loads[machine] = new_load
+            assign[pos] = machine
+            dfs(pos + 1, max(current_max, new_load))
+            loads[machine] -= t[j]
+
+    dfs(0, 0)
+    groups: list[list[int]] = [[] for _ in range(m)]
+    for pos, machine in enumerate(best_assign):
+        groups[machine].append(order[pos])
+    return Schedule(instance, groups)

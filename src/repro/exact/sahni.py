@@ -1,0 +1,149 @@
+"""Sahni's algorithms for a *fixed* number of machines.
+
+The paper's related-work section cites Sahni (1976): when ``m`` is a
+constant, ``P m || Cmax`` admits both an exact pseudo-polynomial DP and
+an FPTAS derived from it by state-space trimming.  Both are implemented
+here as an extension (DESIGN.md §7) and double as extra oracles for the
+test suite:
+
+* :func:`exact_dp` — DP over reachable load vectors ``(w_1, ..., w_m)``
+  kept canonical (sorted), exact in time ``O(n * UB^{m-1})``.
+* :func:`sahni_fptas` — the same DP with loads trimmed to a geometric
+  grid, giving a ``(1 + eps)`` guarantee in time polynomial in ``n`` and
+  ``1/eps`` for fixed ``m``.
+
+Contrast with Hochbaum–Shmoys: Sahni's scheme is an FPTAS but only for
+fixed ``m``; the paper's PTAS handles ``m`` as part of the input, which
+is why it (and not this) is the object of the parallelization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.instance import Instance
+from repro.model.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class SahniResult:
+    schedule: Schedule
+    makespan: int
+    exact: bool
+
+
+def _reconstruct(
+    instance: Instance,
+    parents: list[dict[tuple[int, ...], tuple[tuple[int, ...], int]]],
+    final_state: tuple[int, ...],
+) -> Schedule:
+    """Walk the per-job parent pointers back to an assignment.
+
+    States are canonical (sorted) load vectors; the parent record stores
+    which *position* of the previous state received the job, so the walk
+    re-sorts exactly the way the forward pass did.
+    """
+    n = instance.num_jobs
+    m = instance.num_machines
+    # Recover the chain of (state, machine-slot) decisions.
+    chain: list[tuple[tuple[int, ...], int]] = []
+    state = final_state
+    for j in range(n - 1, -1, -1):
+        prev_state, slot = parents[j][state]
+        chain.append((prev_state, slot))
+        state = prev_state
+    chain.reverse()
+    # Replay forward, tracking which physical machine each sorted slot is.
+    machines: list[list[int]] = [[] for _ in range(m)]
+    loads = [0] * m
+    order = list(range(m))  # order[i] = physical machine of sorted slot i
+    t = instance.processing_times
+    for j, (prev_state, slot) in enumerate(chain):
+        phys = order[slot]
+        machines[phys].append(j)
+        loads[phys] += t[j]
+        order = sorted(range(m), key=lambda i: (loads[i], i))
+    return Schedule(instance, machines)
+
+
+def _run_dp(
+    instance: Instance, trim: float | None
+) -> tuple[tuple[int, ...], list[dict]]:
+    """Shared forward pass.  ``trim`` is ``None`` for the exact DP, or the
+    multiplicative grid ``delta`` of the FPTAS (states whose load vectors
+    round to the same grid cell are merged)."""
+    m = instance.num_machines
+    t = instance.processing_times
+    start = tuple([0] * m)
+    frontier: dict[tuple[int, ...], None] = {start: None}
+    parents: list[dict[tuple[int, ...], tuple[tuple[int, ...], int]]] = []
+
+    def key(state: tuple[int, ...]) -> tuple[int, ...]:
+        if trim is None:
+            return state
+        import math
+
+        return tuple(
+            0 if w == 0 else int(math.log(w) / math.log(1 + trim)) for w in state
+        )
+
+    for j in range(instance.num_jobs):
+        nxt: dict[tuple[int, ...], None] = {}
+        seen_keys: dict[tuple[int, ...], tuple[int, ...]] = {}
+        parent_map: dict[tuple[int, ...], tuple[tuple[int, ...], int]] = {}
+        for state in frontier:
+            placed: set[int] = set()
+            for slot in range(m):
+                if state[slot] in placed:
+                    continue  # identical loads — symmetric placements
+                placed.add(state[slot])
+                loads = list(state)
+                loads[slot] += t[j]
+                new_state = tuple(sorted(loads))
+                k = key(new_state)
+                kept = seen_keys.get(k)
+                if kept is None or max(new_state) < max(kept):
+                    if kept is not None:
+                        nxt.pop(kept, None)
+                        parent_map.pop(kept, None)
+                    seen_keys[k] = new_state
+                    nxt[new_state] = None
+                    parent_map[new_state] = (state, slot)
+        frontier = nxt
+        parents.append(parent_map)
+    best = min(frontier, key=max)
+    return best, parents
+
+
+def exact_dp(instance: Instance, max_states: int = 2_000_000) -> SahniResult:
+    """Exact DP over canonical load vectors (fixed small ``m`` only).
+
+    Raises ``ValueError`` when the reachable state space would exceed
+    ``max_states`` (a rough pre-check using ``UB^{m-1}``).
+    """
+    m = instance.num_machines
+    ub = instance.trivial_upper_bound()
+    if m > 1 and (ub + 1) ** (m - 1) > max_states:
+        raise ValueError(
+            f"exact DP state space ~{(ub + 1) ** (m - 1)} exceeds the "
+            f"{max_states} cap; use branch_and_bound or ilp_solve instead"
+        )
+    best, parents = _run_dp(instance, trim=None)
+    schedule = _reconstruct(instance, parents, best)
+    assert schedule.makespan == max(best)
+    return SahniResult(schedule=schedule, makespan=max(best), exact=True)
+
+
+def sahni_fptas(instance: Instance, eps: float) -> SahniResult:
+    """Sahni's FPTAS for fixed ``m``: trimmed load-vector DP.
+
+    Guarantee: makespan at most ``(1 + eps)`` times optimal.  The grid
+    ``delta = eps / (2n)`` keeps the accumulated per-job rounding error
+    within ``eps``.
+    """
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+    delta = eps / (2.0 * instance.num_jobs)
+    best, parents = _run_dp(instance, trim=delta)
+    schedule = _reconstruct(instance, parents, best)
+    return SahniResult(schedule=schedule, makespan=schedule.makespan, exact=False)

@@ -1,0 +1,40 @@
+"""Experiment harness regenerating every figure and table of the paper.
+
+* :mod:`repro.experiments.metrics` — speedups, approximation ratios,
+  aggregation over instance batches.
+* :mod:`repro.experiments.harness` — runs all algorithms on one instance
+  with wall-clock timing and simulated-multicore calibration.
+* :mod:`repro.experiments.figures` — Figs. 2, 3, 4 (speedup/runtime
+  panels) and Fig. 5 (approximation-ratio bars).
+* :mod:`repro.experiments.tables` — Table I (the worked DP example) and
+  Tables II/III (best/worst instances by approximation ratio).
+* :mod:`repro.experiments.reporting` — ASCII tables and CSV export.
+
+Every experiment accepts a ``scale`` knob: ``"smoke"`` (small, seconds —
+used by the benchmark suite) and ``"paper"`` (the full §V-A setup: 20
+instances per type).  See EXPERIMENTS.md for measured-vs-paper numbers.
+"""
+
+from repro.experiments.figures import (
+    FigureResult,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+)
+from repro.experiments.harness import ExperimentConfig, InstanceRecord, run_instance
+from repro.experiments.tables import run_table1, run_table2, run_table3
+
+__all__ = [
+    "ExperimentConfig",
+    "InstanceRecord",
+    "run_instance",
+    "FigureResult",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4",
+    "run_figure5",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+]

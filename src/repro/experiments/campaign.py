@@ -1,0 +1,208 @@
+"""Full evaluation campaign — the paper's complete §V-A grid in one call.
+
+The paper evaluates 24 instance *types* (2 machine counts x 3 job counts
+x 4 distributions), 20 instances each: 480 runs.  :func:`run_campaign`
+executes an arbitrary subset of that grid, producing:
+
+* a flat list of :class:`~repro.experiments.harness.InstanceRecord`;
+* per-type aggregates with bootstrap confidence intervals
+  (:mod:`repro.analysis.stats`) and Amdahl/Karp–Flatt scaling
+  diagnostics (:mod:`repro.analysis.scaling`);
+* CSV exports (one row per instance per core count) for external
+  plotting.
+
+This is the module behind ``repro-pcmax experiment``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.scaling import amdahl_fit, karp_flatt
+from repro.analysis.stats import MeanCI, mean_and_ci
+from repro.experiments.harness import ExperimentConfig, InstanceRecord, run_instance
+from repro.experiments.reporting import ascii_table, write_csv
+from repro.workloads.families import family
+from repro.workloads.generator import generate_batch
+
+
+@dataclass(frozen=True)
+class TypeKey:
+    """One instance type of the grid."""
+
+    kind: str
+    m: int
+    n: int
+
+    def label(self) -> str:
+        """Human-readable type label for reports."""
+        return f"{family(self.kind).label} m={self.m} n={self.n}"
+
+
+@dataclass
+class TypeAggregate:
+    """Aggregated results of one instance type."""
+
+    key: TypeKey
+    records: list[InstanceRecord] = field(default_factory=list)
+
+    def speedup_ci(self, cores: int) -> MeanCI:
+        """Mean speedup vs the sequential PTAS, with bootstrap CI."""
+        return mean_and_ci(
+            [r.parallel_at(cores).speedup_vs_ptas for r in self.records]
+        )
+
+    def speedup_vs_ip_ci(self, cores: int) -> MeanCI:
+        """Mean speedup vs the IP solver, with bootstrap CI."""
+        return mean_and_ci([r.speedup_vs_ip(cores) for r in self.records])
+
+    def scaling_diagnostics(self, cores: Sequence[int]) -> dict[str, float]:
+        """Mean-speedup curve -> Amdahl fit + Karp-Flatt at max cores."""
+        means = [self.speedup_ci(c).mean for c in cores]
+        fit = amdahl_fit(list(cores), means)
+        top = max(cores)
+        return {
+            "serial_fraction": fit.serial_fraction,
+            "amdahl_max_speedup": fit.max_speedup,
+            "fit_residual": fit.residual,
+            "karp_flatt_at_max": karp_flatt(means[cores.index(top)], top),
+        }
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign run produced."""
+
+    config: ExperimentConfig
+    aggregates: list[TypeAggregate]
+
+    def summary_rows(self) -> list[list[object]]:
+        """One summary row per instance type (render/CSV share these)."""
+        top = max(self.config.cores)
+        rows: list[list[object]] = []
+        for agg in self.aggregates:
+            ci = agg.speedup_ci(top)
+            diag = agg.scaling_diagnostics(self.config.cores)
+            rows.append(
+                [
+                    agg.key.label(),
+                    len(agg.records),
+                    ci.mean,
+                    ci.lower,
+                    ci.upper,
+                    diag["serial_fraction"],
+                    diag["karp_flatt_at_max"],
+                ]
+            )
+        return rows
+
+    def render(self) -> str:
+        """ASCII summary table of the campaign."""
+        top = max(self.config.cores)
+        return ascii_table(
+            [
+                "type",
+                "runs",
+                f"speedup@{top}",
+                "ci lo",
+                "ci hi",
+                "amdahl f",
+                "karp-flatt",
+            ],
+            self.summary_rows(),
+            title="Campaign summary (speedup vs sequential PTAS)",
+        )
+
+    def export_csv(self, directory: str | Path) -> list[Path]:
+        """Write per-run and summary CSVs; returns the paths."""
+        directory = Path(directory)
+        run_rows: list[list[object]] = []
+        for agg in self.aggregates:
+            for i, rec in enumerate(agg.records):
+                for par in rec.parallel:
+                    run_rows.append(
+                        [
+                            agg.key.kind,
+                            agg.key.m,
+                            agg.key.n,
+                            i,
+                            par.cores,
+                            rec.sequential.seconds,
+                            par.seconds,
+                            par.speedup_vs_ptas,
+                            rec.ip.seconds,
+                            rec.speedup_vs_ip(par.cores),
+                            rec.sequential.makespan,
+                            rec.ip.makespan,
+                            rec.lpt_run.makespan,
+                            rec.ls_run.makespan,
+                            rec.ip.optimal,
+                        ]
+                    )
+        runs_path = write_csv(
+            directory / "campaign_runs.csv",
+            [
+                "kind", "m", "n", "replicate", "cores",
+                "ptas_seconds", "parallel_seconds", "speedup_vs_ptas",
+                "ip_seconds", "speedup_vs_ip",
+                "ptas_makespan", "ip_makespan", "lpt_makespan", "ls_makespan",
+                "ip_optimal",
+            ],
+            run_rows,
+        )
+        summary_path = write_csv(
+            directory / "campaign_summary.csv",
+            [
+                "type", "runs", "speedup_at_max", "ci_lo", "ci_hi",
+                "amdahl_f", "karp_flatt",
+            ],
+            self.summary_rows(),
+        )
+        return [runs_path, summary_path]
+
+
+def _run_one(args: tuple) -> tuple[int, InstanceRecord]:
+    """Top-level worker for the process-parallel campaign (picklable)."""
+    index, instance, cfg = args
+    return index, run_instance(instance, cfg)
+
+
+def run_campaign(
+    grid: Sequence[tuple[str, int, int]],
+    instances_per_type: int = 20,
+    config: ExperimentConfig | None = None,
+    base_seed: int = 0,
+    parallel_workers: int = 1,
+) -> CampaignResult:
+    """Execute the grid.  ``grid`` entries are ``(kind, m, n)``; use
+    :func:`repro.workloads.generator.family_of_types` for the paper's
+    full 24-type grid.
+
+    ``parallel_workers > 1`` fans the (independent) instance runs over a
+    process pool — the campaign itself is embarrassingly parallel.  Use
+    only on a machine with spare cores: concurrent runs contend for CPU
+    and would distort each other's wall-clock measurements otherwise.
+    """
+    if instances_per_type < 1:
+        raise ValueError("instances_per_type must be >= 1")
+    if parallel_workers < 1:
+        raise ValueError("parallel_workers must be >= 1")
+    cfg = config or ExperimentConfig()
+    aggregates: list[TypeAggregate] = []
+    jobs: list[tuple[int, object, ExperimentConfig]] = []
+    for type_index, (kind, m, n) in enumerate(grid):
+        aggregates.append(TypeAggregate(TypeKey(kind, m, n)))
+        for inst in generate_batch(kind, m, n, instances_per_type, base_seed):
+            jobs.append((type_index, inst, cfg))
+    if parallel_workers == 1:
+        results = [_run_one(job) for job in jobs]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=parallel_workers) as pool:
+            results = list(pool.map(_run_one, jobs))
+    for type_index, record in results:
+        aggregates[type_index].records.append(record)
+    return CampaignResult(config=cfg, aggregates=aggregates)

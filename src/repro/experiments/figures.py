@@ -1,0 +1,299 @@
+"""Figures 2–5 of the paper, regenerated.
+
+Each ``run_figureN`` function executes the corresponding experiment and
+returns a :class:`FigureResult` holding the raw per-instance records plus
+the aggregated series the paper plots; ``FigureResult.render()`` prints
+the panels as ASCII tables.
+
+Paper setup (§V):
+
+* **Fig. 2** — ``m=20, n=100``; panels: (a) average speedup of the
+  parallel algorithm vs the sequential PTAS over 2–16 cores, (b) average
+  speedup vs IP, (c) average running times.
+* **Fig. 3** — ``m=10, n=50`` (the best case for speedup vs IP).
+* **Fig. 4** — ``m=10, n=30`` (the worst case; panels a and b only).
+* **Fig. 5** — actual approximation ratios of the parallel algorithm,
+  LPT and LS against the IP optimum on the best-case (Table II) and
+  worst-case (Table III) instances.
+
+Scaling: ``scale="paper"`` runs 20 instances per family as in §V-A;
+``scale="smoke"`` runs 2 per family with a smaller IP time limit, sized
+for CI and the benchmark suite.  Absolute times differ from the paper's
+C++/CPLEX testbed, so EXPERIMENTS.md compares shapes (who wins, by what
+factor, where speedups saturate), not seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.experiments.harness import ExperimentConfig, InstanceRecord, run_instance
+from repro.experiments.metrics import mean
+from repro.experiments.reporting import ascii_table, render_series
+from repro.experiments.tables import TableResult, run_table2, run_table3
+from repro.workloads.families import SPEEDUP_FAMILY_KEYS, family
+from repro.workloads.generator import generate_batch
+
+SCALES = ("smoke", "paper")
+
+
+def _num_instances(scale: str) -> int:
+    if scale == "paper":
+        return 20
+    if scale == "smoke":
+        return 2
+    raise ValueError(f"unknown scale {scale!r}; expected one of {SCALES}")
+
+
+def _config_for(scale: str, cores: Sequence[int]) -> ExperimentConfig:
+    return ExperimentConfig(
+        cores=tuple(cores),
+        ip_time_limit=30.0 if scale == "paper" else 10.0,
+    )
+
+
+@dataclass
+class FamilySeries:
+    """Aggregated results of one instance family in one figure."""
+
+    family_key: str
+    label: str
+    records: list[InstanceRecord] = field(default_factory=list)
+
+    def mean_speedup_vs_ptas(self, cores: int) -> float:
+        """Family-average speedup vs the sequential PTAS at ``cores``."""
+        return mean(r.parallel_at(cores).speedup_vs_ptas for r in self.records)
+
+    def mean_speedup_vs_ip(self, cores: int) -> float:
+        """Family-average speedup vs the IP solver at ``cores``."""
+        return mean(r.speedup_vs_ip(cores) for r in self.records)
+
+    def mean_seconds(self, which: str, cores: int | None = None) -> float:
+        """Family-average wall time of one algorithm (panel c data)."""
+        if which == "parallel":
+            assert cores is not None
+            return mean(r.parallel_at(cores).seconds for r in self.records)
+        if which == "ptas":
+            return mean(r.sequential.seconds for r in self.records)
+        if which == "ip":
+            return mean(r.ip.seconds for r in self.records)
+        if which == "lpt":
+            return mean(r.lpt_run.seconds for r in self.records)
+        if which == "ls":
+            return mean(r.ls_run.seconds for r in self.records)
+        raise ValueError(f"unknown timing {which!r}")
+
+
+@dataclass
+class FigureResult:
+    """One regenerated figure: its speedup/runtime panels per family."""
+
+    name: str
+    description: str
+    m: int
+    n: int
+    cores: tuple[int, ...]
+    families: list[FamilySeries]
+    include_runtime_panel: bool = True
+
+    def speedup_vs_ptas_series(self) -> dict[str, list[float]]:
+        """Panel (a): one speedup-vs-cores series per family."""
+        return {
+            fs.label: [fs.mean_speedup_vs_ptas(c) for c in self.cores]
+            for fs in self.families
+        }
+
+    def speedup_vs_ip_series(self) -> dict[str, list[float]]:
+        """Panel (b): one speedup-vs-IP series per family."""
+        return {
+            fs.label: [fs.mean_speedup_vs_ip(c) for c in self.cores]
+            for fs in self.families
+        }
+
+    def runtime_rows(self) -> list[list[object]]:
+        """Panel (c): average running times, one row per family."""
+        max_cores = max(self.cores)
+        rows: list[list[object]] = []
+        for fs in self.families:
+            rows.append(
+                [
+                    fs.label,
+                    fs.mean_seconds("ip"),
+                    fs.mean_seconds("ptas"),
+                    fs.mean_seconds("parallel", max_cores),
+                    fs.mean_seconds("lpt"),
+                    fs.mean_seconds("ls"),
+                ]
+            )
+        return rows
+
+    def render(self) -> str:
+        """All panels of the figure as ASCII tables and charts."""
+        from repro.experiments.plots import speedup_plot
+
+        parts = [
+            f"== {self.name}: {self.description} (m={self.m}, n={self.n}) ==",
+            render_series(
+                "cores",
+                list(self.cores),
+                self.speedup_vs_ptas_series(),
+                title="(a) average speedup vs sequential PTAS",
+            ),
+            speedup_plot(
+                list(self.cores),
+                self.speedup_vs_ptas_series(),
+                title="(a) as a chart",
+            ),
+            render_series(
+                "cores",
+                list(self.cores),
+                self.speedup_vs_ip_series(),
+                title="(b) average speedup vs IP (HiGHS)",
+            ),
+        ]
+        if self.include_runtime_panel:
+            parts.append(
+                ascii_table(
+                    [
+                        "family",
+                        "IP [s]",
+                        "PTAS [s]",
+                        f"parallel@{max(self.cores)} [s]",
+                        "LPT [s]",
+                        "LS [s]",
+                    ],
+                    self.runtime_rows(),
+                    precision=4,
+                    title="(c) average running times",
+                )
+            )
+        return "\n\n".join(parts)
+
+
+def _run_speedup_figure(
+    name: str,
+    description: str,
+    m: int,
+    n: int,
+    *,
+    scale: str = "smoke",
+    cores: Sequence[int] = (2, 4, 8, 16),
+    base_seed: int = 0,
+    include_runtime_panel: bool = True,
+) -> FigureResult:
+    count = _num_instances(scale)
+    config = _config_for(scale, cores)
+    families: list[FamilySeries] = []
+    for key in SPEEDUP_FAMILY_KEYS:
+        fam = family(key)
+        series = FamilySeries(family_key=key, label=fam.label)
+        for inst in generate_batch(key, m, n, count, base_seed=base_seed):
+            series.records.append(run_instance(inst, config))
+        families.append(series)
+    return FigureResult(
+        name=name,
+        description=description,
+        m=m,
+        n=n,
+        cores=tuple(cores),
+        families=families,
+        include_runtime_panel=include_runtime_panel,
+    )
+
+
+def run_figure2(
+    scale: str = "smoke",
+    cores: Sequence[int] = (2, 4, 8, 16),
+    base_seed: int = 0,
+) -> FigureResult:
+    """Fig. 2: speedups and runtimes at ``m=20, n=100``."""
+    return _run_speedup_figure(
+        "Figure 2",
+        "speedup and running time, four U-families",
+        m=20,
+        n=100,
+        scale=scale,
+        cores=cores,
+        base_seed=base_seed,
+    )
+
+
+def run_figure3(
+    scale: str = "smoke",
+    cores: Sequence[int] = (2, 4, 8, 16),
+    base_seed: int = 0,
+) -> FigureResult:
+    """Fig. 3: ``m=10, n=50`` — the paper's best case for speedup vs IP."""
+    return _run_speedup_figure(
+        "Figure 3",
+        "speedup and running time, best case vs IP",
+        m=10,
+        n=50,
+        scale=scale,
+        cores=cores,
+        base_seed=base_seed,
+    )
+
+
+def run_figure4(
+    scale: str = "smoke",
+    cores: Sequence[int] = (2, 4, 8, 16),
+    base_seed: int = 0,
+) -> FigureResult:
+    """Fig. 4: ``m=10, n=30`` — the worst case vs IP (no runtime panel in
+    the paper)."""
+    return _run_speedup_figure(
+        "Figure 4",
+        "speedup, worst case vs IP",
+        m=10,
+        n=30,
+        scale=scale,
+        cores=cores,
+        base_seed=base_seed,
+        include_runtime_panel=False,
+    )
+
+
+@dataclass
+class Figure5Result:
+    """Fig. 5: approximation-ratio bars for best/worst instances."""
+
+    best: TableResult
+    worst: TableResult
+
+    def _bars(self, table: TableResult, title: str) -> str:
+        from repro.experiments.plots import grouped_bars
+
+        return grouped_bars(
+            [r.instance_id for r in table.records],
+            {
+                "parallel PTAS": [r.ratio_parallel for r in table.records],
+                "LPT": [r.ratio_lpt for r in table.records],
+                "LS": [r.ratio_ls for r in table.records],
+            },
+            baseline=1.0,
+            title=title + "  (bar length = ratio - 1)",
+        )
+
+    def render(self) -> str:
+        """Both ratio panels (best and worst instances), table + bars."""
+        return "\n\n".join(
+            [
+                "== Figure 5: actual approximation ratios ==",
+                self.best.render("(a) best-case instances (Table II)"),
+                self._bars(self.best, "(a) as bars"),
+                self.worst.render("(b) worst-case instances (Table III)"),
+                self._bars(self.worst, "(b) as bars"),
+            ]
+        )
+
+
+def run_figure5(scale: str = "smoke", base_seed: int = 0) -> Figure5Result:
+    """Fig. 5: ratios of the parallel algorithm, LPT and LS vs the IP
+    optimum on the best-case (Table II) and worst-case (Table III)
+    instances."""
+    return Figure5Result(
+        best=run_table2(scale=scale, base_seed=base_seed),
+        worst=run_table3(scale=scale, base_seed=base_seed),
+    )

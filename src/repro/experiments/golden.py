@@ -1,0 +1,126 @@
+"""Golden-number regression for deterministic outputs.
+
+Everything in this library except wall-clock time is deterministic:
+seeded instances, every algorithm's makespan, the PTAS's certified
+target, and the simulated machine's op counts and speedups.  A *golden
+file* records those numbers for a fixed probe grid; the regression test
+recomputes them and fails on any drift — catching unintended behavioral
+changes (a tie-break flipped, a cost-model constant nudged, a rounding
+boundary moved) that ordinary property tests cannot see.
+
+Regenerate intentionally with::
+
+    python -m repro.experiments.golden results/golden/smoke.json
+
+after reviewing the diff.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.algorithms.list_scheduling import list_scheduling
+from repro.algorithms.lpt import lpt
+from repro.algorithms.multifit import multifit
+from repro.core.ptas import parallel_ptas, ptas
+from repro.workloads.generator import make_instance
+
+#: The probe grid: small, fast, and covering every family.
+GOLDEN_GRID: tuple[tuple[str, int, int, int], ...] = (
+    ("u_2m", 4, 12, 0),
+    ("u_100", 4, 12, 1),
+    ("u_10", 4, 12, 2),
+    ("u_10n", 4, 12, 3),
+    ("lpt_adversarial", 5, 11, 4),
+    ("u_narrow", 4, 12, 5),
+)
+
+#: Simulated processor counts probed per instance.
+GOLDEN_WORKERS = (4, 16)
+
+FORMAT_NAME = "repro-pcmax-golden"
+
+
+def compute_golden() -> dict[str, Any]:
+    """Recompute the golden record for the probe grid."""
+    import repro
+
+    entries: list[dict[str, Any]] = []
+    for kind, m, n, seed in GOLDEN_GRID:
+        inst = make_instance(kind, m, n, seed=seed)
+        seq = ptas(inst, 0.3, engine="table")
+        entry: dict[str, Any] = {
+            "kind": kind,
+            "m": m,
+            "n": n,
+            "seed": seed,
+            "processing_times": list(inst.processing_times),
+            "lpt_makespan": lpt(inst).makespan,
+            "ls_makespan": list_scheduling(inst).makespan,
+            "multifit_makespan": multifit(inst).makespan,
+            "ptas_makespan": seq.makespan,
+            "ptas_final_target": seq.final_target,
+            "ptas_bisection_probes": seq.num_bisection_iterations,
+            "simulated_speedups": {},
+        }
+        for workers in GOLDEN_WORKERS:
+            par = parallel_ptas(inst, 0.3, num_workers=workers)
+            assert par.makespan == seq.makespan
+            entry["simulated_speedups"][str(workers)] = round(
+                par.simulated_speedup or 1.0, 9
+            )
+        entries.append(entry)
+    return {
+        "format": FORMAT_NAME,
+        "library_version": repro.__version__,
+        "eps": 0.3,
+        "entries": entries,
+    }
+
+
+def save_golden(path: str | Path) -> Path:
+    """Write the freshly computed golden record to ``path``."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(compute_golden(), indent=2, sort_keys=True) + "\n")
+    return p
+
+
+def load_golden(path: str | Path) -> dict[str, Any]:
+    """Read a golden file, validating its format marker."""
+    doc = json.loads(Path(path).read_text())
+    if not isinstance(doc, dict) or doc.get("format") != FORMAT_NAME:
+        raise ValueError(f"{path}: not a {FORMAT_NAME} document")
+    return doc
+
+
+def diff_against(path: str | Path) -> list[str]:
+    """Compare current behavior to a stored golden; returns mismatch
+    descriptions (empty = no drift)."""
+    stored = load_golden(path)
+    current = compute_golden()
+    problems: list[str] = []
+    stored_entries = {
+        (e["kind"], e["m"], e["n"], e["seed"]): e for e in stored["entries"]
+    }
+    for entry in current["entries"]:
+        key = (entry["kind"], entry["m"], entry["n"], entry["seed"])
+        if key not in stored_entries:
+            problems.append(f"{key}: missing from the stored golden")
+            continue
+        old = stored_entries[key]
+        for field in sorted(entry):
+            if entry[field] != old.get(field):
+                problems.append(
+                    f"{key}.{field}: golden {old.get(field)!r} != "
+                    f"current {entry[field]!r}"
+                )
+    return problems
+
+
+if __name__ == "__main__":  # pragma: no cover - regeneration helper
+    target = sys.argv[1] if len(sys.argv) > 1 else "results/golden/smoke.json"
+    print(f"wrote {save_golden(target)}")

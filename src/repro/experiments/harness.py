@@ -1,0 +1,186 @@
+"""Per-instance experiment runner.
+
+For one instance, :func:`run_instance` measures everything a figure or
+table of the paper needs:
+
+* wall-clock time and makespan of the **sequential PTAS** (faithful
+  full-table engine, the comparison baseline of Figs. 2a/3a/4a);
+* the **parallel approximation algorithm** at each requested core count,
+  using the simulated multicore backend calibrated against the measured
+  sequential time (DESIGN.md §6, substitution 2) — on a real multicore
+  host the ``process`` backend can be requested instead;
+* wall-clock time and makespan of the **IP solver** (HiGHS — the CPLEX
+  stand-in of Figs. 2b/3b/4b), with a time limit so the hard families
+  return an incumbent like a cut-off CPLEX run would;
+* **LPT** and **LS** times and makespans (Fig. 5).
+
+Timing discipline follows the hpc guides: a monotonic high-resolution
+clock around the full call, no warmup for the long-running solvers, and
+the cheap heuristics timed over enough repetitions to rise above clock
+granularity.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.algorithms.list_scheduling import list_scheduling
+from repro.algorithms.lpt import lpt
+from repro.core.ptas import parallel_ptas, ptas
+from repro.exact.ilp import ilp_solve
+from repro.model.instance import Instance
+from repro.simcore.costmodel import CostModel
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments."""
+
+    eps: float = 0.3
+    cores: tuple[int, ...] = (2, 4, 8, 16)
+    sequential_engine: str = "table"
+    parallel_backend: str = "simulated"
+    ip_time_limit: float | None = 30.0
+    cost_model: CostModel = field(default_factory=CostModel)
+    min_heuristic_reps: int = 5
+
+    def __post_init__(self) -> None:
+        if not self.cores:
+            raise ValueError("cores must be non-empty")
+        if any(c < 1 for c in self.cores):
+            raise ValueError("core counts must be >= 1")
+
+
+@dataclass(frozen=True)
+class TimedRun:
+    """One algorithm's measurement on one instance."""
+
+    name: str
+    makespan: int
+    seconds: float
+    optimal: bool | None = None  # exact solvers only
+
+
+@dataclass(frozen=True)
+class ParallelRun:
+    """The parallel algorithm at one core count."""
+
+    cores: int
+    makespan: int
+    seconds: float
+    speedup_vs_ptas: float
+    simulated: bool
+
+
+@dataclass(frozen=True)
+class InstanceRecord:
+    """All measurements for one instance."""
+
+    instance: Instance
+    sequential: TimedRun
+    parallel: tuple[ParallelRun, ...]
+    ip: TimedRun
+    lpt_run: TimedRun
+    ls_run: TimedRun
+
+    def parallel_at(self, cores: int) -> ParallelRun:
+        """The parallel measurement at a given core count."""
+        for run in self.parallel:
+            if run.cores == cores:
+                return run
+        raise KeyError(f"no parallel run at {cores} cores")
+
+    def speedup_vs_ip(self, cores: int) -> float:
+        """IP wall time over the parallel algorithm's time at ``cores``."""
+        run = self.parallel_at(cores)
+        if run.seconds == 0:
+            return float("inf")
+        return self.ip.seconds / run.seconds
+
+    def ratio(self, makespan: int) -> float:
+        """Actual approximation ratio vs this record's IP makespan."""
+        return makespan / self.ip.makespan
+
+
+def _time_once(fn: Callable[[], object]) -> tuple[object, float]:
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def _time_repeated(fn: Callable[[], object], min_reps: int) -> tuple[object, float]:
+    """Average over repetitions so microsecond-scale heuristics are not
+    measured as clock noise."""
+    result, elapsed = _time_once(fn)
+    reps = 1
+    while elapsed < 1e-3 and reps < min_reps:
+        _, e = _time_once(fn)
+        elapsed += e
+        reps += 1
+    return result, elapsed / reps
+
+
+def run_instance(
+    instance: Instance, config: ExperimentConfig | None = None
+) -> InstanceRecord:
+    """Measure every algorithm of the evaluation on one instance."""
+    cfg = config or ExperimentConfig()
+
+    seq_result, seq_seconds = _time_once(
+        lambda: ptas(instance, cfg.eps, engine=cfg.sequential_engine)
+    )
+    sequential = TimedRun("ptas", seq_result.makespan, seq_seconds)  # type: ignore[union-attr]
+
+    parallel_runs: list[ParallelRun] = []
+    for cores in cfg.cores:
+        if cfg.parallel_backend == "simulated":
+            par = parallel_ptas(
+                instance,
+                cfg.eps,
+                num_workers=cores,
+                backend="simulated",
+                cost_model=cfg.cost_model,
+            )
+            assert par.machine is not None
+            calibrated = par.machine.calibrate(seq_seconds)
+            seconds = calibrated.parallel_seconds
+            simulated = True
+        else:
+            par, seconds = _time_once(  # type: ignore[assignment]
+                lambda c=cores: parallel_ptas(
+                    instance, cfg.eps, num_workers=c, backend=cfg.parallel_backend
+                )
+            )
+            simulated = False
+        parallel_runs.append(
+            ParallelRun(
+                cores=cores,
+                makespan=par.makespan,
+                seconds=seconds,
+                speedup_vs_ptas=(seq_seconds / seconds) if seconds > 0 else float("inf"),
+                simulated=simulated,
+            )
+        )
+
+    ip_result, ip_seconds = _time_once(
+        lambda: ilp_solve(instance, time_limit=cfg.ip_time_limit)
+    )
+    ip = TimedRun("ip", ip_result.makespan, ip_seconds, optimal=ip_result.optimal)  # type: ignore[union-attr]
+
+    lpt_sched, lpt_seconds = _time_repeated(
+        lambda: lpt(instance), cfg.min_heuristic_reps
+    )
+    ls_sched, ls_seconds = _time_repeated(
+        lambda: list_scheduling(instance), cfg.min_heuristic_reps
+    )
+
+    return InstanceRecord(
+        instance=instance,
+        sequential=sequential,
+        parallel=tuple(parallel_runs),
+        ip=ip,
+        lpt_run=TimedRun("lpt", lpt_sched.makespan, lpt_seconds),  # type: ignore[union-attr]
+        ls_run=TimedRun("ls", ls_sched.makespan, ls_seconds),  # type: ignore[union-attr]
+    )

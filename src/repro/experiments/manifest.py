@@ -1,0 +1,91 @@
+"""Experiment provenance manifests.
+
+Every saved experiment artifact should be reconstructible from a small
+record of *how it was produced*.  :func:`write_manifest` drops a
+``manifest.json`` next to the exported data capturing the library
+version, the experiment configuration, the instance grid and seeds, the
+host interpreter, and a wall-clock timestamp; :func:`read_manifest`
+loads and validates it.  The campaign CLI writes one automatically next
+to its CSVs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.experiments.harness import ExperimentConfig
+
+FORMAT_NAME = "repro-pcmax-manifest"
+FORMAT_VERSION = 1
+
+
+def _config_to_dict(config: ExperimentConfig) -> dict[str, Any]:
+    doc = dataclasses.asdict(config)
+    doc["cost_model"] = dataclasses.asdict(config.cost_model)
+    return doc
+
+
+def build_manifest(
+    *,
+    experiment: str,
+    grid: Sequence[tuple[str, int, int]],
+    instances_per_type: int,
+    base_seed: int,
+    config: ExperimentConfig,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble the manifest document (pure; no I/O)."""
+    import repro
+
+    doc: dict[str, Any] = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "experiment": experiment,
+        "library_version": repro.__version__,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "timestamp_unix": time.time(),
+        "grid": [list(entry) for entry in grid],
+        "instances_per_type": instances_per_type,
+        "base_seed": base_seed,
+        "config": _config_to_dict(config),
+    }
+    if extra:
+        doc["extra"] = dict(extra)
+    return doc
+
+
+def write_manifest(directory: str | Path, manifest: dict[str, Any]) -> Path:
+    """Write ``manifest.json`` into ``directory``."""
+    path = Path(directory) / "manifest.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_manifest(path: str | Path) -> dict[str, Any]:
+    """Load and validate a manifest file."""
+    p = Path(path)
+    if p.is_dir():
+        p = p / "manifest.json"
+    try:
+        doc = json.loads(p.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{p}: not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != FORMAT_NAME:
+        raise ValueError(f"{p}: not a {FORMAT_NAME} document")
+    if doc.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"{p}: manifest version {doc.get('version')} unsupported "
+            f"(expected {FORMAT_VERSION})"
+        )
+    for key in ("experiment", "grid", "config", "base_seed"):
+        if key not in doc:
+            raise ValueError(f"{p}: manifest missing key {key!r}")
+    return doc

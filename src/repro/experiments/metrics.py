@@ -1,0 +1,84 @@
+"""Metrics of the paper's evaluation (§V-B).
+
+Two speedups and one quality metric:
+
+* **speedup w.r.t. the sequential PTAS** — sequential PTAS wall time over
+  parallel-algorithm time;
+* **speedup w.r.t. IP** — exact-solver wall time over parallel-algorithm
+  time;
+* **actual approximation ratio** — an algorithm's makespan over the
+  optimal makespan (from the IP solver).
+
+Aggregation over a batch of instances is the arithmetic mean, as in the
+paper ("the values of the speedup for each type of instance are the
+averages over ... 20 instances").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def speedup(reference_seconds: float, measured_seconds: float) -> float:
+    """``reference / measured`` with guards against zero timings."""
+    if reference_seconds < 0 or measured_seconds < 0:
+        raise ValueError("times must be non-negative")
+    if measured_seconds == 0:
+        return math.inf if reference_seconds > 0 else 1.0
+    return reference_seconds / measured_seconds
+
+
+def approximation_ratio(makespan: int, optimal_makespan: int) -> float:
+    """``Cmax / OPT``; 1.0 means optimal.  Ratios below 1.0 are possible
+    only when the reference solve was cut off before proving optimality —
+    callers should surface the solver's ``optimal`` flag alongside."""
+    if optimal_makespan <= 0:
+        raise ValueError("optimal makespan must be positive")
+    if makespan <= 0:
+        raise ValueError("makespan must be positive")
+    return makespan / optimal_makespan
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (rejects empty input loudly)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("mean of an empty sequence")
+    return sum(vals) / len(vals)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean — the fairer aggregate for ratios; reported next to
+    the paper's arithmetic means in EXPERIMENTS.md."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / min / max / count of one metric over a batch."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Summary":
+        if not values:
+            raise ValueError("cannot summarize an empty batch")
+        return cls(
+            mean=mean(values),
+            minimum=min(values),
+            maximum=max(values),
+            count=len(values),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.3f} (min {self.minimum:.3f}, max {self.maximum:.3f}, n={self.count})"

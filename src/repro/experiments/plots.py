@@ -1,0 +1,162 @@
+"""Terminal line plots for speedup curves.
+
+The paper's figures are line charts; :func:`line_plot` renders the same
+series as a Unicode-free ASCII grid so the benchmark suite's saved
+panels show *curves*, not just tables.  One glyph per series, points
+marked at the sampled x positions, linear y axis with printed ticks.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_MARKS = "*o+x@%&$"
+
+
+def line_plot(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+    title: str | None = None,
+) -> str:
+    """Render named series over shared x values as an ASCII chart.
+
+    Points are plotted at their scaled positions; collisions print the
+    later series' mark.  A legend maps marks to series names.
+    """
+    if not x_values:
+        raise ValueError("x_values must be non-empty")
+    if width < 10 or height < 4:
+        raise ValueError("plot must be at least 10x4 characters")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {len(x_values)} xs"
+            )
+    all_y = [y for ys in series.values() for y in ys]
+    if not all_y:
+        raise ValueError("need at least one series")
+    y_min = min(0.0, min(all_y))
+    y_max = max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x_values), max(x_values)
+    x_span = (x_max - x_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> tuple[int, int]:
+        col = round((x - x_min) / x_span * (width - 1))
+        row = round((y - y_min) / (y_max - y_min) * (height - 1))
+        return height - 1 - row, col
+
+    for idx, (name, ys) in enumerate(series.items()):
+        mark = _MARKS[idx % len(_MARKS)]
+        # Connect consecutive points with linear interpolation.
+        for (x0, y0), (x1, y1) in zip(
+            zip(x_values, ys), zip(x_values[1:], ys[1:])
+        ):
+            steps = max(
+                abs(cell(x1, y1)[1] - cell(x0, y0)[1]),
+                abs(cell(x1, y1)[0] - cell(x0, y0)[0]),
+                1,
+            )
+            for s in range(steps + 1):
+                f = s / steps
+                r, c = cell(x0 + f * (x1 - x0), y0 + f * (y1 - y0))
+                grid[r][c] = mark
+        for x, y in zip(x_values, ys):
+            r, c = cell(x, y)
+            grid[r][c] = mark
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{y_max:.1f}"), len(f"{y_min:.1f}"))
+    for r in range(height):
+        y_at = y_max - (y_max - y_min) * r / (height - 1)
+        tick = (
+            f"{y_at:>{label_width}.1f}"
+            if r in (0, height // 2, height - 1)
+            else " " * label_width
+        )
+        lines.append(f"{tick} |{''.join(grid[r])}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_ticks = " " * (label_width + 2)
+    positions = {0: f"{x_min:g}", width - 1: f"{x_max:g}"}
+    tick_row = [" "] * width
+    for pos, text in positions.items():
+        start = min(pos, width - len(text))
+        for i, ch in enumerate(text):
+            tick_row[start + i] = ch
+    lines.append(x_ticks + "".join(tick_row) + f"  {x_label}")
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    if y_label:
+        lines.append(f"y: {y_label}")
+    return "\n".join(lines)
+
+
+def speedup_plot(
+    cores: Sequence[int],
+    series: Mapping[str, Sequence[float]],
+    title: str,
+) -> str:
+    """Convenience wrapper with the figures' standard labels, including
+    the ideal linear-speedup reference line."""
+    with_ideal = {"ideal": [float(c) for c in cores], **series}
+    return line_plot(
+        list(map(float, cores)),
+        with_ideal,
+        x_label="cores",
+        y_label="speedup",
+        title=title,
+    )
+
+
+def grouped_bars(
+    groups: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 46,
+    baseline: float = 0.0,
+    title: str | None = None,
+) -> str:
+    """Horizontal grouped bar chart — the form of the paper's Fig. 5.
+
+    One block per group (instance), one bar per series (algorithm), all
+    scaled to the global maximum.  ``baseline`` subtracts a common offset
+    before scaling (Fig. 5 effectively plots ``ratio - 1``: pass
+    ``baseline=1.0`` so bar lengths show the excess over the optimum).
+    """
+    if not groups:
+        raise ValueError("groups must be non-empty")
+    for name, values in series.items():
+        if len(values) != len(groups):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(groups)} groups"
+            )
+    peak = max(
+        (v - baseline for values in series.values() for v in values),
+        default=0.0,
+    )
+    if peak <= 0:
+        peak = 1.0
+    name_w = max(len(n) for n in series)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for g, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for name, values in series.items():
+            span = max(0.0, values[g] - baseline)
+            bar = "#" * round(span / peak * width)
+            lines.append(f"  {name:<{name_w}} |{bar:<{width}}| {values[g]:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Phase-level profiling of the PTAS.
+
+The paper's justification for parallelizing *only* the DP (§III, last
+paragraph) is that everything else is negligible.  This module measures
+that claim on our implementation: an instrumented PTAS run that times
+each phase — bounds, rounding, configuration enumeration, the DP itself,
+and reconstruction — across all bisection iterations.
+
+Used by ``benchmarks/test_phase_profile.py`` (which asserts the DP share
+dominates on DP-heavy instances) and available to users via
+:func:`profile_ptas`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.bounds import makespan_bounds
+from repro.core.dp import DPProblem, solve
+from repro.core.reconstruct import build_schedule
+from repro.core.rounding import accuracy_parameter, round_instance
+from repro.experiments.reporting import ascii_table
+from repro.model.instance import Instance
+from repro.model.schedule import Schedule
+
+PHASES = ("bounds", "rounding", "configurations", "dp", "reconstruction")
+
+
+@dataclass
+class PhaseProfile:
+    """Accumulated wall time per phase of one PTAS run."""
+
+    seconds: dict[str, float] = field(default_factory=lambda: dict.fromkeys(PHASES, 0.0))
+    dp_iterations: int = 0
+    schedule: Schedule | None = None
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def share(self, phase: str) -> float:
+        """Fraction of total time spent in ``phase``."""
+        if phase not in self.seconds:
+            raise KeyError(f"unknown phase {phase!r}; expected one of {PHASES}")
+        if self.total == 0:
+            return 0.0
+        return self.seconds[phase] / self.total
+
+    def render(self) -> str:
+        """ASCII table of per-phase seconds and shares."""
+        rows = [
+            [phase, self.seconds[phase], self.share(phase)]
+            for phase in PHASES
+        ]
+        rows.append(["total", self.total, 1.0])
+        return ascii_table(
+            ["phase", "seconds", "share"],
+            rows,
+            precision=4,
+            title=f"PTAS phase profile ({self.dp_iterations} DP invocations)",
+        )
+
+
+def profile_ptas(
+    instance: Instance, eps: float, engine: str = "table"
+) -> PhaseProfile:
+    """Run the PTAS with per-phase timing.
+
+    Mirrors :func:`repro.core.ptas.ptas` exactly (same bisection, same
+    engine semantics, same guarantee-fix job cap, same schedule) but
+    threads a stopwatch through the phases.  Kept separate so the
+    production path stays unpolluted by timing calls.
+    """
+    profile = PhaseProfile()
+
+    def clocked(phase: str, fn, *args, **kwargs):
+        t0 = time.perf_counter()
+        out = fn(*args, **kwargs)
+        profile.seconds[phase] += time.perf_counter() - t0
+        return out
+
+    k = accuracy_parameter(eps)
+    job_cap = k - 1 if k >= 2 else None
+    bounds = clocked("bounds", makespan_bounds, instance)
+    lb, ub = bounds.lower, bounds.upper
+    m = instance.num_machines
+    best = None
+    while lb < ub:
+        target = (lb + ub) // 2
+        rounded = clocked("rounding", round_instance, instance, target, k)
+        problem = DPProblem(
+            rounded.class_sizes, rounded.class_counts, target, job_cap=job_cap
+        )
+        clocked("configurations", problem.configurations)
+        result = clocked(
+            "dp", solve, problem, engine, limit=m, track_schedule=True
+        )
+        profile.dp_iterations += 1
+        if result.opt is not None and result.opt <= m:
+            ub = target
+            best = (rounded, result)
+        else:
+            lb = target + 1
+    if best is None or best[0].target != ub:
+        rounded = clocked("rounding", round_instance, instance, ub, k)
+        problem = DPProblem(
+            rounded.class_sizes, rounded.class_counts, ub, job_cap=job_cap
+        )
+        result = clocked("dp", solve, problem, engine, limit=m, track_schedule=True)
+        profile.dp_iterations += 1
+        assert result.opt is not None and result.opt <= m
+        best = (rounded, result)
+    rounded, result = best
+    profile.schedule = clocked(
+        "reconstruction",
+        build_schedule,
+        instance,
+        rounded,
+        result.machine_configs,
+    )
+    return profile

@@ -1,0 +1,89 @@
+"""Plain-text rendering and CSV export of experiment results.
+
+The paper presents its results as line plots (speedup vs cores), bar
+charts (approximation ratios) and tables.  A terminal reproduction
+renders the same data as aligned ASCII tables — one row per series point
+— and optionally writes CSV next to them so plots can be regenerated with
+any tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Sequence
+
+
+def format_value(value: object, precision: int = 3) -> str:
+    """Human formatting: floats get fixed precision, the rest ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1e6 or (0 < abs(value) < 1e-3):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table.
+
+    >>> print(ascii_table(["a", "b"], [[1, 2.5], [10, 0.25]]))
+    a  | b
+    ---+------
+    1  | 2.500
+    10 | 0.250
+    """
+    cells = [[format_value(v, precision) for v in row] for row in rows]
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in cells)) if cells else len(headers[c])
+        for c in range(len(headers))
+    ]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    out.write(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    out.write("\n")
+    out.write("-+-".join("-" * w for w in widths))
+    for row in cells:
+        out.write("\n")
+        out.write(" | ".join(v.ljust(w) for v, w in zip(row, widths)).rstrip())
+    return out.getvalue()
+
+
+def write_csv(
+    path: str | Path, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> Path:
+    """Write rows as CSV; returns the path for chaining."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)
+    return p
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    precision: int = 2,
+    title: str | None = None,
+) -> str:
+    """Render multiple named series over shared x values (one line-plot
+    panel of the paper) as a table: one row per x, one column per series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [series[name][i] for name in series])
+    return ascii_table(headers, rows, precision=precision, title=title)

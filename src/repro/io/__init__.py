@@ -1,0 +1,36 @@
+"""Instance and schedule serialization.
+
+Interchange formats so the library can consume instances from other
+tools (e.g. the classical OR benchmark sets for ``P || Cmax``) and emit
+schedules that downstream systems can execute:
+
+* :mod:`repro.io.instances` — read/write instances as JSON, CSV, and the
+  plain text format used by the classical scheduling benchmark files
+  (first line ``n m``, then one processing time per line).
+* :mod:`repro.io.schedules` — schedule export/import as JSON, including
+  enough metadata (makespan, loads, algorithm) for audit trails.
+"""
+
+from repro.io.instances import (
+    instance_from_json,
+    instance_to_json,
+    read_instance,
+    write_instance,
+)
+from repro.io.schedules import (
+    read_schedule,
+    schedule_from_json,
+    schedule_to_json,
+    write_schedule,
+)
+
+__all__ = [
+    "read_instance",
+    "write_instance",
+    "instance_to_json",
+    "instance_from_json",
+    "read_schedule",
+    "write_schedule",
+    "schedule_to_json",
+    "schedule_from_json",
+]

@@ -1,0 +1,144 @@
+"""Reading and writing problem instances.
+
+Three formats, auto-detected from the file suffix by
+:func:`read_instance` / :func:`write_instance`:
+
+``.json``
+    ``{"num_machines": m, "processing_times": [...], ...}`` — the
+    canonical format; unknown keys are preserved on round-trip through
+    the ``metadata`` mapping.
+``.csv``
+    One job per row with a header: ``job,processing_time``.  The machine
+    count travels in a ``# machines=<m>`` comment on the first line.
+``.txt``
+    The classical benchmark layout: first line ``n m``, then ``n`` lines
+    of one integer processing time each.  Lines starting with ``#`` are
+    comments.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.model.instance import Instance
+
+FORMATS = (".json", ".csv", ".txt")
+
+
+def instance_to_json(instance: Instance, metadata: dict[str, Any] | None = None) -> str:
+    """Serialize to the canonical JSON document."""
+    doc: dict[str, Any] = {
+        "format": "repro-pcmax-instance",
+        "version": 1,
+        "num_machines": instance.num_machines,
+        "processing_times": list(instance.processing_times),
+    }
+    if metadata:
+        doc["metadata"] = dict(metadata)
+    return json.dumps(doc, indent=2)
+
+
+def instance_from_json(text: str) -> Instance:
+    """Parse the canonical JSON document (strictly validated)."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ValueError("instance JSON must be an object")
+    try:
+        times = doc["processing_times"]
+        machines = doc["num_machines"]
+    except KeyError as exc:
+        raise ValueError(f"instance JSON missing key {exc}") from exc
+    if not isinstance(times, list):
+        raise ValueError("processing_times must be a list")
+    return Instance(times, machines)
+
+
+def _write_txt(instance: Instance, path: Path) -> None:
+    lines = [f"{instance.num_jobs} {instance.num_machines}"]
+    lines += [str(t) for t in instance.processing_times]
+    path.write_text("\n".join(lines) + "\n")
+
+
+def _read_txt(path: Path) -> Instance:
+    tokens: list[int] = []
+    for raw in path.read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        tokens.extend(int(x) for x in line.split())
+    if len(tokens) < 2:
+        raise ValueError(f"{path}: expected 'n m' header")
+    n, m = tokens[0], tokens[1]
+    times = tokens[2:]
+    if len(times) != n:
+        raise ValueError(
+            f"{path}: header promises {n} jobs but {len(times)} times follow"
+        )
+    return Instance(times, m)
+
+
+def _write_csv(instance: Instance, path: Path) -> None:
+    with path.open("w", newline="") as fh:
+        fh.write(f"# machines={instance.num_machines}\n")
+        writer = csv.writer(fh)
+        writer.writerow(["job", "processing_time"])
+        for j, t in enumerate(instance.processing_times):
+            writer.writerow([j, t])
+
+
+def _read_csv(path: Path) -> Instance:
+    machines: int | None = None
+    times: list[int] = []
+    with path.open() as fh:
+        first = fh.readline()
+        if first.startswith("#"):
+            for part in first.lstrip("#").split():
+                if part.startswith("machines="):
+                    machines = int(part.split("=", 1)[1])
+        else:
+            fh.seek(0)
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None or "processing_time" not in reader.fieldnames:
+            raise ValueError(f"{path}: missing 'processing_time' column")
+        for row in reader:
+            times.append(int(row["processing_time"]))
+    if machines is None:
+        raise ValueError(f"{path}: missing '# machines=<m>' comment line")
+    return Instance(times, machines)
+
+
+def write_instance(
+    instance: Instance,
+    path: str | Path,
+    metadata: dict[str, Any] | None = None,
+) -> Path:
+    """Write an instance; the format follows the file suffix."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    if p.suffix == ".json":
+        p.write_text(instance_to_json(instance, metadata) + "\n")
+    elif p.suffix == ".csv":
+        _write_csv(instance, p)
+    elif p.suffix == ".txt":
+        _write_txt(instance, p)
+    else:
+        raise ValueError(f"unsupported suffix {p.suffix!r}; expected {FORMATS}")
+    return p
+
+
+def read_instance(path: str | Path) -> Instance:
+    """Read an instance; the format follows the file suffix."""
+    p = Path(path)
+    if p.suffix == ".json":
+        return instance_from_json(p.read_text())
+    if p.suffix == ".csv":
+        return _read_csv(p)
+    if p.suffix == ".txt":
+        return _read_txt(p)
+    raise ValueError(f"unsupported suffix {p.suffix!r}; expected {FORMATS}")

@@ -1,0 +1,80 @@
+"""Schedule serialization (JSON only — schedules are structured).
+
+The document embeds the instance so a schedule file is self-contained
+and re-validatable: loading re-runs the full partition validation and
+recomputes the makespan, refusing documents whose recorded makespan
+disagrees (a corrupted or hand-edited file should never be trusted
+silently).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.model.instance import Instance
+from repro.model.schedule import Schedule
+
+
+def schedule_to_json(
+    schedule: Schedule, metadata: dict[str, Any] | None = None
+) -> str:
+    """Serialize a schedule (with its instance embedded) to JSON."""
+    doc: dict[str, Any] = {
+        "format": "repro-pcmax-schedule",
+        "version": 1,
+        "instance": {
+            "num_machines": schedule.instance.num_machines,
+            "processing_times": list(schedule.instance.processing_times),
+        },
+        "assignment": [list(grp) for grp in schedule.assignment],
+        "makespan": schedule.makespan,
+        "machine_loads": list(schedule.machine_loads),
+    }
+    if metadata:
+        doc["metadata"] = dict(metadata)
+    return json.dumps(doc, indent=2)
+
+
+def schedule_from_json(text: str) -> Schedule:
+    """Parse and re-validate a schedule document (strict)."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ValueError("schedule JSON must be an object")
+    try:
+        inst_doc = doc["instance"]
+        assignment = doc["assignment"]
+    except KeyError as exc:
+        raise ValueError(f"schedule JSON missing key {exc}") from exc
+    instance = Instance(
+        inst_doc["processing_times"], inst_doc["num_machines"]
+    )
+    schedule = Schedule(instance, assignment)
+    recorded = doc.get("makespan")
+    if recorded is not None and recorded != schedule.makespan:
+        raise ValueError(
+            f"recorded makespan {recorded} disagrees with recomputed "
+            f"{schedule.makespan}; refusing corrupted document"
+        )
+    return schedule
+
+
+def write_schedule(
+    schedule: Schedule,
+    path: str | Path,
+    metadata: dict[str, Any] | None = None,
+) -> Path:
+    """Write a schedule JSON file; returns the path."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(schedule_to_json(schedule, metadata) + "\n")
+    return p
+
+
+def read_schedule(path: str | Path) -> Schedule:
+    """Load and re-validate a schedule JSON file."""
+    return schedule_from_json(Path(path).read_text())

@@ -1,0 +1,20 @@
+"""Problem model for ``P || Cmax``: instances and schedules.
+
+This subpackage provides the two fundamental data structures shared by
+every algorithm in :mod:`repro`:
+
+* :class:`~repro.model.instance.Instance` — an immutable description of a
+  scheduling problem (job processing times + number of machines), together
+  with convenience statistics (total work, longest job, trivial bounds).
+* :class:`~repro.model.schedule.Schedule` — an assignment of jobs to
+  machines, with validation and makespan computation.
+
+Both types are deliberately plain (frozen dataclasses over tuples) so that
+they can be hashed, pickled across process boundaries, and compared for
+equality in tests.
+"""
+
+from repro.model.instance import Instance
+from repro.model.schedule import Schedule, makespan_of_loads
+
+__all__ = ["Instance", "Schedule", "makespan_of_loads"]

@@ -1,0 +1,61 @@
+"""Plain-text Gantt rendering of schedules.
+
+Terminal-friendly visualization used by the CLI's ``--gantt`` flag and
+the examples: one row per machine, jobs drawn to scale as labelled
+segments, the makespan marked.  Deliberately dependency-free (no
+matplotlib on the cluster login node).
+
+Example output::
+
+    machine 0 |0000000333|          load 10
+    machine 1 |111122    |          load  6
+              +----------+ makespan 10
+"""
+
+from __future__ import annotations
+
+from repro.model.schedule import Schedule
+
+#: Cycle of glyphs used to distinguish adjacent jobs on one machine.
+_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+def render_gantt(schedule: Schedule, width: int = 60) -> str:
+    """Render the schedule as an ASCII Gantt chart.
+
+    ``width`` is the number of character cells representing the
+    makespan; each job occupies cells proportional to its processing
+    time (at least one cell, so tiny jobs stay visible — the chart is
+    qualitative, not a measuring instrument).
+    """
+    if width < 10:
+        raise ValueError("width must be at least 10 cells")
+    makespan = schedule.makespan
+    t = schedule.instance.processing_times
+    scale = width / makespan if makespan else 1.0
+    lines: list[str] = []
+    loads = schedule.machine_loads
+    load_digits = len(str(max(loads)))
+    for i, grp in enumerate(schedule.assignment):
+        cells: list[str] = []
+        for j in grp:
+            span = max(1, round(t[j] * scale))
+            cells.append(_GLYPHS[j % len(_GLYPHS)] * span)
+        bar = "".join(cells)[: width + 10]
+        lines.append(
+            f"machine {i:3d} |{bar:<{width}}| load {loads[i]:>{load_digits}}"
+        )
+    lines.append(" " * 12 + "+" + "-" * width + f"+ makespan {makespan}")
+    return "\n".join(lines)
+
+
+def render_load_histogram(schedule: Schedule, width: int = 40) -> str:
+    """Horizontal bar chart of machine loads — the imbalance at a glance."""
+    loads = schedule.machine_loads
+    peak = max(loads)
+    lines = []
+    load_digits = len(str(peak))
+    for i, load in enumerate(loads):
+        bar = "#" * (round(load / peak * width) if peak else 0)
+        lines.append(f"machine {i:3d} {load:>{load_digits}} |{bar}")
+    return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""The :class:`Schedule` type — an assignment of jobs to machines.
+
+A schedule for ``P || Cmax`` is a partition of the job indices
+``0 .. n-1`` into ``m`` (possibly empty) groups, one per machine.  Because
+jobs are released at time zero and machines process one job at a time, the
+completion time of a machine equals the sum of the processing times
+assigned to it, and the makespan is the maximum machine load.  The order
+of jobs within a machine is therefore irrelevant to the objective; we keep
+the assignment order anyway because it is useful for reproducing and
+debugging algorithm behaviour (e.g. the order in which LPT placed jobs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.model.instance import Instance
+
+
+def makespan_of_loads(loads: Iterable[int]) -> int:
+    """Return ``max(loads)`` — the makespan given per-machine loads."""
+    return max(loads)
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An assignment of jobs to machines for a specific :class:`Instance`.
+
+    Parameters
+    ----------
+    instance:
+        The instance this schedule solves.
+    assignment:
+        ``assignment[i]`` is the tuple of job indices executed by machine
+        ``i``.  The tuples must form a partition of ``range(n)`` — this is
+        checked eagerly.
+
+    Examples
+    --------
+    >>> inst = Instance([7, 3, 5, 5], num_machines=2)
+    >>> sched = Schedule(inst, [(0, 1), (2, 3)])
+    >>> sched.machine_loads
+    (10, 10)
+    >>> sched.makespan
+    10
+    """
+
+    instance: Instance
+    assignment: tuple[tuple[int, ...], ...]
+
+    def __init__(self, instance: Instance, assignment: Sequence[Sequence[int]]):
+        groups = tuple(tuple(int(j) for j in grp) for grp in assignment)
+        if len(groups) != instance.num_machines:
+            raise ValueError(
+                f"schedule has {len(groups)} machine groups but the instance "
+                f"has {instance.num_machines} machines"
+            )
+        seen: set[int] = set()
+        count = 0
+        for grp in groups:
+            for j in grp:
+                if not 0 <= j < instance.num_jobs:
+                    raise ValueError(f"job index {j} out of range")
+                if j in seen:
+                    raise ValueError(f"job {j} assigned to more than one machine")
+                seen.add(j)
+                count += 1
+        if count != instance.num_jobs:
+            missing = sorted(set(range(instance.num_jobs)) - seen)
+            raise ValueError(f"jobs not assigned to any machine: {missing}")
+        object.__setattr__(self, "instance", instance)
+        object.__setattr__(self, "assignment", groups)
+
+    # ------------------------------------------------------------------
+    # Objective
+    # ------------------------------------------------------------------
+    @property
+    def machine_loads(self) -> tuple[int, ...]:
+        """Per-machine completion times (sum of assigned processing times)."""
+        t = self.instance.processing_times
+        return tuple(sum(t[j] for j in grp) for grp in self.assignment)
+
+    @property
+    def makespan(self) -> int:
+        """The maximum machine completion time ``Cmax``."""
+        return max(self.machine_loads)
+
+    # ------------------------------------------------------------------
+    # Validation and inspection
+    # ------------------------------------------------------------------
+    def is_valid(self) -> bool:
+        """True iff the assignment partitions the jobs (always holds for a
+        constructed ``Schedule``; provided for defensive use in harnesses)."""
+        seen: set[int] = set()
+        for grp in self.assignment:
+            for j in grp:
+                if j in seen or not 0 <= j < self.instance.num_jobs:
+                    return False
+                seen.add(j)
+        return len(seen) == self.instance.num_jobs
+
+    def job_machine(self) -> dict[int, int]:
+        """Map from job index to the machine that runs it."""
+        where: dict[int, int] = {}
+        for i, grp in enumerate(self.assignment):
+            for j in grp:
+                where[j] = i
+        return where
+
+    def completion_times(self) -> dict[int, int]:
+        """Completion time of each job when machines run their job lists in
+        assignment order back-to-back starting at time zero."""
+        t = self.instance.processing_times
+        done: dict[int, int] = {}
+        for grp in self.assignment:
+            clock = 0
+            for j in grp:
+                clock += t[j]
+                done[j] = clock
+        return done
+
+    def imbalance(self) -> float:
+        """Makespan divided by the average machine load — 1.0 is perfectly
+        balanced.  Useful when comparing schedule quality beyond makespan."""
+        return self.makespan / self.instance.average_load
+
+    def canonical(self) -> tuple[tuple[int, ...], ...]:
+        """Machine groups with jobs sorted, machines sorted — equality on
+        this form ignores machine numbering and intra-machine job order."""
+        return tuple(sorted(tuple(sorted(grp)) for grp in self.assignment))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Schedule(makespan={self.makespan}, loads={self.machine_loads})"
+
+
+def schedule_from_machine_map(instance: Instance, job_to_machine: dict[int, int]) -> Schedule:
+    """Inverse of :meth:`Schedule.job_machine` — build a schedule from a
+    ``{job: machine}`` map."""
+    groups: list[list[int]] = [[] for _ in range(instance.num_machines)]
+    for job, machine in sorted(job_to_machine.items()):
+        if not 0 <= machine < instance.num_machines:
+            raise ValueError(f"machine index {machine} out of range")
+        groups[machine].append(job)
+    return Schedule(instance, groups)

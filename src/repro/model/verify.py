@@ -1,0 +1,148 @@
+"""Rich verification of schedules and PTAS results.
+
+:class:`~repro.model.schedule.Schedule` already refuses structurally
+invalid assignments at construction; this module adds the *semantic*
+checks a harness or a downstream consumer wants as explicit, reportable
+diagnostics rather than exceptions:
+
+* :func:`verify_schedule` — partition, load arithmetic, makespan
+  consistency, per-machine breakdown; returns a
+  :class:`VerificationReport` listing every violation found (empty =
+  clean).
+* :func:`verify_ptas_result` — the PTAS-specific certificate: the final
+  target is within the Eq. 1–2 bounds, the makespan respects the
+  ``(1 + eps)``-vs-lower-bound envelope, the bisection trace is monotone,
+  and the schedule verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.bounds import makespan_bounds
+from repro.core.ptas import PTASResult
+from repro.model.instance import Instance
+from repro.model.schedule import Schedule
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a verification pass: a list of human-readable
+    violations.  Truthy iff clean."""
+
+    subject: str
+    violations: list[str] = field(default_factory=list)
+
+    def fail(self, message: str) -> None:
+        """Record one violation."""
+        self.violations.append(message)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def raise_if_failed(self) -> None:
+        """Raise ``AssertionError`` listing the violations, if any."""
+        if self.violations:
+            details = "\n  - ".join(self.violations)
+            raise AssertionError(
+                f"verification of {self.subject} failed:\n  - {details}"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.ok:
+            return f"{self.subject}: OK"
+        return f"{self.subject}: {len(self.violations)} violation(s)"
+
+
+def verify_schedule(schedule: Schedule, instance: Instance | None = None) -> VerificationReport:
+    """Full semantic check of a schedule against its (or a given) instance."""
+    report = VerificationReport("schedule")
+    inst = instance if instance is not None else schedule.instance
+    if instance is not None and instance != schedule.instance:
+        report.fail("schedule was built for a different instance")
+        return report
+    n = inst.num_jobs
+    seen: dict[int, int] = {}
+    for machine, grp in enumerate(schedule.assignment):
+        for j in grp:
+            if not 0 <= j < n:
+                report.fail(f"job index {j} out of range on machine {machine}")
+            elif j in seen:
+                report.fail(
+                    f"job {j} on machines {seen[j]} and {machine} simultaneously"
+                )
+            else:
+                seen[j] = machine
+    missing = sorted(set(range(n)) - set(seen))
+    if missing:
+        report.fail(f"jobs never scheduled: {missing}")
+    if len(schedule.assignment) != inst.num_machines:
+        report.fail(
+            f"{len(schedule.assignment)} machine rows for "
+            f"{inst.num_machines} machines"
+        )
+    loads = schedule.machine_loads
+    if sum(loads) != inst.total_work:
+        report.fail(
+            f"loads sum to {sum(loads)}, total work is {inst.total_work}"
+        )
+    if loads and schedule.makespan != max(loads):
+        report.fail("makespan is not the maximum machine load")
+    if schedule.makespan < inst.trivial_lower_bound() and not missing:
+        report.fail(
+            f"makespan {schedule.makespan} beats the lower bound "
+            f"{inst.trivial_lower_bound()} — impossible for a complete schedule"
+        )
+    return report
+
+
+def verify_ptas_result(result: PTASResult) -> VerificationReport:
+    """Certificate check for a (parallel) PTAS run."""
+    report = VerificationReport(f"PTAS result (eps={result.eps})")
+    inst = result.schedule.instance
+    bounds = makespan_bounds(inst)
+
+    inner = verify_schedule(result.schedule)
+    for violation in inner.violations:
+        report.fail(f"schedule: {violation}")
+
+    if not bounds.contains(result.final_target):
+        report.fail(
+            f"certified target {result.final_target} outside "
+            f"[{bounds.lower}, {bounds.upper}]"
+        )
+    # The dual-approximation envelope: the rounded target never exceeds
+    # the optimum, so (1+eps) * target bounds the guarantee from below;
+    # a correct run keeps the makespan within (1+eps) * max(target, LB).
+    envelope = (1.0 + result.eps) * max(result.final_target, bounds.lower)
+    if result.makespan > envelope + 1e-9:
+        report.fail(
+            f"makespan {result.makespan} exceeds the (1+eps) envelope "
+            f"{envelope:.2f}"
+        )
+    # Bisection trace sanity: feasible probes only ever shrink the upper
+    # bound; infeasible ones only raise the lower bound, and every probe
+    # sits inside its interval.
+    for it in result.outcome.iterations:
+        if not it.lower <= it.target <= it.upper:
+            report.fail(
+                f"probe {it.target} outside its interval "
+                f"[{it.lower}, {it.upper}]"
+            )
+    feasible_targets = [
+        it.target for it in result.outcome.iterations if it.feasible
+    ]
+    if feasible_targets and min(feasible_targets) != result.final_target:
+        report.fail(
+            "final target is not the smallest feasible probe "
+            f"({result.final_target} vs {min(feasible_targets)})"
+        )
+    import math
+
+    if result.k != math.ceil(1.0 / result.eps):
+        report.fail(f"k={result.k} inconsistent with eps={result.eps}")
+    return report

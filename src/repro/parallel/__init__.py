@@ -1,0 +1,38 @@
+"""Parallel execution substrate for level-synchronous (wavefront) loops.
+
+The paper's Parallel DP (Alg. 3) is a sequence of barriers: each
+anti-diagonal of the DP table is a *level*, the subproblems within a level
+are independent, and levels must complete in order.  This subpackage
+provides the generic machinery:
+
+* :mod:`repro.parallel.partition` — the round-robin / block partitioning
+  of a level's work across ``P`` workers (the "parallel for" of Alg. 3).
+* :mod:`repro.parallel.executor` — pluggable backends that execute one
+  level's chunks: in-line serial, shared-memory threads, or a process
+  pool.  The simulated multicore machine lives in :mod:`repro.simcore`.
+* :mod:`repro.parallel.wavefront` — the level-synchronous driver that
+  strings partitioning and execution together and exposes per-level hooks
+  used for cost accounting.
+"""
+
+from repro.parallel.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+from repro.parallel.partition import block_partition, round_robin_partition
+from repro.parallel.wavefront import WavefrontRun, run_wavefront
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "round_robin_partition",
+    "block_partition",
+    "run_wavefront",
+    "WavefrontRun",
+]

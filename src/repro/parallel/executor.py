@@ -1,0 +1,149 @@
+"""Pluggable executors for one level of a wavefront computation.
+
+An :class:`Executor` receives a worker function and a list of chunks
+(one per worker) and runs ``fn(chunk)`` for every non-empty chunk,
+returning the results in chunk order.  Completing the call *is* the level
+barrier.
+
+Backends
+--------
+``SerialExecutor``
+    Runs chunks in a plain loop.  Reference semantics, zero overhead —
+    also what the sequential PTAS uses.
+``ThreadExecutor``
+    A persistent ``ThreadPoolExecutor``.  This is the faithful
+    shared-memory implementation of the paper's OpenMP design: all
+    workers read and write the same DP table with no copying.  Under
+    CPython the GIL serializes the pure-Python compute, so this backend
+    demonstrates correctness, not speedup — see DESIGN.md §6.  (Workers
+    that release the GIL, e.g. numpy kernels, do scale.)
+``ProcessExecutor``
+    A persistent ``ProcessPoolExecutor`` for picklable, self-contained
+    chunks.  True parallelism on multicore hosts; per-chunk shipping
+    costs apply.
+
+Executors are context managers; ``SerialExecutor`` is stateless.
+"""
+
+from __future__ import annotations
+
+import abc
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+
+class Executor(abc.ABC):
+    """Runs the chunks of one level and blocks until all complete."""
+
+    #: Number of workers this executor schedules onto.
+    num_workers: int = 1
+
+    @abc.abstractmethod
+    def map_chunks(
+        self, fn: Callable[[Any], Any], chunks: Sequence[Any]
+    ) -> list[Any]:
+        """Execute ``fn`` over every chunk; return results in chunk order.
+
+        Empty chunks (empty sequences) are skipped and yield ``None`` in
+        the result list, mirroring a processor that sits idle during a
+        level with ``q_l < P``.
+        """
+
+    def close(self) -> None:
+        """Release pooled resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def _is_empty(chunk: Any) -> bool:
+    try:
+        return len(chunk) == 0
+    except TypeError:
+        return False
+
+
+class SerialExecutor(Executor):
+    """Run every chunk in the calling thread, in order."""
+
+    num_workers = 1
+
+    def __init__(self, num_workers: int = 1):
+        # A serial executor may *model* P workers (the wavefront driver
+        # still partitions into P chunks); execution remains sequential.
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+
+    def map_chunks(
+        self, fn: Callable[[Any], Any], chunks: Sequence[Any]
+    ) -> list[Any]:
+        return [None if _is_empty(c) else fn(c) for c in chunks]
+
+
+class ThreadExecutor(Executor):
+    """Shared-memory thread pool (the OpenMP analogue)."""
+
+    def __init__(self, num_workers: int):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        self._pool = ThreadPoolExecutor(max_workers=num_workers)
+
+    def map_chunks(
+        self, fn: Callable[[Any], Any], chunks: Sequence[Any]
+    ) -> list[Any]:
+        futures = [
+            None if _is_empty(c) else self._pool.submit(fn, c) for c in chunks
+        ]
+        return [f.result() if f is not None else None for f in futures]
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class ProcessExecutor(Executor):
+    """Process pool for picklable work (true multicore parallelism)."""
+
+    def __init__(
+        self,
+        num_workers: int,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple[Any, ...] = (),
+    ):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        self._pool = ProcessPoolExecutor(
+            max_workers=num_workers, initializer=initializer, initargs=initargs
+        )
+
+    def map_chunks(
+        self, fn: Callable[[Any], Any], chunks: Sequence[Any]
+    ) -> list[Any]:
+        futures = [
+            None if _is_empty(c) else self._pool.submit(fn, c) for c in chunks
+        ]
+        return [f.result() if f is not None else None for f in futures]
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def make_executor(backend: str, num_workers: int, **kwargs: Any) -> Executor:
+    """Factory used by :func:`repro.core.parallel_dp.parallel_dp`.
+
+    ``backend`` is one of ``"serial"``, ``"thread"``, ``"process"``.
+    """
+    if backend == "serial":
+        return SerialExecutor(num_workers)
+    if backend == "thread":
+        return ThreadExecutor(num_workers)
+    if backend == "process":
+        return ProcessExecutor(num_workers, **kwargs)
+    raise ValueError(
+        f"unknown executor backend {backend!r}; expected serial/thread/process"
+    )

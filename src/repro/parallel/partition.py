@@ -1,0 +1,56 @@
+"""Partitioning a level's subproblems across ``P`` workers.
+
+Alg. 3 assigns the iterations of its ``parallel for`` to processors in a
+round-robin fashion: iteration ``i`` goes to processor ``i mod P``, so a
+processor executes at most ``ceil(q_l / P)`` subproblems of a level with
+``q_l`` entries.  :func:`round_robin_partition` reproduces exactly that
+assignment; :func:`block_partition` is the contiguous alternative (same
+worst-case balance for uniform costs, better locality), used by the
+process backend where chunk shipping favours contiguity.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def round_robin_partition(items: Sequence[T], num_workers: int) -> list[list[T]]:
+    """Split ``items`` into ``num_workers`` lists, item ``i`` to worker
+    ``i mod num_workers`` (Alg. 3 semantics).  Trailing workers may receive
+    empty lists when there are fewer items than workers.
+
+    >>> round_robin_partition([0, 1, 2, 3, 4], 2)
+    [[0, 2, 4], [1, 3]]
+    """
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    return [list(items[w::num_workers]) for w in range(num_workers)]
+
+
+def block_partition(items: Sequence[T], num_workers: int) -> list[list[T]]:
+    """Split ``items`` into ``num_workers`` contiguous blocks whose sizes
+    differ by at most one.
+
+    >>> block_partition([0, 1, 2, 3, 4], 2)
+    [[0, 1, 2], [3, 4]]
+    """
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    n = len(items)
+    base, extra = divmod(n, num_workers)
+    out: list[list[T]] = []
+    start = 0
+    for w in range(num_workers):
+        size = base + (1 if w < extra else 0)
+        out.append(list(items[start : start + size]))
+        start += size
+    return out
+
+
+def max_chunk_size(num_items: int, num_workers: int) -> int:
+    """``ceil(q_l / P)`` — the per-processor iteration bound of Alg. 3."""
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    return -(-num_items // num_workers)

@@ -1,0 +1,210 @@
+"""The simulated ``P``-processor shared-memory machine.
+
+:class:`SimulatedMachine` replays the schedule of Alg. 3 on ``P`` virtual
+processors:
+
+* the subproblems of each level are assigned round-robin (iteration ``i``
+  to processor ``i mod P``);
+* a level completes when its slowest processor finishes (synchronous
+  barrier), after which the barrier fee is charged;
+* total parallel time is the sum of level times; total serial time is the
+  sum of all subproblem costs with no overheads.
+
+Both totals are in abstract operations; :meth:`SimulatedMachine.calibrate`
+converts them to seconds using a measured serial wall-clock time so that
+simulated parallel times are comparable against real timings of other
+algorithms (the IP solver, LPT, LS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.simcore.costmodel import CostModel, DEFAULT_COST_MODEL
+
+
+@dataclass(frozen=True)
+class LevelTrace:
+    """Accounting record of one simulated level."""
+
+    level: int
+    num_items: int
+    processor_busy_ops: tuple[float, ...]
+    level_time_ops: float
+
+    @property
+    def busiest(self) -> float:
+        return max(self.processor_busy_ops, default=0.0)
+
+    @property
+    def utilization(self) -> float:
+        """Mean busy fraction of the processors during this level."""
+        if self.level_time_ops == 0:
+            return 1.0
+        p = len(self.processor_busy_ops)
+        return sum(self.processor_busy_ops) / (p * self.level_time_ops)
+
+
+#: Within-level assignment policies.
+#: ``round_robin`` — Alg. 3's static assignment (iteration i -> proc i mod P).
+#: ``dynamic`` — greedy self-scheduling: each subproblem goes to the
+#: processor that frees up first (an OpenMP ``schedule(dynamic)`` loop);
+#: never worse than round-robin for a level's makespan, and strictly
+#: better when per-state costs vary.
+ASSIGNMENT_POLICIES = ("round_robin", "dynamic")
+
+
+@dataclass
+class SimulatedMachine:
+    """Accumulates the cost of a wavefront run on ``P`` virtual processors."""
+
+    num_processors: int
+    cost_model: CostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
+    parallel_ops: float = 0.0
+    serial_ops: float = 0.0
+    traces: list[LevelTrace] = field(default_factory=list)
+    record_traces: bool = True
+    assignment_policy: str = "round_robin"
+
+    def __post_init__(self) -> None:
+        if self.num_processors < 1:
+            raise ValueError("num_processors must be >= 1")
+        if self.assignment_policy not in ASSIGNMENT_POLICIES:
+            raise ValueError(
+                f"unknown assignment policy {self.assignment_policy!r}; "
+                f"expected one of {ASSIGNMENT_POLICIES}"
+            )
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_level(self, level: int, state_costs: Sequence[float]) -> None:
+        """Charge one level whose subproblems cost ``state_costs`` ops.
+
+        Under ``round_robin``, subproblem ``i`` runs on processor
+        ``i mod P`` (Alg. 3); under ``dynamic``, each subproblem is taken
+        by the processor that becomes idle first, in level order.  The
+        level lasts as long as its busiest processor, plus the fixed
+        per-level cost.
+        """
+        p = self.num_processors
+        busy = [0.0] * p
+        # Communication is a parallel-only cost: a 1-processor run reads
+        # its own memory, so nothing is added to the serial total.
+        comm = self.cost_model.comm_ops_per_state if p > 1 else 0.0
+        if self.assignment_policy == "dynamic":
+            import heapq
+
+            heap = [(0.0, w) for w in range(p)]
+            for cost in state_costs:
+                load, w = heapq.heappop(heap)
+                busy[w] = load + cost + comm
+                heapq.heappush(heap, (busy[w], w))
+        else:
+            for i, cost in enumerate(state_costs):
+                busy[i % p] += cost + comm
+        active_chunks = min(len(state_costs), p)
+        fixed = self.cost_model.level_fixed_cost(active_chunks, parallel=p > 1)
+        level_time = max(busy, default=0.0) + fixed
+        self.parallel_ops += level_time
+        self.serial_ops += sum(state_costs)
+        if self.record_traces:
+            self.traces.append(
+                LevelTrace(
+                    level=level,
+                    num_items=len(state_costs),
+                    processor_busy_ops=tuple(busy),
+                    level_time_ops=level_time,
+                )
+            )
+
+    def record_uniform_level(
+        self, level: int, num_items: int, cost_per_item: float
+    ) -> None:
+        """Fast path for levels whose subproblems cost the same: the
+        busiest processor executes ``ceil(q_l / P)`` items."""
+        p = self.num_processors
+        per_proc_items = -(-num_items // p) if num_items else 0
+        active_chunks = min(num_items, p)
+        fixed = self.cost_model.level_fixed_cost(active_chunks, parallel=p > 1)
+        comm = self.cost_model.comm_ops_per_state if p > 1 else 0.0
+        level_time = per_proc_items * (cost_per_item + comm) + fixed
+        self.parallel_ops += level_time
+        self.serial_ops += num_items * cost_per_item
+        if self.record_traces:
+            busy = [
+                (cost_per_item + comm) * len(range(w, num_items, p))
+                for w in range(p)
+            ]
+            self.traces.append(
+                LevelTrace(
+                    level=level,
+                    num_items=num_items,
+                    processor_busy_ops=tuple(busy),
+                    level_time_ops=level_time,
+                )
+            )
+
+    def record_parallel_for(self, num_items: int, cost_per_item: float) -> None:
+        """A standalone ``parallel for`` outside the level loop (Alg. 3
+        lines 4–8, the ``D``-array computation)."""
+        self.record_uniform_level(level=-1, num_items=num_items, cost_per_item=cost_per_item)
+
+    def record_sequential(self, ops: float) -> None:
+        """Work that cannot be parallelized (charged fully to both
+        totals — it inflates parallel time as Amdahl dictates)."""
+        if ops < 0:
+            raise ValueError("ops must be non-negative")
+        self.parallel_ops += ops
+        self.serial_ops += ops
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def speedup(self) -> float:
+        """Simulated speedup of this run versus a 1-processor execution of
+        the same work with no parallel overheads."""
+        if self.parallel_ops == 0:
+            return 1.0
+        return self.serial_ops / self.parallel_ops
+
+    def calibrate(self, measured_serial_seconds: float) -> "CalibratedTimes":
+        """Convert operation counts to seconds given the measured serial
+        wall-clock time of the same computation."""
+        if measured_serial_seconds < 0:
+            raise ValueError("measured_serial_seconds must be non-negative")
+        if self.serial_ops == 0:
+            return CalibratedTimes(0.0, 0.0, 0.0)
+        sec_per_op = measured_serial_seconds / self.serial_ops
+        return CalibratedTimes(
+            serial_seconds=measured_serial_seconds,
+            parallel_seconds=self.parallel_ops * sec_per_op,
+            seconds_per_op=sec_per_op,
+        )
+
+    def merge(self, other: "SimulatedMachine") -> None:
+        """Fold another run's accounting into this one (used to aggregate
+        the several DP invocations of one bisection)."""
+        if other.num_processors != self.num_processors:
+            raise ValueError("cannot merge runs with different processor counts")
+        self.parallel_ops += other.parallel_ops
+        self.serial_ops += other.serial_ops
+        if self.record_traces:
+            self.traces.extend(other.traces)
+
+
+@dataclass(frozen=True)
+class CalibratedTimes:
+    """Operation counts converted to wall-clock seconds."""
+
+    serial_seconds: float
+    parallel_seconds: float
+    seconds_per_op: float
+
+    @property
+    def speedup(self) -> float:
+        if self.parallel_seconds == 0:
+            return 1.0
+        return self.serial_seconds / self.parallel_seconds

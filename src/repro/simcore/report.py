@@ -1,0 +1,57 @@
+"""Rendering the simulated machine's execution profile.
+
+Turns the per-level :class:`~repro.simcore.machine.LevelTrace` records
+into terminal output: a utilization timeline (how busy the ``P``
+processors were on each anti-diagonal) and a one-paragraph summary with
+the Amdahl/Karp–Flatt diagnostics — the "why did my speedup saturate"
+answer for a given run.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.scaling import karp_flatt
+from repro.simcore.machine import SimulatedMachine
+
+
+def utilization_timeline(
+    machine: SimulatedMachine, width: int = 40, max_rows: int = 40
+) -> str:
+    """One row per recorded level: a bar of mean processor utilization.
+
+    Long runs are subsampled to ``max_rows`` rows.
+    """
+    traces = machine.traces
+    if not traces:
+        return "(no traces recorded)"
+    step = max(1, len(traces) // max_rows)
+    lines = [
+        f"level | items | utilization of {machine.num_processors} processors"
+    ]
+    for trace in traces[::step]:
+        u = trace.utilization
+        bar = "#" * round(u * width)
+        label = "D-arr" if trace.level < 0 else f"{trace.level:5d}"
+        lines.append(f"{label} | {trace.num_items:5d} | {bar:<{width}} {u:4.0%}")
+    return "\n".join(lines)
+
+
+def summarize(machine: SimulatedMachine) -> str:
+    """One-paragraph diagnosis of a simulated run."""
+    p = machine.num_processors
+    s = machine.speedup
+    parts = [
+        f"{p} processors, speedup {s:.2f}x "
+        f"(efficiency {s / p:.0%}) over {len(machine.traces)} levels;",
+    ]
+    if p >= 2 and s > 0:
+        e = karp_flatt(min(s, p), p) if s <= p else 0.0
+        parts.append(f"Karp-Flatt serial fraction {e:.3f};")
+    if machine.traces:
+        narrow = sum(
+            1 for t in machine.traces if 0 < t.num_items < p
+        )
+        parts.append(
+            f"{narrow}/{len(machine.traces)} levels narrower than P "
+            "(the saturation source)."
+        )
+    return " ".join(parts)

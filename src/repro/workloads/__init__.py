@@ -1,0 +1,39 @@
+"""Instance generators reproducing the paper's experimental workloads.
+
+Section V-A defines six uniform families; :mod:`repro.workloads.families`
+names them and :mod:`repro.workloads.generator` draws seeded instances:
+
+=================  ======================================  =====================
+family key         processing times                        role in the paper
+=================  ======================================  =====================
+``u_2m``           ``U(1, 2m-1)``                          machine-coupled sizes
+``u_100``          ``U(1, 100)``                           mid-range sizes
+``u_10``           ``U(1, 10)``                            small sizes
+``u_10n``          ``U(1, 10n)``                           large, job-coupled
+``lpt_adversarial`` ``U(m, 2m-1)`` with ``n = 2m+1``       LPT's worst case
+``u_narrow``       ``U(95, 105)``                          narrow range
+=================  ======================================  =====================
+
+The first four families form the speedup experiments (Figs. 2–4, with
+``m ∈ {10, 20}``, ``n ∈ {30, 50, 100}``, 20 instances per type); the last
+two join them in the approximation-ratio studies (Tables II/III, Fig. 5).
+"""
+
+from repro.workloads.families import FAMILIES, Family, family, speedup_families
+from repro.workloads.generator import (
+    generate_batch,
+    lpt_adversarial,
+    make_instance,
+    uniform_instance,
+)
+
+__all__ = [
+    "FAMILIES",
+    "Family",
+    "family",
+    "speedup_families",
+    "make_instance",
+    "uniform_instance",
+    "lpt_adversarial",
+    "generate_batch",
+]

@@ -1,0 +1,101 @@
+"""Extended workload families beyond the paper's uniform distributions.
+
+The paper's future-work section proposes studying the algorithm more
+broadly; these generators supply the distributions practitioners most
+often see, all integerized and truncated to stay within the model's
+positive-integer processing times:
+
+* :func:`normal_instance` — bell-shaped durations (services with a
+  typical runtime and jitter);
+* :func:`bimodal_instance` — a short/long mix (interactive + batch), the
+  regime where LPT-style greediness is most brittle;
+* :func:`exponential_instance` — heavy-ish tail (memoryless service
+  times), producing a few dominant jobs;
+* :func:`zipf_instance` — genuinely heavy tail with occasional huge jobs
+  (the ``max t`` term of Eq. 1 dominates, making instances easy for the
+  bounds but hard for balance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.instance import Instance
+
+
+def _finalize(raw: np.ndarray, low: int, high: int | None) -> list[int]:
+    times = np.rint(raw).astype(np.int64)
+    times = np.maximum(times, low)
+    if high is not None:
+        times = np.minimum(times, high)
+    return [int(t) for t in times]
+
+
+def normal_instance(
+    m: int,
+    n: int,
+    mean: float = 100.0,
+    std: float = 20.0,
+    seed: int | None = None,
+) -> Instance:
+    """Durations ~ round(N(mean, std)), clipped below at 1."""
+    if mean <= 0 or std < 0:
+        raise ValueError("mean must be positive and std non-negative")
+    rng = np.random.default_rng(seed)
+    return Instance(_finalize(rng.normal(mean, std, size=n), 1, None), m)
+
+
+def bimodal_instance(
+    m: int,
+    n: int,
+    short_mean: float = 10.0,
+    long_mean: float = 200.0,
+    long_fraction: float = 0.2,
+    seed: int | None = None,
+) -> Instance:
+    """A mix of short and long jobs (each mode ~ N(mean, mean/5))."""
+    if not 0.0 <= long_fraction <= 1.0:
+        raise ValueError("long_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    is_long = rng.random(n) < long_fraction
+    raw = np.where(
+        is_long,
+        rng.normal(long_mean, long_mean / 5.0, size=n),
+        rng.normal(short_mean, short_mean / 5.0, size=n),
+    )
+    return Instance(_finalize(raw, 1, None), m)
+
+
+def exponential_instance(
+    m: int, n: int, mean: float = 50.0, seed: int | None = None
+) -> Instance:
+    """Durations ~ round(Exp(mean)), clipped below at 1."""
+    if mean <= 0:
+        raise ValueError("mean must be positive")
+    rng = np.random.default_rng(seed)
+    return Instance(_finalize(rng.exponential(mean, size=n), 1, None), m)
+
+
+def zipf_instance(
+    m: int,
+    n: int,
+    exponent: float = 2.0,
+    cap: int = 10_000,
+    seed: int | None = None,
+) -> Instance:
+    """Heavy-tailed durations ~ Zipf(exponent), capped to keep bounds
+    finite."""
+    if exponent <= 1.0:
+        raise ValueError("zipf exponent must be > 1")
+    if cap < 1:
+        raise ValueError("cap must be >= 1")
+    rng = np.random.default_rng(seed)
+    return Instance(_finalize(rng.zipf(exponent, size=n).astype(float), 1, cap), m)
+
+
+EXTENDED_GENERATORS = {
+    "normal": normal_instance,
+    "bimodal": bimodal_instance,
+    "exponential": exponential_instance,
+    "zipf": zipf_instance,
+}

@@ -1,0 +1,74 @@
+"""Named instance families of the paper's evaluation (§V-A)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Family:
+    """One instance family: a name, a label for reports, and the bounds
+    of its uniform processing-time distribution as functions of (m, n).
+
+    ``fixed_n`` overrides the requested job count (only the
+    LPT-adversarial family pins ``n = 2m + 1``).
+    """
+
+    key: str
+    label: str
+    low: Callable[[int, int], int]
+    high: Callable[[int, int], int]
+    fixed_n: Callable[[int], int] | None = None
+
+    def bounds(self, m: int, n: int) -> tuple[int, int]:
+        """Inclusive (low, high) of the uniform distribution at (m, n)."""
+        lo, hi = self.low(m, n), self.high(m, n)
+        if lo < 1 or hi < lo:
+            raise ValueError(
+                f"family {self.key} produced invalid bounds ({lo}, {hi}) "
+                f"for m={m}, n={n}"
+            )
+        return lo, hi
+
+    def job_count(self, m: int, n: int) -> int:
+        """Effective job count (families may pin ``n``, e.g. 2m+1)."""
+        return self.fixed_n(m) if self.fixed_n is not None else n
+
+
+FAMILIES: dict[str, Family] = {
+    f.key: f
+    for f in (
+        Family("u_2m", "U(1, 2m-1)", lambda m, n: 1, lambda m, n: 2 * m - 1),
+        Family("u_100", "U(1, 100)", lambda m, n: 1, lambda m, n: 100),
+        Family("u_10", "U(1, 10)", lambda m, n: 1, lambda m, n: 10),
+        Family("u_10n", "U(1, 10n)", lambda m, n: 1, lambda m, n: 10 * n),
+        Family(
+            "lpt_adversarial",
+            "U(m, 2m-1), n=2m+1",
+            lambda m, n: m,
+            lambda m, n: 2 * m - 1,
+            fixed_n=lambda m: 2 * m + 1,
+        ),
+        Family("u_narrow", "U(95, 105)", lambda m, n: 95, lambda m, n: 105),
+    )
+}
+
+#: The four families of the speedup experiments (Figs. 2–4), in the
+#: paper's plotting order.
+SPEEDUP_FAMILY_KEYS = ("u_2m", "u_100", "u_10", "u_10n")
+
+
+def family(key: str) -> Family:
+    """Look up a family by key with a helpful error."""
+    try:
+        return FAMILIES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown family {key!r}; available: {sorted(FAMILIES)}"
+        ) from None
+
+
+def speedup_families() -> list[Family]:
+    """The Figs. 2–4 families, in order."""
+    return [FAMILIES[k] for k in SPEEDUP_FAMILY_KEYS]

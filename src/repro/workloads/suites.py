@@ -1,0 +1,144 @@
+"""Named benchmark suites — reproducible instance collections.
+
+The `P || Cmax` literature evaluates on fixed suites (uniform classes
+over (m, n) grids).  A :class:`Suite` here is a named, seeded, fully
+deterministic collection of instances that can be iterated, sized, and
+referenced from benchmarks and papers-style reports:
+
+* ``paper-speedup`` — the §V-A speedup grid (4 families × the paper's
+  (m, n) pairs), the instances behind Figs. 2–4;
+* ``paper-ratio`` — the ratio-study pool behind Tables II/III;
+* ``smoke`` — a seconds-fast miniature of both;
+* ``stress`` — larger instances for soak testing the optimized engines.
+
+Each suite item carries its coordinates so results can always be traced
+back to ``(suite, index)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.model.instance import Instance
+from repro.workloads.generator import make_instance
+
+
+@dataclass(frozen=True)
+class SuiteItem:
+    """One instance with its provenance coordinates."""
+
+    suite: str
+    index: int
+    kind: str
+    m: int
+    n: int
+    seed: int
+    instance: Instance
+
+
+@dataclass(frozen=True)
+class Suite:
+    """A named deterministic instance collection."""
+
+    name: str
+    description: str
+    coordinates: tuple[tuple[str, int, int, int], ...]  # (kind, m, n, seed)
+
+    def __len__(self) -> int:
+        return len(self.coordinates)
+
+    def __iter__(self) -> Iterator[SuiteItem]:
+        for index, (kind, m, n, seed) in enumerate(self.coordinates):
+            yield SuiteItem(
+                suite=self.name,
+                index=index,
+                kind=kind,
+                m=m,
+                n=n,
+                seed=seed,
+                instance=make_instance(kind, m, n, seed=seed),
+            )
+
+    def item(self, index: int) -> SuiteItem:
+        """Materialize a single suite entry by index."""
+        kind, m, n, seed = self.coordinates[index]
+        return SuiteItem(
+            suite=self.name,
+            index=index,
+            kind=kind,
+            m=m,
+            n=n,
+            seed=seed,
+            instance=make_instance(kind, m, n, seed=seed),
+        )
+
+
+def _grid(
+    kinds: tuple[str, ...],
+    sizes: tuple[tuple[int, int], ...],
+    replicates: int,
+    seed_base: int,
+) -> tuple[tuple[str, int, int, int], ...]:
+    coords: list[tuple[str, int, int, int]] = []
+    seed = seed_base
+    for kind in kinds:
+        for m, n in sizes:
+            for _ in range(replicates):
+                coords.append((kind, m, n, seed))
+                seed += 1
+    return tuple(coords)
+
+
+SUITES: dict[str, Suite] = {
+    "paper-speedup": Suite(
+        "paper-speedup",
+        "the §V-A speedup grid (Figs. 2-4): 4 families x 3 sizes x 20",
+        _grid(
+            ("u_2m", "u_100", "u_10", "u_10n"),
+            ((20, 100), (10, 50), (10, 30)),
+            replicates=20,
+            seed_base=10_000,
+        ),
+    ),
+    "paper-ratio": Suite(
+        "paper-ratio",
+        "the Tables II/III ratio pool incl. adversarial + narrow families",
+        _grid(
+            ("u_2m", "u_100", "u_10", "u_10n", "lpt_adversarial", "u_narrow"),
+            ((10, 30), (10, 50)),
+            replicates=5,
+            seed_base=20_000,
+        ),
+    ),
+    "smoke": Suite(
+        "smoke",
+        "seconds-fast miniature for CI",
+        _grid(
+            ("u_2m", "u_100", "u_10", "u_10n"),
+            ((4, 12),),
+            replicates=2,
+            seed_base=30_000,
+        ),
+    ),
+    "stress": Suite(
+        "stress",
+        "larger instances for soaking the optimized engines",
+        _grid(
+            ("u_100", "u_10n"),
+            ((20, 200), (30, 150)),
+            replicates=3,
+            seed_base=40_000,
+        ),
+    ),
+}
+
+
+def suite(name: str) -> Suite:
+    """Look up a suite by name with a helpful error."""
+    try:
+        return SUITES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown suite {name!r}; available: {sorted(SUITES)}"
+        ) from None

@@ -1,0 +1,101 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.model.instance import Instance
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+def small_instances(
+    max_jobs: int = 10, max_machines: int = 4, max_time: int = 20
+) -> st.SearchStrategy[Instance]:
+    """Instances small enough for the brute-force oracle."""
+    return st.builds(
+        Instance,
+        st.lists(
+            st.integers(min_value=1, max_value=max_time),
+            min_size=1,
+            max_size=max_jobs,
+        ),
+        st.integers(min_value=1, max_value=max_machines),
+    )
+
+
+def medium_instances(
+    max_jobs: int = 40, max_machines: int = 8, max_time: int = 60
+) -> st.SearchStrategy[Instance]:
+    """Instances for invariants that do not need an exact oracle."""
+    return st.builds(
+        Instance,
+        st.lists(
+            st.integers(min_value=1, max_value=max_time),
+            min_size=1,
+            max_size=max_jobs,
+        ),
+        st.integers(min_value=1, max_value=max_machines),
+    )
+
+
+def dp_problems(
+    max_classes: int = 3, max_count: int = 4, max_size: int = 12
+) -> st.SearchStrategy:
+    """Small rounded packing problems for DP-engine agreement tests.
+
+    The target is drawn at least as large as the largest class size so
+    singleton configurations always exist (the invariant the rounding
+    stage guarantees in production).
+    """
+    from repro.core.dp import DPProblem
+
+    @st.composite
+    def build(draw: st.DrawFn) -> DPProblem:
+        d = draw(st.integers(min_value=1, max_value=max_classes))
+        sizes = draw(
+            st.lists(
+                st.integers(min_value=1, max_value=max_size),
+                min_size=d,
+                max_size=d,
+                unique=True,
+            )
+        )
+        counts = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=max_count),
+                min_size=d,
+                max_size=d,
+            )
+        )
+        slack = draw(st.integers(min_value=0, max_value=2 * max_size))
+        target = max(sizes) + slack
+        return DPProblem(tuple(sorted(sizes)), tuple(counts), target)
+
+    return build()
+
+
+# ---------------------------------------------------------------------------
+# Fixtures
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def paper_example_problem():
+    """The worked DP example of §III: sizes (6, 11), N=(2, 3), T=30."""
+    from repro.core.dp import DPProblem
+
+    return DPProblem((6, 11), (2, 3), 30)
+
+
+@pytest.fixture
+def small_instance() -> Instance:
+    return Instance([9, 8, 7, 6, 5, 5, 4, 3, 2, 1], num_machines=3)
+
+
+@pytest.fixture
+def tight_instance() -> Instance:
+    """Perfectly divisible instance: optimal makespan exactly total/m."""
+    return Instance([4, 4, 4, 4, 4, 4], num_machines=3)

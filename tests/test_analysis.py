@@ -1,0 +1,128 @@
+"""Tests for :mod:`repro.analysis` (scaling diagnostics and statistics)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.scaling import (
+    amdahl_fit,
+    amdahl_speedup,
+    karp_flatt,
+    parallel_efficiency,
+)
+from repro.analysis.stats import bootstrap_ci, mean_and_ci
+
+
+class TestEfficiency:
+    def test_linear_scaling(self):
+        assert parallel_efficiency(8.0, 8) == 1.0
+
+    def test_half_efficiency(self):
+        assert parallel_efficiency(8.0, 16) == 0.5
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            parallel_efficiency(1.0, 0)
+        with pytest.raises(ValueError):
+            parallel_efficiency(-1.0, 2)
+
+
+class TestKarpFlatt:
+    def test_perfect_speedup_zero_fraction(self):
+        assert karp_flatt(8.0, 8) == pytest.approx(0.0)
+
+    def test_paper_value(self):
+        assert karp_flatt(6.5, 8) == pytest.approx(0.0330, abs=1e-3)
+
+    def test_pure_serial(self):
+        assert karp_flatt(1.0, 16) == pytest.approx(1.0)
+
+    def test_rejects_p1(self):
+        with pytest.raises(ValueError):
+            karp_flatt(1.0, 1)
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.9),
+        st.integers(min_value=2, max_value=64),
+    )
+    def test_property_inverts_amdahl(self, f, p):
+        """Karp-Flatt recovers the serial fraction of an Amdahl curve."""
+        s = amdahl_speedup(f, p)
+        assert karp_flatt(s, p) == pytest.approx(f, abs=1e-9)
+
+
+class TestAmdahl:
+    def test_speedup_limits(self):
+        assert amdahl_speedup(0.0, 16) == 16.0
+        assert amdahl_speedup(1.0, 16) == 1.0
+
+    def test_monotone_in_p(self):
+        speedups = [amdahl_speedup(0.1, p) for p in (1, 2, 4, 8, 16)]
+        assert speedups == sorted(speedups)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(1.5, 4)
+
+    def test_fit_recovers_exact_curve(self):
+        f = 0.07
+        ps = [2, 4, 8, 16]
+        fit = amdahl_fit(ps, [amdahl_speedup(f, p) for p in ps])
+        assert fit.serial_fraction == pytest.approx(f, abs=1e-9)
+        assert fit.max_speedup == pytest.approx(1 / f, rel=1e-6)
+        assert fit.residual == pytest.approx(0.0, abs=1e-9)
+
+    def test_fit_predict(self):
+        fit = amdahl_fit([2, 4], [amdahl_speedup(0.2, 2), amdahl_speedup(0.2, 4)])
+        assert fit.predict(8) == pytest.approx(amdahl_speedup(0.2, 8))
+
+    def test_fit_ignores_p1(self):
+        fit = amdahl_fit([1, 2, 4], [1.0, amdahl_speedup(0.1, 2), amdahl_speedup(0.1, 4)])
+        assert fit.serial_fraction == pytest.approx(0.1, abs=1e-9)
+
+    def test_fit_rejects_empty_or_mismatched(self):
+        with pytest.raises(ValueError):
+            amdahl_fit([], [])
+        with pytest.raises(ValueError):
+            amdahl_fit([2, 4], [3.0])
+        with pytest.raises(ValueError):
+            amdahl_fit([1], [1.0])  # no P >= 2 measurement
+
+    def test_fit_clamps_to_valid_range(self):
+        # Superlinear measurements imply f < 0; the fit clamps to 0.
+        fit = amdahl_fit([2, 4], [2.5, 5.0])
+        assert fit.serial_fraction == 0.0
+        assert fit.max_speedup == float("inf")
+
+
+class TestBootstrap:
+    def test_constant_sample(self):
+        lo, hi = bootstrap_ci([5.0] * 10)
+        assert lo == hi == 5.0
+
+    def test_interval_brackets_mean(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        result = mean_and_ci(values, seed=1)
+        assert result.lower <= result.mean <= result.upper
+        assert result.mean == pytest.approx(3.0)
+        assert result.samples == 5
+
+    def test_deterministic_given_seed(self):
+        values = [1.0, 4.0, 2.0, 8.0]
+        assert bootstrap_ci(values, seed=7) == bootstrap_ci(values, seed=7)
+
+    def test_wider_confidence_wider_interval(self):
+        values = [1.0, 5.0, 2.0, 9.0, 3.0, 7.0]
+        lo90, hi90 = bootstrap_ci(values, confidence=0.90)
+        lo99, hi99 = bootstrap_ci(values, confidence=0.99)
+        assert lo99 <= lo90 and hi99 >= hi90
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], resamples=0)

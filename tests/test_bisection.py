@@ -1,0 +1,96 @@
+"""Tests for the bisection driver (:mod:`repro.core.bisection`)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.bisection import bisect_target_makespan
+from repro.core.bounds import makespan_bounds
+from repro.core.dp import DPProblem, DPResult, solve
+from repro.exact.brute import brute_force
+from repro.model.instance import Instance
+
+from conftest import small_instances
+
+
+def make_solver(engine: str = "table", calls: list | None = None):
+    def solver(problem: DPProblem, m: int) -> DPResult:
+        if calls is not None:
+            calls.append(problem.target)
+        return solve(problem, engine, limit=m)
+
+    return solver
+
+
+class TestBisection:
+    def test_terminates_with_feasible_target(self, small_instance):
+        outcome = bisect_target_makespan(small_instance, 4, make_solver())
+        bounds = makespan_bounds(small_instance)
+        assert bounds.lower <= outcome.final_target <= bounds.upper
+        assert outcome.dp_result.opt is not None
+        assert outcome.dp_result.opt <= small_instance.num_machines
+
+    def test_final_target_is_minimal_feasible(self, small_instance):
+        """Every probe strictly below the final target must have been
+        infeasible (monotonicity of the decision problem)."""
+        outcome = bisect_target_makespan(small_instance, 4, make_solver())
+        for it in outcome.iterations:
+            if it.target < outcome.final_target:
+                assert not it.feasible
+
+    def test_iteration_count_logarithmic(self, small_instance):
+        outcome = bisect_target_makespan(small_instance, 4, make_solver())
+        width = makespan_bounds(small_instance).width
+        # log2(width) + a couple of extra probes (final certification).
+        assert outcome.num_iterations <= width.bit_length() + 2
+
+    def test_trace_records_probes(self, small_instance):
+        calls: list[int] = []
+        outcome = bisect_target_makespan(
+            small_instance, 4, make_solver(calls=calls)
+        )
+        assert [it.target for it in outcome.iterations] == calls
+
+    def test_fallback_certifies_upper_bound(self):
+        """If every probe below UB reports infeasible, the driver must run
+        one certification probe at UB itself (which is always feasible)."""
+        inst = Instance([5, 4, 3, 2], num_machines=2)
+        ub = makespan_bounds(inst).upper
+
+        def stubborn(problem: DPProblem, m: int) -> DPResult:
+            if problem.target < ub:
+                return DPResult(opt=None)
+            return solve(problem, "table", limit=m)
+
+        outcome = bisect_target_makespan(inst, 4, stubborn)
+        assert outcome.final_target == ub
+        assert outcome.iterations[-1].target == ub
+        assert outcome.iterations[-1].feasible
+
+    def test_k1_no_long_jobs(self):
+        inst = Instance([5, 4, 3], num_machines=2)
+        outcome = bisect_target_makespan(inst, 1, make_solver())
+        assert outcome.rounded.num_long_jobs == 0
+        assert outcome.dp_result.opt == 0
+
+    @pytest.mark.parametrize("engine", ["table", "frontier", "dominance"])
+    def test_engines_reach_same_target(self, small_instance, engine):
+        base = bisect_target_makespan(small_instance, 4, make_solver("table"))
+        other = bisect_target_makespan(small_instance, 4, make_solver(engine))
+        assert other.final_target == base.final_target
+
+
+@given(small_instances())
+@settings(max_examples=40, deadline=None)
+def test_property_final_target_bounds_optimum(inst: Instance):
+    """The certified rounded target never exceeds UB and is never below
+    LB; and the true optimum is at least LB (so the (1+eps) argument can
+    anchor on T*)."""
+    outcome = bisect_target_makespan(inst, 3, make_solver())
+    bounds = makespan_bounds(inst)
+    assert bounds.lower <= outcome.final_target <= bounds.upper
+    opt = brute_force(inst).makespan
+    # The rounded decision relaxes the true one, so the minimal feasible
+    # rounded target cannot exceed the true optimum.
+    assert outcome.final_target <= opt

@@ -1,0 +1,76 @@
+"""Unit tests for :mod:`repro.core.bounds` — Eq. (1) and (2) and the
+bracketing invariant ``LB <= OPT <= UB`` against the brute-force oracle."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.bounds import (
+    MakespanBounds,
+    bounds_from_times,
+    lower_bound,
+    makespan_bounds,
+    upper_bound,
+)
+from repro.exact.brute import brute_force
+from repro.model.instance import Instance
+
+from conftest import small_instances
+
+
+class TestFormulas:
+    def test_lower_bound_paper_eq1(self):
+        inst = Instance([10, 3, 3], num_machines=2)  # avg 8, max 10
+        assert lower_bound(inst) == 10
+
+    def test_upper_bound_paper_eq2(self):
+        inst = Instance([10, 3, 3], num_machines=2)
+        assert upper_bound(inst) == 8 + 10
+
+    def test_single_machine(self):
+        inst = Instance([4, 5], num_machines=1)
+        assert lower_bound(inst) == 9
+        assert upper_bound(inst) == 9 + 5
+
+    def test_more_machines_than_jobs(self):
+        inst = Instance([4, 5], num_machines=10)
+        assert lower_bound(inst) == 5
+
+    def test_bounds_from_times(self):
+        b = bounds_from_times([10, 3, 3], 2)
+        assert (b.lower, b.upper) == (10, 18)
+
+
+class TestMakespanBounds:
+    def test_width_and_midpoint(self):
+        b = MakespanBounds(10, 18)
+        assert b.width == 8
+        assert b.midpoint() == 14
+        assert b.contains(10) and b.contains(18) and not b.contains(19)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            MakespanBounds(5, 4)
+
+    def test_degenerate_interval(self):
+        b = MakespanBounds(7, 7)
+        assert b.width == 0
+        assert b.midpoint() == 7
+
+
+@given(small_instances())
+@settings(max_examples=60, deadline=None)
+def test_property_bounds_bracket_optimum(inst: Instance):
+    """The optimum always lies in [LB, UB] (checked by brute force)."""
+    opt = brute_force(inst).makespan
+    b = makespan_bounds(inst)
+    assert b.lower <= opt <= b.upper
+
+
+@given(small_instances())
+@settings(max_examples=60, deadline=None)
+def test_property_interval_width_at_most_max_time(inst: Instance):
+    """The paper's termination argument: UB - LB <= max t."""
+    b = makespan_bounds(inst)
+    assert b.width <= inst.max_time

@@ -1,0 +1,95 @@
+"""Tests for the campaign runner (:mod:`repro.experiments.campaign`)."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.experiments.campaign import (
+    CampaignResult,
+    TypeAggregate,
+    TypeKey,
+    run_campaign,
+)
+from repro.experiments.harness import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def small_campaign() -> CampaignResult:
+    cfg = ExperimentConfig(cores=(2, 4), ip_time_limit=5.0)
+    return run_campaign(
+        [("u_10", 3, 8), ("u_100", 3, 8)],
+        instances_per_type=2,
+        config=cfg,
+        base_seed=7,
+    )
+
+
+class TestRunCampaign:
+    def test_one_aggregate_per_type(self, small_campaign):
+        assert len(small_campaign.aggregates) == 2
+        assert all(len(a.records) == 2 for a in small_campaign.aggregates)
+
+    def test_type_key_label(self):
+        assert TypeKey("u_10", 3, 8).label() == "U(1, 10) m=3 n=8"
+
+    def test_rejects_zero_instances(self):
+        with pytest.raises(ValueError):
+            run_campaign([("u_10", 2, 4)], instances_per_type=0)
+
+    def test_speedup_cis_bracket_mean(self, small_campaign):
+        for agg in small_campaign.aggregates:
+            ci = agg.speedup_ci(2)
+            assert ci.lower <= ci.mean <= ci.upper
+            ip_ci = agg.speedup_vs_ip_ci(2)
+            assert ip_ci.mean > 0
+
+    def test_scaling_diagnostics(self, small_campaign):
+        diag = small_campaign.aggregates[0].scaling_diagnostics((2, 4))
+        assert 0.0 <= diag["serial_fraction"] <= 1.0
+        assert diag["amdahl_max_speedup"] >= 1.0
+        assert diag["fit_residual"] >= 0.0
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError, match="parallel_workers"):
+            run_campaign([("u_10", 2, 4)], instances_per_type=1, parallel_workers=0)
+
+    @pytest.mark.slow
+    def test_process_parallel_campaign(self):
+        """Process-pooled runs produce the same makespans as serial runs
+        (timings differ, results must not)."""
+        cfg = ExperimentConfig(cores=(2,), ip_time_limit=5.0)
+        serial = run_campaign(
+            [("u_10", 3, 8)], instances_per_type=2, config=cfg, base_seed=3
+        )
+        pooled = run_campaign(
+            [("u_10", 3, 8)],
+            instances_per_type=2,
+            config=cfg,
+            base_seed=3,
+            parallel_workers=2,
+        )
+        for a, b in zip(serial.aggregates[0].records, pooled.aggregates[0].records):
+            assert a.sequential.makespan == b.sequential.makespan
+            assert a.ip.makespan == b.ip.makespan
+
+
+class TestRendering:
+    def test_render_contains_types(self, small_campaign):
+        out = small_campaign.render()
+        assert "U(1, 10) m=3 n=8" in out
+        assert "speedup@4" in out
+
+    def test_export_csv(self, small_campaign, tmp_path):
+        paths = small_campaign.export_csv(tmp_path)
+        assert len(paths) == 2
+        with paths[0].open() as fh:
+            rows = list(csv.DictReader(fh))
+        # 2 types x 2 replicates x 2 core counts = 8 run rows.
+        assert len(rows) == 8
+        assert {r["cores"] for r in rows} == {"2", "4"}
+        assert all(float(r["speedup_vs_ptas"]) > 0 for r in rows)
+        with paths[1].open() as fh:
+            summary = list(csv.DictReader(fh))
+        assert len(summary) == 2

@@ -1,0 +1,77 @@
+"""Meta-tests: documentation coverage and export hygiene.
+
+Production-quality bar: every public module, class, and function in the
+library carries a docstring, and every ``__all__`` names something that
+exists.  These tests walk the package so the bar is enforced, not
+aspirational.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+ALL_MODULES = list(_walk_modules())
+MODULE_IDS = [m.__name__ for m in ALL_MODULES]
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=MODULE_IDS)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{module.__name__} lacks a module docstring"
+    )
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=MODULE_IDS)
+def test_public_callables_documented(module):
+    undocumented: list[str] = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isfunction(obj) or inspect.isclass(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its home
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+        if inspect.isclass(obj):
+            for meth_name, meth in vars(obj).items():
+                if meth_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(meth):
+                    continue
+                if meth.__doc__ and meth.__doc__.strip():
+                    continue
+                # Overrides inherit their contract's documentation.
+                inherited = any(
+                    getattr(getattr(base, meth_name, None), "__doc__", None)
+                    for base in obj.__mro__[1:]
+                )
+                if not inherited:
+                    undocumented.append(f"{name}.{meth_name}")
+    assert not undocumented, (
+        f"{module.__name__}: missing docstrings on {sorted(undocumented)}"
+    )
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=MODULE_IDS)
+def test_all_exports_exist(module):
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return
+    for name in exported:
+        assert hasattr(module, name), (
+            f"{module.__name__}.__all__ names missing attribute {name!r}"
+        )

@@ -1,0 +1,58 @@
+"""Tests for the configuration-IP packing solver (:mod:`repro.core.dp_ilp`)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.dp import DPProblem, solve_table
+from repro.core.dp_ilp import solve_config_ilp
+
+from conftest import dp_problems
+from test_dp_engines import check_witness
+
+
+class TestConfigILP:
+    def test_paper_example(self, paper_example_problem):
+        result = solve_config_ilp(paper_example_problem)
+        assert result.opt == 2
+        assert result.engine == "config-ilp"
+        check_witness(paper_example_problem, 2, result.machine_configs)
+
+    def test_empty_problem(self):
+        assert solve_config_ilp(DPProblem((), (), 5)).opt == 0
+
+    def test_zero_counts(self):
+        assert solve_config_ilp(DPProblem((3,), (0,), 5)).opt == 0
+
+    def test_one_job_per_machine(self):
+        result = solve_config_ilp(DPProblem((7,), (4,), 10))
+        assert result.opt == 4
+
+    def test_limit_semantics(self):
+        p = DPProblem((7,), (4,), 10)
+        assert solve_config_ilp(p, limit=3).opt is None
+        assert solve_config_ilp(p, limit=4).opt == 4
+
+    def test_collect_stats(self, paper_example_problem):
+        result = solve_config_ilp(paper_example_problem, collect_stats=True)
+        assert result.stats is not None
+        assert result.stats.num_configs == 7
+
+    def test_scales_past_table_dp(self):
+        """A problem whose table has ~10^8 entries is instant as an IP."""
+        p = DPProblem((11, 13, 17, 19), (99, 99, 99, 99), 60)
+        result = solve_config_ilp(p, track_schedule=False)
+        assert result.opt is not None
+        # Work bound sanity: total load / target <= opt <= jobs.
+        total = 99 * (11 + 13 + 17 + 19)
+        assert -(-total // 60) <= result.opt <= 4 * 99
+
+    @given(dp_problems())
+    @settings(max_examples=30, deadline=None)
+    def test_property_agrees_with_table_dp(self, problem: DPProblem):
+        reference = solve_table(problem, track_schedule=False)
+        result = solve_config_ilp(problem)
+        assert result.opt == reference.opt
+        if result.opt:
+            check_witness(problem, result.opt, result.machine_configs)

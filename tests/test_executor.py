@@ -1,0 +1,108 @@
+"""Unit tests for :mod:`repro.parallel.executor`."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.parallel.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+
+
+def square_chunk(chunk):
+    return [x * x for x in chunk]
+
+
+class TestSerialExecutor:
+    def test_maps_in_order(self):
+        ex = SerialExecutor()
+        out = ex.map_chunks(square_chunk, [[1, 2], [3]])
+        assert out == [[1, 4], [9]]
+
+    def test_empty_chunks_yield_none(self):
+        ex = SerialExecutor()
+        assert ex.map_chunks(square_chunk, [[], [2], []]) == [None, [4], None]
+
+    def test_models_worker_count(self):
+        assert SerialExecutor(8).num_workers == 8
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            SerialExecutor(0)
+
+    def test_context_manager(self):
+        with SerialExecutor() as ex:
+            assert ex.map_chunks(square_chunk, [[2]]) == [[4]]
+
+
+class TestThreadExecutor:
+    def test_maps_all_chunks(self):
+        with ThreadExecutor(3) as ex:
+            out = ex.map_chunks(square_chunk, [[1], [2], [3]])
+        assert out == [[1], [4], [9]]
+
+    def test_shared_memory_visible(self):
+        """Workers write into one shared structure — the property the
+        thread backend of the parallel DP relies on."""
+        table = [0] * 10
+        def write_chunk(chunk):
+            for i in chunk:
+                table[i] = i + 100
+        with ThreadExecutor(4) as ex:
+            ex.map_chunks(write_chunk, [[0, 4, 8], [1, 5, 9], [2, 6], [3, 7]])
+        assert table == [100 + i for i in range(10)]
+
+    def test_runs_concurrently_when_gil_released(self):
+        """Barrier-style rendezvous proves two chunks are in flight at
+        once (threads block in `wait`, releasing the GIL)."""
+        barrier = threading.Barrier(2, timeout=5)
+        def rendezvous(chunk):
+            barrier.wait()
+            return chunk
+        with ThreadExecutor(2) as ex:
+            out = ex.map_chunks(rendezvous, [[1], [2]])
+        assert out == [[1], [2]]
+
+    def test_propagates_exceptions(self):
+        def boom(chunk):
+            raise RuntimeError("kaput")
+        with ThreadExecutor(2) as ex:
+            with pytest.raises(RuntimeError, match="kaput"):
+                ex.map_chunks(boom, [[1]])
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ThreadExecutor(0)
+
+
+@pytest.mark.slow
+class TestProcessExecutor:
+    def test_maps_all_chunks(self):
+        with ProcessExecutor(2) as ex:
+            out = ex.map_chunks(square_chunk, [[1, 2], [3]])
+        assert out == [[1, 4], [9]]
+
+    def test_empty_chunk_skipped(self):
+        with ProcessExecutor(2) as ex:
+            assert ex.map_chunks(square_chunk, [[], [5]]) == [None, [25]]
+
+
+class TestFactory:
+    def test_serial(self):
+        assert isinstance(make_executor("serial", 2), SerialExecutor)
+
+    def test_thread(self):
+        ex = make_executor("thread", 2)
+        try:
+            assert isinstance(ex, ThreadExecutor)
+        finally:
+            ex.close()
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            make_executor("quantum", 2)

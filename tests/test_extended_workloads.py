@@ -1,0 +1,105 @@
+"""Tests for the extended workload generators (:mod:`repro.workloads.extended`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.extended import (
+    EXTENDED_GENERATORS,
+    bimodal_instance,
+    exponential_instance,
+    normal_instance,
+    zipf_instance,
+)
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("name", sorted(EXTENDED_GENERATORS))
+    def test_shape_and_positivity(self, name):
+        gen = EXTENDED_GENERATORS[name]
+        inst = gen(4, 25, seed=0)
+        assert inst.num_machines == 4
+        assert inst.num_jobs == 25
+        assert all(t >= 1 for t in inst.processing_times)
+
+    @pytest.mark.parametrize("name", sorted(EXTENDED_GENERATORS))
+    def test_deterministic(self, name):
+        gen = EXTENDED_GENERATORS[name]
+        assert gen(3, 15, seed=9) == gen(3, 15, seed=9)
+
+    @pytest.mark.parametrize("name", sorted(EXTENDED_GENERATORS))
+    def test_solvable_by_the_library(self, name):
+        """Every extended family feeds cleanly through the full PTAS."""
+        from repro.core.ptas import ptas
+
+        inst = EXTENDED_GENERATORS[name](3, 12, seed=2)
+        result = ptas(inst, 0.3)
+        assert result.schedule.is_valid()
+
+
+class TestNormal:
+    def test_centered_near_mean(self):
+        inst = normal_instance(2, 3000, mean=100.0, std=10.0, seed=0)
+        avg = inst.total_work / inst.num_jobs
+        assert 95 <= avg <= 105
+
+    def test_clips_at_one(self):
+        inst = normal_instance(2, 500, mean=2.0, std=10.0, seed=0)
+        assert min(inst.processing_times) == 1
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            normal_instance(2, 5, mean=0.0)
+        with pytest.raises(ValueError):
+            normal_instance(2, 5, std=-1.0)
+
+
+class TestBimodal:
+    def test_two_modes_visible(self):
+        inst = bimodal_instance(
+            2, 2000, short_mean=10, long_mean=200, long_fraction=0.3, seed=1
+        )
+        shorts = sum(1 for t in inst.processing_times if t < 100)
+        longs = inst.num_jobs - shorts
+        assert shorts > longs > 0
+        assert 0.2 < longs / inst.num_jobs < 0.4
+
+    def test_all_long_when_fraction_one(self):
+        inst = bimodal_instance(2, 200, long_fraction=1.0, seed=0)
+        # All draws come from the long mode N(200, 40); nearly all of the
+        # mass sits far above the short mode's range.
+        longs = sum(1 for t in inst.processing_times if t > 100)
+        assert longs >= 0.95 * inst.num_jobs
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            bimodal_instance(2, 5, long_fraction=1.5)
+
+
+class TestExponential:
+    def test_mean_roughly_matches(self):
+        inst = exponential_instance(2, 5000, mean=50.0, seed=0)
+        avg = inst.total_work / inst.num_jobs
+        assert 45 <= avg <= 55
+
+    def test_rejects_bad_mean(self):
+        with pytest.raises(ValueError):
+            exponential_instance(2, 5, mean=0.0)
+
+
+class TestZipf:
+    def test_capped(self):
+        inst = zipf_instance(2, 3000, exponent=1.5, cap=500, seed=0)
+        assert max(inst.processing_times) <= 500
+
+    def test_heavy_tail_present(self):
+        inst = zipf_instance(2, 3000, exponent=2.0, cap=10_000, seed=0)
+        # Mostly ones, but some large values.
+        assert min(inst.processing_times) == 1
+        assert max(inst.processing_times) > 10
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            zipf_instance(2, 5, exponent=1.0)
+        with pytest.raises(ValueError):
+            zipf_instance(2, 5, cap=0)

@@ -1,0 +1,97 @@
+"""Smoke tests for the figure experiments (:mod:`repro.experiments.figures`).
+
+The full figures take minutes; these tests run tiny custom variants that
+exercise every code path (aggregation, rendering, panel selection) in
+seconds.  The actual paper-scale runs live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import (
+    FamilySeries,
+    FigureResult,
+    _num_instances,
+    _run_speedup_figure,
+)
+from repro.experiments.harness import ExperimentConfig, run_instance
+from repro.workloads.generator import make_instance
+
+
+@pytest.fixture(scope="module")
+def tiny_figure() -> FigureResult:
+    """A miniature figure run: m=3, n=8, 1 instance per family, 2 cores."""
+    return _run_speedup_figure(
+        "Tiny", "test figure", m=3, n=8, scale="smoke", cores=(2, 4)
+    )
+
+
+class TestScales:
+    def test_paper_is_twenty(self):
+        assert _num_instances("paper") == 20
+
+    def test_smoke_is_two(self):
+        assert _num_instances("smoke") == 2
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            _num_instances("galactic")
+
+
+class TestFigureStructure:
+    def test_four_families(self, tiny_figure: FigureResult):
+        assert len(tiny_figure.families) == 4
+        labels = [f.label for f in tiny_figure.families]
+        assert "U(1, 10)" in labels
+
+    def test_series_shapes(self, tiny_figure: FigureResult):
+        vs_ptas = tiny_figure.speedup_vs_ptas_series()
+        assert len(vs_ptas) == 4
+        for values in vs_ptas.values():
+            assert len(values) == 2  # one per core count
+
+    def test_speedups_positive(self, tiny_figure: FigureResult):
+        for values in tiny_figure.speedup_vs_ip_series().values():
+            assert all(v > 0 for v in values)
+
+    def test_runtime_rows(self, tiny_figure: FigureResult):
+        rows = tiny_figure.runtime_rows()
+        assert len(rows) == 4
+        for row in rows:
+            assert len(row) == 6
+            assert all(isinstance(x, float) for x in row[1:])
+
+    def test_render_contains_panels(self, tiny_figure: FigureResult):
+        out = tiny_figure.render()
+        assert "(a) average speedup vs sequential PTAS" in out
+        assert "(b) average speedup vs IP" in out
+        assert "(c) average running times" in out
+
+    def test_render_without_runtime_panel(self, tiny_figure: FigureResult):
+        tiny_figure_no_c = FigureResult(
+            name=tiny_figure.name,
+            description=tiny_figure.description,
+            m=tiny_figure.m,
+            n=tiny_figure.n,
+            cores=tiny_figure.cores,
+            families=tiny_figure.families,
+            include_runtime_panel=False,
+        )
+        assert "(c)" not in tiny_figure_no_c.render()
+
+
+class TestFamilySeries:
+    def test_mean_accessors(self):
+        inst = make_instance("u_10", 3, 8, seed=0)
+        cfg = ExperimentConfig(cores=(2,), ip_time_limit=5.0)
+        series = FamilySeries("u_10", "U(1, 10)", [run_instance(inst, cfg)])
+        assert series.mean_speedup_vs_ptas(2) > 0
+        assert series.mean_speedup_vs_ip(2) > 0
+        assert series.mean_seconds("ptas") >= 0
+        assert series.mean_seconds("parallel", 2) >= 0
+        assert series.mean_seconds("ip") >= 0
+        assert series.mean_seconds("lpt") >= 0
+        assert series.mean_seconds("ls") >= 0
+        with pytest.raises(ValueError):
+            series.mean_seconds("quantum")

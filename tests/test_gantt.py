@@ -1,0 +1,72 @@
+"""Tests for the ASCII Gantt renderer (:mod:`repro.model.gantt`)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.model.gantt import render_gantt, render_load_histogram
+from repro.model.instance import Instance
+from repro.model.schedule import Schedule
+
+from conftest import medium_instances
+
+
+@pytest.fixture
+def sched() -> Schedule:
+    inst = Instance([6, 4, 3, 2], num_machines=2)
+    return Schedule(inst, [[0, 2], [1, 3]])
+
+
+class TestGantt:
+    def test_one_row_per_machine_plus_axis(self, sched):
+        out = render_gantt(sched)
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("machine   0")
+        assert "makespan 9" in lines[-1]
+
+    def test_loads_shown(self, sched):
+        out = render_gantt(sched)
+        assert "load 9" in out
+        assert "load 6" in out
+
+    def test_job_glyphs_present(self, sched):
+        out = render_gantt(sched)
+        # jobs 0 and 2 on machine 0; glyphs are the job indices.
+        assert "0" in out.splitlines()[0]
+        assert "2" in out.splitlines()[0]
+
+    def test_proportional_widths(self, sched):
+        row = render_gantt(sched, width=30).splitlines()[0]
+        bar = row.split("|")[1]
+        # Job 0 (t=6) should occupy about twice the cells of job 2 (t=3).
+        assert bar.count("0") >= bar.count("2") * 1.5
+
+    def test_rejects_tiny_width(self, sched):
+        with pytest.raises(ValueError):
+            render_gantt(sched, width=5)
+
+    def test_empty_machine_renders(self):
+        inst = Instance([4], num_machines=2)
+        out = render_gantt(Schedule(inst, [[0], []]))
+        assert out.splitlines()[1].startswith("machine   1")
+
+    @given(medium_instances(max_jobs=15, max_machines=4))
+    @settings(max_examples=25, deadline=None)
+    def test_property_renders_every_schedule(self, inst):
+        from repro.algorithms.lpt import lpt
+
+        out = render_gantt(lpt(inst))
+        assert len(out.splitlines()) == inst.num_machines + 1
+
+
+class TestLoadHistogram:
+    def test_bars_proportional(self, sched):
+        out = render_load_histogram(sched, width=18)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 18  # machine 0 has the peak load 9
+        assert lines[1].count("#") == 12  # 6/9 * 18
+
+    def test_row_per_machine(self, sched):
+        assert len(render_load_histogram(sched).splitlines()) == 2

@@ -1,0 +1,82 @@
+"""Golden-number regression (:mod:`repro.experiments.golden`).
+
+``results/golden/smoke.json`` freezes every deterministic output of the
+probe grid; this test fails on any behavioral drift.  Regenerate the
+golden intentionally with ``python -m repro.experiments.golden`` after
+reviewing the change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.golden import (
+    GOLDEN_GRID,
+    compute_golden,
+    diff_against,
+    load_golden,
+    save_golden,
+)
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "results" / "golden" / "smoke.json"
+
+
+class TestGoldenInfrastructure:
+    def test_compute_is_deterministic(self):
+        a = compute_golden()
+        b = compute_golden()
+        assert a == b
+
+    def test_grid_covers_every_family(self):
+        from repro.workloads.families import FAMILIES
+
+        assert {kind for kind, *_ in GOLDEN_GRID} == set(FAMILIES)
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        path = save_golden(tmp_path / "g.json")
+        doc = load_golden(path)
+        assert doc["entries"]
+        assert diff_against(path) == []
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        p = tmp_path / "x.json"
+        p.write_text(json.dumps({"format": "other"}))
+        with pytest.raises(ValueError, match="not a repro-pcmax-golden"):
+            load_golden(p)
+
+    def test_diff_detects_drift(self, tmp_path):
+        path = save_golden(tmp_path / "g.json")
+        doc = json.loads(path.read_text())
+        doc["entries"][0]["lpt_makespan"] += 1
+        path.write_text(json.dumps(doc))
+        problems = diff_against(path)
+        assert problems
+        assert "lpt_makespan" in problems[0]
+
+    def test_diff_detects_missing_entry(self, tmp_path):
+        path = save_golden(tmp_path / "g.json")
+        doc = json.loads(path.read_text())
+        doc["entries"] = doc["entries"][1:]
+        path.write_text(json.dumps(doc))
+        assert any("missing" in p for p in diff_against(path))
+
+
+class TestGoldenRegression:
+    def test_no_drift_against_committed_golden(self):
+        assert GOLDEN_PATH.exists(), (
+            "golden file missing; run python -m repro.experiments.golden"
+        )
+        problems = diff_against(GOLDEN_PATH)
+        assert problems == [], "\n".join(problems)
+
+    def test_committed_golden_sanity(self):
+        doc = load_golden(GOLDEN_PATH)
+        for entry in doc["entries"]:
+            # Structural sanity of the frozen numbers themselves.
+            assert entry["ptas_final_target"] <= entry["ptas_makespan"] * 1.0
+            assert entry["ptas_makespan"] <= entry["ls_makespan"] * 1.35
+            for speedup in entry["simulated_speedups"].values():
+                assert speedup >= 0.49

@@ -1,0 +1,142 @@
+"""Tests for instance/schedule serialization (:mod:`repro.io`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.io.instances import (
+    instance_from_json,
+    instance_to_json,
+    read_instance,
+    write_instance,
+)
+from repro.io.schedules import (
+    read_schedule,
+    schedule_from_json,
+    schedule_to_json,
+    write_schedule,
+)
+from repro.model.instance import Instance
+from repro.model.schedule import Schedule
+
+from conftest import medium_instances
+
+
+@pytest.fixture
+def inst() -> Instance:
+    return Instance([7, 3, 5, 5, 2], num_machines=2)
+
+
+class TestInstanceJSON:
+    def test_roundtrip(self, inst):
+        assert instance_from_json(instance_to_json(inst)) == inst
+
+    def test_metadata_embedded(self, inst):
+        doc = json.loads(instance_to_json(inst, metadata={"family": "u_10"}))
+        assert doc["metadata"]["family"] == "u_10"
+        assert doc["format"] == "repro-pcmax-instance"
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            instance_from_json("{nope")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="must be an object"):
+            instance_from_json("[1, 2]")
+
+    def test_rejects_missing_keys(self):
+        with pytest.raises(ValueError, match="missing key"):
+            instance_from_json('{"num_machines": 2}')
+
+    def test_rejects_non_list_times(self):
+        with pytest.raises(ValueError, match="must be a list"):
+            instance_from_json('{"num_machines": 2, "processing_times": 5}')
+
+
+class TestInstanceFiles:
+    @pytest.mark.parametrize("suffix", [".json", ".csv", ".txt"])
+    def test_roundtrip_all_formats(self, tmp_path, inst, suffix):
+        path = write_instance(inst, tmp_path / f"inst{suffix}")
+        assert read_instance(path) == inst
+
+    def test_txt_format_layout(self, tmp_path, inst):
+        path = write_instance(inst, tmp_path / "i.txt")
+        lines = path.read_text().splitlines()
+        assert lines[0] == "5 2"
+        assert lines[1:] == ["7", "3", "5", "5", "2"]
+
+    def test_txt_accepts_comments_and_blank_lines(self, tmp_path):
+        p = tmp_path / "i.txt"
+        p.write_text("# benchmark foo\n3 2\n\n4\n5\n6\n")
+        assert read_instance(p) == Instance([4, 5, 6], 2)
+
+    def test_txt_rejects_count_mismatch(self, tmp_path):
+        p = tmp_path / "i.txt"
+        p.write_text("3 2\n4\n5\n")
+        with pytest.raises(ValueError, match="promises 3 jobs"):
+            read_instance(p)
+
+    def test_csv_requires_machine_comment(self, tmp_path):
+        p = tmp_path / "i.csv"
+        p.write_text("job,processing_time\n0,5\n")
+        with pytest.raises(ValueError, match="machines"):
+            read_instance(p)
+
+    def test_csv_requires_column(self, tmp_path):
+        p = tmp_path / "i.csv"
+        p.write_text("# machines=2\njob,duration\n0,5\n")
+        with pytest.raises(ValueError, match="processing_time"):
+            read_instance(p)
+
+    def test_unknown_suffix(self, tmp_path, inst):
+        with pytest.raises(ValueError, match="unsupported suffix"):
+            write_instance(inst, tmp_path / "i.yaml")
+        with pytest.raises(ValueError, match="unsupported suffix"):
+            read_instance(tmp_path / "i.yaml")
+
+    @given(medium_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_property_json_roundtrip(self, inst):
+        assert instance_from_json(instance_to_json(inst)) == inst
+
+
+class TestScheduleJSON:
+    def make(self, inst) -> Schedule:
+        return Schedule(inst, [[0, 1], [2, 3, 4]])
+
+    def test_roundtrip(self, inst):
+        sched = self.make(inst)
+        back = schedule_from_json(schedule_to_json(sched))
+        assert back.assignment == sched.assignment
+        assert back.instance == inst
+        assert back.makespan == sched.makespan
+
+    def test_file_roundtrip(self, tmp_path, inst):
+        sched = self.make(inst)
+        path = write_schedule(sched, tmp_path / "s.json", metadata={"alg": "lpt"})
+        back = read_schedule(path)
+        assert back.assignment == sched.assignment
+
+    def test_rejects_tampered_makespan(self, inst):
+        doc = json.loads(schedule_to_json(self.make(inst)))
+        doc["makespan"] = 1
+        with pytest.raises(ValueError, match="disagrees"):
+            schedule_from_json(json.dumps(doc))
+
+    def test_rejects_invalid_assignment(self, inst):
+        doc = json.loads(schedule_to_json(self.make(inst)))
+        doc["assignment"] = [[0], [1, 2, 3]]  # job 4 missing
+        doc.pop("makespan")
+        with pytest.raises(ValueError, match="not assigned"):
+            schedule_from_json(json.dumps(doc))
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            schedule_from_json("]")
+        with pytest.raises(ValueError, match="must be an object"):
+            schedule_from_json("3")
+        with pytest.raises(ValueError, match="missing key"):
+            schedule_from_json("{}")

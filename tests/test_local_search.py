@@ -1,0 +1,75 @@
+"""Tests for local-search post-optimization (:mod:`repro.algorithms.local_search`)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.local_search import (
+    LocalSearchResult,
+    improve,
+    lpt_with_local_search,
+)
+from repro.algorithms.lpt import lpt
+from repro.exact.brute import brute_force
+from repro.model.instance import Instance
+from repro.model.schedule import Schedule
+
+from conftest import medium_instances, small_instances
+
+
+class TestImprove:
+    def test_fixes_obvious_imbalance(self):
+        inst = Instance([4, 3, 3], num_machines=2)
+        bad = Schedule(inst, [[0, 1, 2], []])  # load 10 vs 0
+        result = improve(bad)
+        assert result.makespan <= 6
+        assert result.moves_applied + result.swaps_applied >= 1
+
+    def test_optimal_input_untouched(self):
+        inst = Instance([5, 5], num_machines=2)
+        opt = Schedule(inst, [[0], [1]])
+        result = improve(opt)
+        assert result.makespan == 5
+        assert result.moves_applied == result.swaps_applied == 0
+
+    def test_swap_needed_case(self):
+        # Move alone cannot fix (10, 5+4): swapping 5 and 4 can't help...
+        # use the LPT-suboptimal case [5,4,3,3,3] m=2 -> swap lands at 9.
+        inst = Instance([5, 4, 3, 3, 3], num_machines=2)
+        result = improve(lpt(inst))
+        assert result.makespan == 9
+        assert result.swaps_applied >= 1
+
+    def test_respects_round_cap(self):
+        inst = Instance([4, 3, 3], num_machines=2)
+        bad = Schedule(inst, [[0, 1, 2], []])
+        result = improve(bad, max_rounds=0)
+        assert result.makespan == bad.makespan
+
+    def test_result_is_valid_schedule(self):
+        inst = Instance([9, 7, 5, 3, 2, 2, 1], num_machines=3)
+        assert improve(lpt(inst)).schedule.is_valid()
+
+
+class TestLptWithLocalSearch:
+    def test_never_worse_than_lpt(self):
+        inst = Instance([13, 11, 9, 8, 7, 7, 6, 5], num_machines=3)
+        assert lpt_with_local_search(inst).makespan <= lpt(inst).makespan
+
+    @given(small_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_property_sandwich(self, inst):
+        """OPT <= LPT+LS <= LPT, and the result is valid."""
+        opt = brute_force(inst).makespan
+        improved = lpt_with_local_search(inst)
+        assert improved.is_valid()
+        assert opt <= improved.makespan <= lpt(inst).makespan
+
+    @given(medium_instances(max_jobs=25, max_machines=5))
+    @settings(max_examples=25, deadline=None)
+    def test_property_terminates_and_improves(self, inst):
+        result = improve(lpt(inst))
+        assert isinstance(result, LocalSearchResult)
+        assert result.makespan <= lpt(inst).makespan
+        assert result.schedule.is_valid()

@@ -1,0 +1,85 @@
+"""Tests for the strengthened lower bounds (:mod:`repro.exact.lower_bounds`)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.exact.brute import brute_force
+from repro.exact.branch_and_bound import branch_and_bound
+from repro.exact.lower_bounds import lb_best, lb_pairing, lb_third, lb_trivial
+from repro.model.instance import Instance
+
+from conftest import small_instances
+
+
+class TestPairing:
+    def test_two_big_jobs_one_machine(self):
+        # 3 jobs > m=2 machines: two of the top 3 share.
+        inst = Instance([10, 9, 8], num_machines=2)
+        assert lb_pairing(inst) == 9 + 8
+
+    def test_fewer_jobs_than_machines(self):
+        inst = Instance([10, 9], num_machines=5)
+        assert lb_pairing(inst) == 10
+
+    def test_beats_trivial_on_sparse_instances(self):
+        # Average is low but pairing forces two 10s together.
+        inst = Instance([10, 10, 10, 1, 1], num_machines=2)
+        assert lb_trivial(inst) == 16  # ceil(32/2)
+        assert lb_pairing(inst) == 20
+
+    @given(small_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_property_sound(self, inst):
+        assert lb_pairing(inst) <= brute_force(inst).makespan
+
+
+class TestThird:
+    def test_three_mids_force_two_machines_each(self):
+        # Six jobs of 5 on 2 machines, c=12: mids (5 > 4, 10 <= 12)...
+        # the bound at least matches the trivial one here.
+        inst = Instance([5, 5, 5, 5, 5, 5], num_machines=2)
+        assert lb_third(inst) >= lb_trivial(inst)
+
+    def test_counting_regime(self):
+        # Big jobs > 2c/3 exclude mid jobs: 2 machines, jobs 9,9,4,4,4.
+        inst = Instance([9, 9, 4, 4, 4], num_machines=2)
+        opt = brute_force(inst).makespan
+        assert lb_third(inst) <= opt
+
+    @given(small_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_property_sound(self, inst):
+        assert lb_third(inst) <= brute_force(inst).makespan
+
+
+class TestBest:
+    @given(small_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_property_sound_and_dominates_trivial(self, inst):
+        best = lb_best(inst)
+        assert lb_trivial(inst) <= best <= brute_force(inst).makespan
+
+
+class TestBnBIntegration:
+    def test_strong_bounds_prove_pairing_instances_instantly(self):
+        inst = Instance([10, 10, 10, 1, 1], num_machines=2)
+        res = branch_and_bound(inst, strong_bounds=True)
+        assert res.optimal
+        assert res.lower_bound == 20
+
+    def test_weak_bounds_still_correct(self):
+        inst = Instance([10, 10, 10, 1, 1], num_machines=2)
+        weak = branch_and_bound(inst, strong_bounds=False)
+        strong = branch_and_bound(inst, strong_bounds=True)
+        assert weak.makespan == strong.makespan == 20
+        assert strong.nodes_explored <= weak.nodes_explored
+
+    @given(small_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_property_strong_bounds_preserve_correctness(self, inst):
+        assert (
+            branch_and_bound(inst, strong_bounds=True).makespan
+            == brute_force(inst).makespan
+        )

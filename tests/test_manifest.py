@@ -1,0 +1,111 @@
+"""Tests for experiment manifests (:mod:`repro.experiments.manifest`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.experiments.harness import ExperimentConfig
+from repro.experiments.manifest import (
+    FORMAT_NAME,
+    build_manifest,
+    read_manifest,
+    write_manifest,
+)
+
+GRID = [("u_10", 3, 8), ("u_100", 10, 30)]
+
+
+@pytest.fixture
+def manifest():
+    return build_manifest(
+        experiment="campaign",
+        grid=GRID,
+        instances_per_type=20,
+        base_seed=7,
+        config=ExperimentConfig(cores=(2, 4)),
+        extra={"note": "unit test"},
+    )
+
+
+class TestBuild:
+    def test_core_fields(self, manifest):
+        assert manifest["format"] == FORMAT_NAME
+        assert manifest["library_version"] == repro.__version__
+        assert manifest["grid"] == [["u_10", 3, 8], ["u_100", 10, 30]]
+        assert manifest["base_seed"] == 7
+        assert manifest["extra"]["note"] == "unit test"
+
+    def test_config_serialized(self, manifest):
+        assert manifest["config"]["cores"] == (2, 4)
+        assert "cost_model" in manifest["config"]
+        assert manifest["config"]["cost_model"]["barrier_ops"] == 5.0
+
+    def test_json_serializable(self, manifest):
+        json.dumps(manifest)  # must not raise
+
+
+class TestRoundtrip:
+    def test_write_and_read(self, manifest, tmp_path):
+        path = write_manifest(tmp_path, manifest)
+        assert path.name == "manifest.json"
+        loaded = read_manifest(path)
+        assert loaded["experiment"] == "campaign"
+        assert loaded["grid"] == [["u_10", 3, 8], ["u_100", 10, 30]]
+
+    def test_read_accepts_directory(self, manifest, tmp_path):
+        write_manifest(tmp_path, manifest)
+        assert read_manifest(tmp_path)["base_seed"] == 7
+
+    def test_rejects_garbage(self, tmp_path):
+        p = tmp_path / "manifest.json"
+        p.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_manifest(p)
+
+    def test_rejects_wrong_format(self, tmp_path):
+        p = tmp_path / "manifest.json"
+        p.write_text(json.dumps({"format": "other"}))
+        with pytest.raises(ValueError, match="not a repro-pcmax-manifest"):
+            read_manifest(p)
+
+    def test_rejects_wrong_version(self, manifest, tmp_path):
+        manifest["version"] = 99
+        p = write_manifest(tmp_path, manifest)
+        with pytest.raises(ValueError, match="version"):
+            read_manifest(p)
+
+    def test_rejects_missing_keys(self, manifest, tmp_path):
+        del manifest["grid"]
+        p = write_manifest(tmp_path, manifest)
+        with pytest.raises(ValueError, match="missing key"):
+            read_manifest(p)
+
+
+class TestCLIIntegration:
+    def test_experiment_writes_manifest(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "experiment",
+                    "--grid",
+                    "u_10:2:5",
+                    "--instances",
+                    "1",
+                    "--cores",
+                    "2",
+                    "--ip-time-limit",
+                    "5",
+                    "--csv-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        loaded = read_manifest(tmp_path)
+        assert loaded["grid"] == [["u_10", 2, 5]]
+        assert loaded["instances_per_type"] == 1

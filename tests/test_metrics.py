@@ -1,0 +1,80 @@
+"""Tests for :mod:`repro.experiments.metrics`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.experiments.metrics import (
+    Summary,
+    approximation_ratio,
+    geometric_mean,
+    mean,
+    speedup,
+)
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(10.0, 2.0) == 5.0
+
+    def test_slower_than_reference(self):
+        assert speedup(1.0, 2.0) == 0.5
+
+    def test_zero_measured(self):
+        assert speedup(1.0, 0.0) == math.inf
+        assert speedup(0.0, 0.0) == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            speedup(-1.0, 1.0)
+
+
+class TestApproximationRatio:
+    def test_optimal(self):
+        assert approximation_ratio(10, 10) == 1.0
+
+    def test_above_one(self):
+        assert approximation_ratio(13, 10) == pytest.approx(1.3)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            approximation_ratio(10, 0)
+        with pytest.raises(ValueError):
+            approximation_ratio(0, 10)
+
+
+class TestAggregation:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_summary(self):
+        s = Summary.of([3.0, 1.0, 2.0])
+        assert (s.mean, s.minimum, s.maximum, s.count) == (2.0, 1.0, 3.0, 3)
+
+    def test_summary_empty(self):
+        with pytest.raises(ValueError):
+            Summary.of([])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=1, max_size=30))
+    def test_property_geometric_le_arithmetic(self, values):
+        assert geometric_mean(values) <= mean(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=-50, max_value=50), min_size=1, max_size=30))
+    def test_property_mean_within_range(self, values):
+        s = Summary.of(values)
+        assert s.minimum - 1e-9 <= s.mean <= s.maximum + 1e-9

@@ -1,0 +1,177 @@
+"""Tests for the wavefront Parallel DP (:mod:`repro.core.parallel_dp`).
+
+Key invariants: the level index partitions the table by anti-diagonal;
+every backend fills the table identically to the sequential sweep; the
+simulated backend's accounting is internally consistent.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.dp import DPProblem, solve_table
+from repro.core.parallel_dp import (
+    BACKENDS,
+    build_level_index,
+    parallel_dp,
+)
+from repro.simcore.costmodel import CostModel
+from repro.simcore.machine import SimulatedMachine
+
+from conftest import dp_problems
+from test_dp_engines import check_witness
+
+FAST_BACKENDS = ("serial", "thread", "simulated")
+
+
+class TestLevelIndex:
+    def test_paper_example_levels(self, paper_example_problem):
+        idx = build_level_index(paper_example_problem)
+        assert idx.num_levels == 6  # n' + 1 = 5 + 1
+        assert idx.sizes == (1, 2, 3, 3, 2, 1)
+
+    def test_levels_partition_all_states(self, paper_example_problem):
+        idx = build_level_index(paper_example_problem)
+        seen = sorted(i for level in idx.levels for i in level)
+        assert seen == list(range(paper_example_problem.table_size))
+
+    def test_level_members_have_matching_sum(self, paper_example_problem):
+        from repro.core.dp import unrank
+
+        p = paper_example_problem
+        strides = p.strides()
+        idx = build_level_index(p)
+        for l, level in enumerate(idx.levels):
+            for flat in level:
+                assert sum(unrank(flat, p.dims, strides)) == l
+
+    def test_one_dimensional_table(self):
+        p = DPProblem((5,), (4,), 10)
+        idx = build_level_index(p)
+        assert idx.sizes == (1, 1, 1, 1, 1)
+
+    @given(dp_problems())
+    @settings(max_examples=30, deadline=None)
+    def test_property_level_count(self, problem: DPProblem):
+        if not problem.counts:
+            return
+        idx = build_level_index(problem)
+        assert idx.num_levels == problem.num_long_jobs + 1
+        assert sum(idx.sizes) == problem.table_size
+
+
+class TestBackendsAgree:
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    @pytest.mark.parametrize("workers", [1, 2, 5])
+    def test_paper_example(self, paper_example_problem, backend, workers):
+        seq = solve_table(paper_example_problem)
+        par = parallel_dp(paper_example_problem, workers, backend)
+        assert par.opt == seq.opt
+        # Backtracking is deterministic over the identical table, so the
+        # witnesses match exactly — the paper's "same schedule" property.
+        assert par.machine_configs == seq.machine_configs
+        assert par.engine == f"parallel-{backend}"
+
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_empty_problem(self, backend):
+        res = parallel_dp(DPProblem((), (), 5), 4, backend)
+        assert res.opt == 0
+
+    def test_unknown_backend(self, paper_example_problem):
+        with pytest.raises(ValueError, match="unknown backend"):
+            parallel_dp(paper_example_problem, 2, "gpu")
+
+    def test_invalid_workers(self, paper_example_problem):
+        with pytest.raises(ValueError, match="num_workers"):
+            parallel_dp(paper_example_problem, 0, "serial")
+
+    def test_limit_semantics(self):
+        p = DPProblem((7,), (4,), 10)  # OPT = 4
+        assert parallel_dp(p, 2, "serial", limit=3).opt is None
+        assert parallel_dp(p, 2, "serial", limit=4).opt == 4
+
+    @given(dp_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_property_serial_backend_matches_table(self, problem: DPProblem):
+        seq = solve_table(problem)
+        par = parallel_dp(problem, 3, "serial")
+        assert par.opt == seq.opt
+        assert par.machine_configs == seq.machine_configs
+
+    @given(dp_problems())
+    @settings(max_examples=15, deadline=None)
+    def test_property_thread_backend_matches_table(self, problem: DPProblem):
+        seq = solve_table(problem)
+        par = parallel_dp(problem, 4, "thread")
+        assert par.opt == seq.opt
+        assert par.machine_configs == seq.machine_configs
+
+
+@pytest.mark.slow
+class TestProcessBackend:
+    """The shared-memory process backend (spawns real workers; slower)."""
+
+    def test_paper_example(self, paper_example_problem):
+        seq = solve_table(paper_example_problem)
+        par = parallel_dp(paper_example_problem, 2, "process")
+        assert par.opt == seq.opt
+        assert par.machine_configs == seq.machine_configs
+
+    def test_witness_valid(self):
+        p = DPProblem((4, 9), (3, 2), 13)
+        res = parallel_dp(p, 2, "process")
+        assert res.opt is not None
+        check_witness(p, res.opt, res.machine_configs)
+
+
+class TestSimulatedBackend:
+    def test_machine_receives_accounting(self, paper_example_problem):
+        machine = SimulatedMachine(4, CostModel())
+        res = parallel_dp(
+            paper_example_problem, 4, "simulated", machine=machine
+        )
+        assert res.opt == 2
+        assert machine.serial_ops > 0
+        assert machine.parallel_ops > 0
+        # 6 DP levels + the D-array parallel-for.
+        assert len(machine.traces) == 7
+
+    def test_single_worker_has_no_overheads(self, paper_example_problem):
+        machine = SimulatedMachine(1, CostModel())
+        parallel_dp(paper_example_problem, 1, "simulated", machine=machine)
+        assert machine.parallel_ops == pytest.approx(machine.serial_ops)
+        assert machine.speedup == pytest.approx(1.0)
+
+    def test_speedup_increases_with_workers_on_wide_table(self):
+        # A wide two-class table with plenty of per-level parallelism.
+        p = DPProblem((5, 7), (10, 10), 24)
+        speedups = []
+        for workers in (1, 2, 4):
+            machine = SimulatedMachine(workers, CostModel())
+            parallel_dp(p, workers, "simulated", machine=machine)
+            speedups.append(machine.speedup)
+        assert speedups[0] == pytest.approx(1.0)
+        assert speedups[0] < speedups[1] < speedups[2]
+
+    def test_aggregation_across_calls(self, paper_example_problem):
+        machine = SimulatedMachine(2, CostModel())
+        parallel_dp(paper_example_problem, 2, "simulated", machine=machine)
+        ops_one = machine.serial_ops
+        parallel_dp(paper_example_problem, 2, "simulated", machine=machine)
+        assert machine.serial_ops == pytest.approx(2 * ops_one)
+
+    def test_results_identical_to_serial(self, paper_example_problem):
+        seq = parallel_dp(paper_example_problem, 4, "serial")
+        sim = parallel_dp(paper_example_problem, 4, "simulated")
+        assert sim.opt == seq.opt
+        assert sim.machine_configs == seq.machine_configs
+
+
+class TestStats:
+    def test_collect_stats(self, paper_example_problem):
+        res = parallel_dp(paper_example_problem, 2, "serial", collect_stats=True)
+        assert res.stats is not None
+        assert res.stats.sigma == 12
+        assert res.stats.level_sizes == (1, 2, 3, 3, 2, 1)
+        assert res.stats.num_configs == 7

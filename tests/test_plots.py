@@ -1,0 +1,142 @@
+"""Tests for the ASCII line plots (:mod:`repro.experiments.plots`)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.plots import line_plot, speedup_plot
+
+
+class TestLinePlot:
+    def test_contains_marks_and_legend(self):
+        out = line_plot([1, 2, 3], {"a": [1.0, 2.0, 3.0]})
+        assert "legend: * a" in out
+        assert "*" in out
+
+    def test_title_first_line(self):
+        out = line_plot([0, 1], {"s": [0.0, 1.0]}, title="My plot")
+        assert out.splitlines()[0] == "My plot"
+
+    def test_axis_ticks_present(self):
+        out = line_plot([2, 16], {"s": [1.0, 10.0]})
+        assert "10.0" in out
+        assert "0.0" in out
+        assert "2" in out and "16" in out
+
+    def test_multiple_series_distinct_marks(self):
+        out = line_plot(
+            [1, 2], {"a": [1.0, 2.0], "b": [2.0, 1.0]}
+        )
+        assert "* a" in out and "o b" in out
+        assert "o" in out
+
+    def test_monotone_series_rises_left_to_right(self):
+        out = line_plot([1, 2, 3, 4], {"up": [1.0, 2.0, 3.0, 4.0]}, height=8)
+        rows = [
+            line.split("|", 1)[1]
+            for line in out.splitlines()
+            if "|" in line
+        ]
+        first_mark_rows = {}
+        for r, row in enumerate(rows):
+            for c, ch in enumerate(row):
+                if ch == "*" and c not in first_mark_rows:
+                    first_mark_rows[c] = r
+        cols = sorted(first_mark_rows)
+        # Later columns appear at the same height or higher (smaller row).
+        assert first_mark_rows[cols[0]] >= first_mark_rows[cols[-1]]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            line_plot([], {"a": []})
+        with pytest.raises(ValueError):
+            line_plot([1], {"a": [1.0, 2.0]})
+        with pytest.raises(ValueError):
+            line_plot([1], {}, width=60)
+        with pytest.raises(ValueError):
+            line_plot([1], {"a": [1.0]}, width=5)
+
+    def test_flat_series_renders(self):
+        out = line_plot([1, 2, 3], {"flat": [2.0, 2.0, 2.0]})
+        assert "*" in out
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=8
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_any_series_renders(self, ys):
+        xs = list(range(len(ys)))
+        out = line_plot(xs, {"s": ys})
+        assert isinstance(out, str)
+        # Plot body has exactly `height` grid rows.
+        assert sum(1 for line in out.splitlines() if "|" in line) == 16
+
+
+class TestGroupedBars:
+    def test_basic_shape(self):
+        from repro.experiments.plots import grouped_bars
+
+        out = grouped_bars(
+            ["I1", "I2"],
+            {"PTAS": [1.0, 1.1], "LPT": [1.2, 1.3]},
+            baseline=1.0,
+        )
+        lines = out.splitlines()
+        assert lines[0] == "I1:"
+        assert sum(1 for line in lines if "|" in line) == 4
+        assert "1.300" in out
+
+    def test_baseline_zeroes_optimal_bar(self):
+        from repro.experiments.plots import grouped_bars
+
+        out = grouped_bars(["a"], {"x": [1.0]}, baseline=1.0)
+        bar_line = [l for l in out.splitlines() if "|" in l][0]
+        assert "#" not in bar_line  # ratio 1.0 -> zero-length bar
+
+    def test_longest_bar_is_max_value(self):
+        from repro.experiments.plots import grouped_bars
+
+        out = grouped_bars(
+            ["a"], {"small": [1.1], "big": [1.5]}, baseline=1.0, width=20
+        )
+        lines = [l for l in out.splitlines() if "|" in l]
+        assert lines[1].count("#") == 20
+        assert 0 < lines[0].count("#") < 20
+
+    def test_rejects_bad_input(self):
+        from repro.experiments.plots import grouped_bars
+
+        with pytest.raises(ValueError):
+            grouped_bars([], {"x": []})
+        with pytest.raises(ValueError):
+            grouped_bars(["a"], {"x": [1.0, 2.0]})
+
+    def test_used_by_figure5_render(self):
+        from repro.experiments.figures import Figure5Result
+        from repro.experiments.tables import RatioRecord, TableResult
+
+        rec = RatioRecord("I1", "fam", 4, 10, 1.0, 1.2, 1.25, True)
+        table = TableResult("t", [rec])
+        out = Figure5Result(best=table, worst=table).render()
+        assert "(a) as bars" in out and "(b) as bars" in out
+        assert "parallel PTAS" in out
+
+
+class TestSpeedupPlot:
+    def test_includes_ideal_line(self):
+        out = speedup_plot([2, 4], {"fam": [1.9, 3.5]}, "t")
+        assert "* ideal" in out
+        assert "o fam" in out
+
+    def test_used_by_figure_render(self):
+        """FigureResult.render embeds the chart panel."""
+        from repro.experiments.figures import _run_speedup_figure
+
+        fig = _run_speedup_figure(
+            "t", "d", m=2, n=5, scale="smoke", cores=(2,)
+        )
+        assert "(a) as a chart" in fig.render()

@@ -1,0 +1,55 @@
+"""Tests for the phase profiler (:mod:`repro.experiments.profiling`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ptas import ptas
+from repro.experiments.profiling import PHASES, PhaseProfile, profile_ptas
+from repro.model.instance import Instance
+from repro.workloads.generator import make_instance
+
+
+@pytest.fixture(scope="module")
+def profile():
+    inst = make_instance("u_10n", 6, 20, seed=4)
+    return profile_ptas(inst, 0.3)
+
+
+class TestProfilePTAS:
+    def test_all_phases_timed(self, profile):
+        for phase in PHASES:
+            assert profile.seconds[phase] >= 0.0
+        assert profile.total > 0.0
+        assert profile.dp_iterations >= 1
+
+    def test_shares_sum_to_one(self, profile):
+        assert sum(profile.share(p) for p in PHASES) == pytest.approx(1.0)
+
+    def test_unknown_phase_rejected(self, profile):
+        with pytest.raises(KeyError):
+            profile.share("networking")
+
+    def test_schedule_attached_and_matches_ptas(self):
+        inst = make_instance("u_100", 4, 14, seed=9)
+        prof = profile_ptas(inst, 0.3)
+        plain = ptas(inst, 0.3, engine="table")
+        assert prof.schedule is not None
+        assert prof.schedule.makespan == plain.makespan
+        assert prof.schedule.assignment == plain.schedule.assignment
+
+    def test_render(self, profile):
+        out = profile.render()
+        assert "PTAS phase profile" in out
+        assert "dp" in out
+        assert "total" in out
+
+    def test_empty_profile_share(self):
+        assert PhaseProfile().share("dp") == 0.0
+
+    def test_dp_dominates_on_dp_heavy_instance(self):
+        """The §III claim: the DP is the dominant phase (on an instance
+        with a non-trivial table)."""
+        inst = make_instance("lpt_adversarial", 10, 21, seed=0)
+        prof = profile_ptas(inst, 0.3)
+        assert prof.share("dp") > 0.5, dict(prof.seconds)

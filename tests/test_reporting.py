@@ -1,0 +1,83 @@
+"""Tests for :mod:`repro.experiments.reporting`."""
+
+from __future__ import annotations
+
+import csv
+
+from repro.experiments.reporting import (
+    ascii_table,
+    format_value,
+    render_series,
+    write_csv,
+)
+
+
+class TestFormatValue:
+    def test_int(self):
+        assert format_value(42) == "42"
+
+    def test_float_fixed(self):
+        assert format_value(1.23456, precision=3) == "1.235"
+
+    def test_large_float_scientific(self):
+        assert "e" in format_value(1.5e7)
+
+    def test_tiny_float_scientific(self):
+        assert "e" in format_value(1.5e-5)
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "nan"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        out = ascii_table(["col", "x"], [["a", 1], ["long", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("col")
+        assert "|" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+        # All rows share the same separator positions.
+        assert len({line.index("|") for line in [lines[0], *lines[2:]]}) == 1
+
+    def test_title(self):
+        out = ascii_table(["a"], [[1]], title="My table")
+        assert out.splitlines()[0] == "My table"
+
+    def test_empty_rows(self):
+        out = ascii_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_precision(self):
+        out = ascii_table(["v"], [[1.23456]], precision=1)
+        assert "1.2" in out and "1.23" not in out
+
+
+class TestRenderSeries:
+    def test_one_row_per_x(self):
+        out = render_series("cores", [2, 4], {"fam": [1.5, 2.5]})
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "fam" in lines[0]
+
+    def test_multiple_series_columns(self):
+        out = render_series("x", [1], {"a": [0.1], "b": [0.2]})
+        assert "a" in out and "b" in out
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", ["a", "b"], [[1, 2], [3, 4]])
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "dir" / "f.csv", ["x"], [[1]])
+        assert path.exists()

@@ -1,0 +1,71 @@
+"""Tests for the one-shot reproduction driver
+(:mod:`repro.experiments.reproduce`), with stubbed heavy steps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.golden import save_golden
+from repro.experiments.manifest import read_manifest
+from repro.experiments.reproduce import default_steps, reproduce_all
+
+
+def fast_steps():
+    return [
+        ("alpha", lambda: "alpha panel"),
+        ("beta", lambda: "beta panel"),
+    ]
+
+
+class TestReproduceAll:
+    def test_writes_panels_and_manifest(self, tmp_path):
+        run = reproduce_all(tmp_path, steps=fast_steps())
+        assert (tmp_path / "alpha.txt").read_text() == "alpha panel\n"
+        assert (tmp_path / "beta.txt").read_text() == "beta panel\n"
+        manifest = read_manifest(tmp_path)
+        assert manifest["extra"]["steps"] == ["alpha", "beta"]
+        assert run.total_seconds >= 0
+        assert "alpha" in run.render()
+
+    def test_rejects_bad_scale(self, tmp_path):
+        with pytest.raises(ValueError, match="scale"):
+            reproduce_all(tmp_path, scale="galactic", steps=fast_steps())
+
+    def test_golden_check_pass(self, tmp_path):
+        golden = save_golden(tmp_path / "golden.json")
+        run = reproduce_all(tmp_path / "out", steps=fast_steps(), golden_path=golden)
+        assert (tmp_path / "out" / "golden_check.txt").read_text() == "golden: OK\n"
+        assert run.steps[-1].name == "golden-check"
+
+    def test_golden_check_failure_raises(self, tmp_path):
+        import json
+
+        golden = save_golden(tmp_path / "golden.json")
+        doc = json.loads(golden.read_text())
+        doc["entries"][0]["lpt_makespan"] += 1
+        golden.write_text(json.dumps(doc))
+        with pytest.raises(AssertionError, match="golden regression"):
+            reproduce_all(tmp_path / "out", steps=fast_steps(), golden_path=golden)
+        # The evidence file exists even on failure.
+        assert (tmp_path / "out" / "golden_check.txt").exists()
+
+    def test_default_steps_cover_all_artifacts(self):
+        names = [name for name, _ in default_steps("smoke")]
+        assert names == [
+            "figure1",
+            "table1",
+            "figure2",
+            "figure3",
+            "figure4",
+            "figure5",
+            "table2",
+            "table3",
+        ]
+
+    def test_cheap_default_steps_run(self, tmp_path):
+        """figure1 and table1 are fast — run them for real."""
+        steps = [s for s in default_steps("smoke") if s[0] in ("figure1", "table1")]
+        run = reproduce_all(tmp_path, steps=steps)
+        assert (tmp_path / "figure1.txt").exists()
+        assert "Table I" in (tmp_path / "table1.txt").read_text()
+        assert len(run.steps) == 2

@@ -1,0 +1,150 @@
+"""Unit tests for :mod:`repro.core.rounding` (Alg. 1, lines 9–24)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rounding import (
+    RoundedInstance,
+    accuracy_parameter,
+    is_long,
+    round_instance,
+    rounded_size,
+    rounding_unit,
+)
+from repro.model.instance import Instance
+
+from conftest import medium_instances
+
+
+class TestAccuracyParameter:
+    def test_paper_value(self):
+        assert accuracy_parameter(0.3) == 4  # ceil(1/0.3) = ceil(3.33)
+
+    def test_k_one_for_eps_ge_one(self):
+        assert accuracy_parameter(1.0) == 1
+        assert accuracy_parameter(2.0) == 1
+
+    def test_exact_reciprocal(self):
+        assert accuracy_parameter(0.5) == 2
+        assert accuracy_parameter(0.25) == 4
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            accuracy_parameter(0.0)
+        with pytest.raises(ValueError):
+            accuracy_parameter(-0.1)
+
+
+class TestUnitAndClassification:
+    def test_unit_paper_example(self):
+        # T=30, k=4 -> unit = ceil(30/16) = 2... but the paper's example
+        # works with unit 1 because its T=30, k^2=16 gives ceil=2 and the
+        # example's rounded sizes 6 and 11 are multiples of 1.  Check the
+        # formula itself here.
+        assert rounding_unit(30, 4) == 2
+        assert rounding_unit(16, 4) == 1
+        assert rounding_unit(17, 4) == 2
+
+    def test_is_long_strict_threshold(self):
+        # t > T/k is long.  T=30, k=4: threshold 7.5.
+        assert not is_long(7, 30, 4)
+        assert is_long(8, 30, 4)
+
+    def test_is_long_integer_boundary(self):
+        # T=28, k=4: threshold exactly 7 — t=7 must be short.
+        assert not is_long(7, 28, 4)
+        assert is_long(8, 28, 4)
+
+    def test_rounded_size(self):
+        assert rounded_size(11, 2) == 10
+        assert rounded_size(10, 2) == 10
+        assert rounded_size(9, 2) == 8
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            rounding_unit(0, 4)
+
+
+class TestRoundInstance:
+    def test_basic_split(self):
+        inst = Instance([30, 25, 16, 7, 3], num_machines=2)
+        r = round_instance(inst, target=30, k=4)
+        # T/k = 7.5: long jobs are 30, 25, 16; short are 7, 3.
+        assert r.short_jobs == (3, 4)
+        assert r.num_long_jobs == 3
+        # unit = 2: 30->30, 25->24, 16->16.
+        assert r.class_sizes == (16, 24, 30)
+        assert r.class_counts == (1, 1, 1)
+
+    def test_class_members_track_original_indices(self):
+        inst = Instance([9, 9, 10], num_machines=2)
+        r = round_instance(inst, target=12, k=4)
+        # unit = ceil(12/16) = 1: all long (> 3), classes 9 and 10.
+        assert r.class_members == ((0, 1), (2,))
+
+    def test_all_short_for_k1(self):
+        inst = Instance([5, 5], num_machines=2)
+        r = round_instance(inst, target=10, k=1)
+        assert r.num_long_jobs == 0
+        assert r.short_jobs == (0, 1)
+        assert r.table_size == 1
+
+    def test_rejects_job_exceeding_target(self):
+        inst = Instance([50], num_machines=1)
+        with pytest.raises(ValueError, match="exceeds the target"):
+            round_instance(inst, target=40, k=4)
+
+    def test_full_vector_matches_compressed(self):
+        inst = Instance([9, 9, 10, 2], num_machines=2)
+        r = round_instance(inst, target=12, k=4)
+        full = r.full_vector()
+        assert len(full) == 16
+        assert sum(full) == r.num_long_jobs
+        for size, count in zip(r.class_sizes, r.class_counts):
+            assert full[size // r.unit - 1] == count
+
+    def test_table_size_product(self):
+        r = RoundedInstance(
+            target=10,
+            k=2,
+            unit=3,
+            class_sizes=(3, 6),
+            class_counts=(2, 3),
+            class_members=((0, 1), (2, 3, 4)),
+            short_jobs=(),
+        )
+        assert r.table_size == 3 * 4
+
+
+@given(medium_instances(), st.sampled_from([2, 3, 4, 5]))
+@settings(max_examples=80, deadline=None)
+def test_property_rounding_invariants(inst: Instance, k: int):
+    """Structural invariants of the rounding stage for any target in the
+    bisection range."""
+    target = inst.trivial_upper_bound()
+    r = round_instance(inst, target, k)
+    t = inst.processing_times
+    # Partition: every job is exactly once short or long.
+    long_members = [j for members in r.class_members for j in members]
+    assert sorted(long_members + list(r.short_jobs)) == list(range(inst.num_jobs))
+    # Short jobs satisfy t <= T/k, long ones t > T/k.
+    for j in r.short_jobs:
+        assert t[j] * k <= target
+    for j in long_members:
+        assert t[j] * k > target
+    # Rounded sizes are multiples of the unit, in (0, T], and each member
+    # lies in [size, size + unit).
+    assert r.unit == math.ceil(target / (k * k))
+    for size, members in zip(r.class_sizes, r.class_members):
+        assert size % r.unit == 0
+        assert 0 < size <= target
+        for j in members:
+            assert size <= t[j] < size + r.unit
+    # Class sizes strictly ascending, counts match membership.
+    assert list(r.class_sizes) == sorted(set(r.class_sizes))
+    assert r.class_counts == tuple(len(ms) for ms in r.class_members)

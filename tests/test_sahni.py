@@ -1,0 +1,86 @@
+"""Tests for Sahni's fixed-m algorithms (:mod:`repro.exact.sahni`)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.exact.brute import brute_force
+from repro.exact.sahni import exact_dp, sahni_fptas
+from repro.model.instance import Instance
+
+from conftest import small_instances
+
+
+class TestExactDP:
+    def test_matches_brute(self):
+        inst = Instance([9, 7, 6, 5, 4, 3, 2], 3)
+        res = exact_dp(inst)
+        assert res.exact
+        assert res.makespan == brute_force(inst).makespan
+        assert res.schedule.is_valid()
+        assert res.schedule.makespan == res.makespan
+
+    def test_single_machine(self):
+        inst = Instance([3, 4, 5], 1)
+        assert exact_dp(inst).makespan == 12
+
+    def test_two_machines_perfect_split(self):
+        inst = Instance([5, 4, 3, 3, 3], 2)
+        assert exact_dp(inst).makespan == 9
+
+    def test_state_cap(self):
+        inst = Instance([1000] * 10, 5)
+        with pytest.raises(ValueError, match="state space"):
+            exact_dp(inst, max_states=100)
+
+    def test_handles_more_jobs_than_brute(self):
+        """The DP scales to job counts brute force cannot touch when
+        processing times are small."""
+        inst = Instance([3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 3, 8, 4, 6, 2, 6, 4], 3)
+        res = exact_dp(inst)
+        from repro.exact.branch_and_bound import branch_and_bound
+
+        reference = branch_and_bound(inst)
+        assert reference.optimal
+        assert res.makespan == reference.makespan
+        assert res.schedule.is_valid()
+
+    @given(small_instances(max_jobs=8, max_machines=3, max_time=12))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_brute(self, inst: Instance):
+        assert exact_dp(inst).makespan == brute_force(inst).makespan
+
+
+class TestFPTAS:
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            sahni_fptas(Instance([1], 1), 0.0)
+
+    def test_guarantee_on_fixed_instances(self):
+        for times, m in [
+            ([9, 8, 7, 6, 5, 5, 4, 3, 2, 1], 3),
+            ([13, 11, 7, 5, 3, 2, 2], 4),
+            ([20, 1, 1, 1, 1, 1, 1], 2),
+        ]:
+            inst = Instance(times, m)
+            opt = brute_force(inst).makespan
+            for eps in (0.1, 0.3):
+                res = sahni_fptas(inst, eps)
+                assert res.schedule.is_valid()
+                assert res.makespan <= (1 + eps) * opt + 1e-9
+
+    @given(small_instances(max_jobs=8, max_machines=3, max_time=15))
+    @settings(max_examples=30, deadline=None)
+    def test_property_guarantee(self, inst: Instance):
+        opt = brute_force(inst).makespan
+        res = sahni_fptas(inst, 0.25)
+        assert res.makespan <= 1.25 * opt + 1e-9
+
+    def test_smaller_eps_not_worse_typically(self):
+        inst = Instance([17, 13, 11, 9, 8, 7, 5, 4], 3)
+        opt = brute_force(inst).makespan
+        coarse = sahni_fptas(inst, 0.5).makespan
+        fine = sahni_fptas(inst, 0.05).makespan
+        assert fine <= coarse
+        assert fine <= 1.05 * opt + 1e-9

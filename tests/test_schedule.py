@@ -1,0 +1,111 @@
+"""Unit tests for :mod:`repro.model.schedule`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.instance import Instance
+from repro.model.schedule import Schedule, makespan_of_loads, schedule_from_machine_map
+
+from conftest import medium_instances
+
+
+class TestConstruction:
+    def test_basic(self):
+        inst = Instance([7, 3, 5, 5], num_machines=2)
+        sched = Schedule(inst, [(0, 1), (2, 3)])
+        assert sched.machine_loads == (10, 10)
+        assert sched.makespan == 10
+
+    def test_empty_machines_allowed(self):
+        inst = Instance([4], num_machines=3)
+        sched = Schedule(inst, [[0], [], []])
+        assert sched.machine_loads == (4, 0, 0)
+
+    def test_rejects_wrong_machine_count(self):
+        inst = Instance([1, 2], num_machines=2)
+        with pytest.raises(ValueError, match="machine groups"):
+            Schedule(inst, [[0, 1]])
+
+    def test_rejects_duplicate_job(self):
+        inst = Instance([1, 2], num_machines=2)
+        with pytest.raises(ValueError, match="more than one machine"):
+            Schedule(inst, [[0, 1], [1]])
+
+    def test_rejects_missing_job(self):
+        inst = Instance([1, 2], num_machines=2)
+        with pytest.raises(ValueError, match="not assigned"):
+            Schedule(inst, [[0], []])
+
+    def test_rejects_out_of_range_job(self):
+        inst = Instance([1], num_machines=1)
+        with pytest.raises(ValueError, match="out of range"):
+            Schedule(inst, [[0, 5]])
+
+
+class TestObjective:
+    def test_makespan_is_max_load(self):
+        inst = Instance([2, 2, 9], num_machines=2)
+        sched = Schedule(inst, [[0, 1], [2]])
+        assert sched.makespan == 9
+
+    def test_makespan_of_loads(self):
+        assert makespan_of_loads([3, 9, 4]) == 9
+
+    def test_imbalance_perfectly_balanced(self):
+        inst = Instance([4, 4], num_machines=2)
+        sched = Schedule(inst, [[0], [1]])
+        assert sched.imbalance() == 1.0
+
+
+class TestInspection:
+    def test_job_machine(self):
+        inst = Instance([1, 2, 3], num_machines=2)
+        sched = Schedule(inst, [[0, 2], [1]])
+        assert sched.job_machine() == {0: 0, 2: 0, 1: 1}
+
+    def test_completion_times_in_assignment_order(self):
+        inst = Instance([5, 3, 2], num_machines=1)
+        sched = Schedule(inst, [[1, 0, 2]])
+        assert sched.completion_times() == {1: 3, 0: 8, 2: 10}
+
+    def test_completion_time_max_equals_makespan(self):
+        inst = Instance([5, 3, 2, 7], num_machines=2)
+        sched = Schedule(inst, [[0, 1], [2, 3]])
+        assert max(sched.completion_times().values()) == sched.makespan
+
+    def test_canonical_ignores_machine_order(self):
+        inst = Instance([1, 2], num_machines=2)
+        a = Schedule(inst, [[0], [1]])
+        b = Schedule(inst, [[1], [0]])
+        assert a.canonical() == b.canonical()
+
+    def test_is_valid(self):
+        inst = Instance([1, 2], num_machines=2)
+        assert Schedule(inst, [[0], [1]]).is_valid()
+
+    def test_roundtrip_machine_map(self):
+        inst = Instance([1, 2, 3], num_machines=2)
+        sched = Schedule(inst, [[0, 2], [1]])
+        rebuilt = schedule_from_machine_map(inst, sched.job_machine())
+        assert rebuilt.canonical() == sched.canonical()
+
+    def test_machine_map_rejects_bad_machine(self):
+        inst = Instance([1], num_machines=1)
+        with pytest.raises(ValueError, match="machine index"):
+            schedule_from_machine_map(inst, {0: 5})
+
+
+@given(medium_instances(), st.randoms(use_true_random=False))
+def test_property_random_partition_valid(inst: Instance, rnd):
+    """Any random partition constructs successfully and its makespan is
+    between the trivial lower bound's ingredients and the total work."""
+    groups = [[] for _ in range(inst.num_machines)]
+    for j in range(inst.num_jobs):
+        groups[rnd.randrange(inst.num_machines)].append(j)
+    sched = Schedule(inst, groups)
+    assert sched.is_valid()
+    assert inst.max_time <= sched.makespan <= inst.total_work
+    assert sum(sched.machine_loads) == inst.total_work

@@ -1,0 +1,121 @@
+"""Tests for the simulated machine's assignment policies and the
+per-state cost fidelity of the parallel DP."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dp import DPProblem
+from repro.core.parallel_dp import parallel_dp
+from repro.simcore.costmodel import CostModel
+from repro.simcore.machine import ASSIGNMENT_POLICIES, SimulatedMachine
+
+ZERO = CostModel(
+    state_overhead_ops=0.0,
+    config_enumeration_factor=1.0,
+    barrier_ops=0.0,
+    dispatch_ops_per_chunk=0.0,
+)
+
+
+class TestDynamicPolicy:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="assignment policy"):
+            SimulatedMachine(2, assignment_policy="random")
+        for policy in ASSIGNMENT_POLICIES:
+            SimulatedMachine(2, assignment_policy=policy)
+
+    def test_identical_for_uniform_costs(self):
+        rr = SimulatedMachine(3, ZERO, assignment_policy="round_robin")
+        dyn = SimulatedMachine(3, ZERO, assignment_policy="dynamic")
+        costs = [2.0] * 10
+        rr.record_level(0, costs)
+        dyn.record_level(0, costs)
+        assert rr.parallel_ops == pytest.approx(dyn.parallel_ops)
+
+    def test_dynamic_beats_round_robin_on_skewed_costs(self):
+        # Round-robin puts both heavy items on processor 0.
+        costs = [10.0, 1.0, 10.0, 1.0]
+        rr = SimulatedMachine(2, ZERO, assignment_policy="round_robin")
+        dyn = SimulatedMachine(2, ZERO, assignment_policy="dynamic")
+        rr.record_level(0, costs)
+        dyn.record_level(0, costs)
+        assert rr.parallel_ops == 20.0
+        assert dyn.parallel_ops == pytest.approx(11.0)
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=20.0), min_size=1, max_size=30),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_both_policies_within_graham_bounds(self, costs, p):
+        """Neither policy is universally better (greedy self-scheduling is
+        list scheduling, a (2 - 1/p)-approximation — fitting, given the
+        library's subject), but both stay within Graham's envelope of the
+        level's lower bound, and dynamic meets the LS guarantee relative
+        to round-robin (which is itself a feasible schedule)."""
+        rr = SimulatedMachine(p, ZERO, assignment_policy="round_robin")
+        dyn = SimulatedMachine(p, ZERO, assignment_policy="dynamic")
+        rr.record_level(0, costs)
+        dyn.record_level(0, costs)
+        lower = max(max(costs), sum(costs) / p)
+        graham = 2.0 - 1.0 / p
+        assert lower - 1e-9 <= dyn.parallel_ops <= graham * lower + 1e-9
+        assert lower - 1e-9 <= rr.parallel_ops <= sum(costs) + 1e-9
+        # Round-robin is a feasible level schedule, so its makespan bounds
+        # the optimum and LS's guarantee applies against it too.
+        assert dyn.parallel_ops <= graham * rr.parallel_ops + 1e-9
+
+
+class TestPerStateFidelity:
+    def test_rejects_unknown_fidelity(self, paper_example_problem):
+        with pytest.raises(ValueError, match="cost_fidelity"):
+            parallel_dp(
+                paper_example_problem, 2, "simulated", cost_fidelity="exact"
+            )
+
+    def test_results_unchanged(self, paper_example_problem):
+        uniform = parallel_dp(paper_example_problem, 2, "simulated")
+        per_state = parallel_dp(
+            paper_example_problem, 2, "simulated", cost_fidelity="per_state"
+        )
+        assert per_state.opt == uniform.opt
+        assert per_state.machine_configs == uniform.machine_configs
+
+    def test_per_state_serial_ops_not_above_uniform(self, paper_example_problem):
+        """|C_v| <= |C| per state, so the measured workload is a lower
+        envelope of the worst-case accounting."""
+        uni = SimulatedMachine(2, CostModel())
+        per = SimulatedMachine(2, CostModel())
+        parallel_dp(paper_example_problem, 2, "simulated", machine=uni)
+        parallel_dp(
+            paper_example_problem,
+            2,
+            "simulated",
+            machine=per,
+            cost_fidelity="per_state",
+        )
+        assert per.serial_ops <= uni.serial_ops + 1e-9
+
+    def test_dynamic_policy_with_per_state_costs(self):
+        """End to end: both policies process the same per-state workload
+        (equal serial ops) and differ only in level makespans, staying
+        within the (2 - 1/P) list-scheduling envelope of each other."""
+        problem = DPProblem((4, 9), (6, 4), 22)
+        machines = {}
+        for policy in ASSIGNMENT_POLICIES:
+            machine = SimulatedMachine(4, CostModel(), assignment_policy=policy)
+            parallel_dp(
+                problem,
+                4,
+                "simulated",
+                machine=machine,
+                cost_fidelity="per_state",
+            )
+            machines[policy] = machine
+        rr, dyn = machines["round_robin"], machines["dynamic"]
+        assert rr.serial_ops == pytest.approx(dyn.serial_ops)
+        graham = 2.0 - 1.0 / 4
+        assert dyn.parallel_ops <= graham * rr.parallel_ops + 1e-9

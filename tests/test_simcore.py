@@ -1,0 +1,159 @@
+"""Unit tests for the simulated multicore machine (:mod:`repro.simcore`)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcore.costmodel import CostModel
+from repro.simcore.machine import SimulatedMachine
+
+
+ZERO_OVERHEAD = CostModel(
+    state_overhead_ops=0.0,
+    config_enumeration_factor=1.0,
+    barrier_ops=0.0,
+    dispatch_ops_per_chunk=0.0,
+)
+
+
+class TestCostModel:
+    def test_state_cost(self):
+        cm = CostModel(state_overhead_ops=2.0, config_enumeration_factor=25.0)
+        assert cm.state_cost(10) == 2.0 + 250.0
+
+    def test_level_fixed_cost_serial_is_free(self):
+        cm = CostModel(barrier_ops=100.0, dispatch_ops_per_chunk=10.0)
+        assert cm.level_fixed_cost(4, parallel=False) == 0.0
+
+    def test_level_fixed_cost_parallel(self):
+        cm = CostModel(barrier_ops=100.0, dispatch_ops_per_chunk=10.0)
+        assert cm.level_fixed_cost(4, parallel=True) == 140.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CostModel(barrier_ops=-1.0)
+        with pytest.raises(ValueError):
+            CostModel(config_enumeration_factor=-0.5)
+
+    def test_state_cost_rejects_negative_scans(self):
+        with pytest.raises(ValueError):
+            CostModel().state_cost(-1)
+
+
+class TestSimulatedMachine:
+    def test_rejects_zero_processors(self):
+        with pytest.raises(ValueError):
+            SimulatedMachine(0)
+
+    def test_round_robin_assignment(self):
+        m = SimulatedMachine(2, ZERO_OVERHEAD)
+        m.record_level(0, [1.0, 2.0, 3.0, 4.0])
+        # proc0: 1+3=4, proc1: 2+4=6 -> level time 6, serial 10.
+        assert m.parallel_ops == 6.0
+        assert m.serial_ops == 10.0
+        trace = m.traces[0]
+        assert trace.processor_busy_ops == (4.0, 6.0)
+        assert trace.busiest == 6.0
+
+    def test_uniform_level_matches_explicit(self):
+        a = SimulatedMachine(3, ZERO_OVERHEAD)
+        a.record_level(0, [2.0] * 7)
+        b = SimulatedMachine(3, ZERO_OVERHEAD)
+        b.record_uniform_level(0, 7, 2.0)
+        assert a.parallel_ops == b.parallel_ops
+        assert a.serial_ops == b.serial_ops
+
+    def test_speedup_bounded_by_processors(self):
+        m = SimulatedMachine(4, ZERO_OVERHEAD)
+        m.record_level(0, [1.0] * 100)
+        assert m.speedup <= 4.0 + 1e-9
+        assert m.speedup == pytest.approx(100 / 25)
+
+    def test_single_item_level_no_speedup(self):
+        m = SimulatedMachine(8, ZERO_OVERHEAD)
+        m.record_level(0, [5.0])
+        assert m.speedup == pytest.approx(1.0)
+
+    def test_barrier_reduces_speedup(self):
+        fast = SimulatedMachine(4, ZERO_OVERHEAD)
+        slow = SimulatedMachine(4, CostModel(
+            state_overhead_ops=0.0,
+            config_enumeration_factor=1.0,
+            barrier_ops=50.0,
+            dispatch_ops_per_chunk=0.0,
+        ))
+        for m in (fast, slow):
+            for level in range(10):
+                m.record_level(level, [1.0] * 8)
+        assert slow.speedup < fast.speedup
+
+    def test_sequential_work_amdahl(self):
+        m = SimulatedMachine(4, ZERO_OVERHEAD)
+        m.record_level(0, [1.0] * 40)  # 10 parallel ops
+        m.record_sequential(90.0)
+        # serial = 130, parallel = 100 -> speedup 1.3
+        assert m.speedup == pytest.approx(130 / 100)
+
+    def test_empty_level(self):
+        m = SimulatedMachine(4, ZERO_OVERHEAD)
+        m.record_level(0, [])
+        assert m.parallel_ops == 0.0
+        assert m.speedup == 1.0
+
+    def test_merge(self):
+        a = SimulatedMachine(2, ZERO_OVERHEAD)
+        a.record_level(0, [1.0, 2.0])
+        b = SimulatedMachine(2, ZERO_OVERHEAD)
+        b.record_level(0, [3.0])
+        a.merge(b)
+        assert a.serial_ops == 6.0
+        assert len(a.traces) == 2
+
+    def test_merge_rejects_mismatched_processors(self):
+        with pytest.raises(ValueError):
+            SimulatedMachine(2).merge(SimulatedMachine(3))
+
+    def test_utilization(self):
+        m = SimulatedMachine(2, ZERO_OVERHEAD)
+        m.record_level(0, [1.0, 1.0])
+        assert m.traces[0].utilization == pytest.approx(1.0)
+        m.record_level(1, [1.0])
+        assert m.traces[1].utilization == pytest.approx(0.5)
+
+
+class TestCalibration:
+    def test_calibrate_scales_linearly(self):
+        m = SimulatedMachine(2, ZERO_OVERHEAD)
+        m.record_level(0, [1.0] * 10)  # serial 10 ops, parallel 5 ops
+        times = m.calibrate(2.0)
+        assert times.serial_seconds == 2.0
+        assert times.parallel_seconds == pytest.approx(1.0)
+        assert times.seconds_per_op == pytest.approx(0.2)
+        assert times.speedup == pytest.approx(2.0)
+
+    def test_calibrate_zero_work(self):
+        times = SimulatedMachine(2).calibrate(1.0)
+        assert times.parallel_seconds == 0.0
+        assert times.speedup == 1.0
+
+    def test_calibrate_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimulatedMachine(2).calibrate(-1.0)
+
+
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=40),
+    st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_parallel_time_bracketed(costs, p):
+    """Zero-overhead level time lies between serial/P and serial, and the
+    speedup never exceeds P."""
+    m = SimulatedMachine(p, ZERO_OVERHEAD)
+    m.record_level(0, costs)
+    serial = sum(costs)
+    assert serial / p - 1e-9 <= m.parallel_ops <= serial + 1e-9
+    assert m.speedup <= p + 1e-9
+    assert m.parallel_ops >= max(costs) - 1e-9

@@ -1,0 +1,52 @@
+"""Tests for the simulated-machine report rendering (:mod:`repro.simcore.report`)."""
+
+from __future__ import annotations
+
+from repro.core.parallel_dp import parallel_dp
+from repro.simcore.costmodel import CostModel
+from repro.simcore.machine import SimulatedMachine
+from repro.simcore.report import summarize, utilization_timeline
+
+
+def run_machine(paper_example_problem, workers: int = 4) -> SimulatedMachine:
+    machine = SimulatedMachine(workers, CostModel())
+    parallel_dp(paper_example_problem, workers, "simulated", machine=machine)
+    return machine
+
+
+class TestTimeline:
+    def test_empty_machine(self):
+        assert "(no traces recorded)" in utilization_timeline(SimulatedMachine(2))
+
+    def test_row_per_level(self, paper_example_problem):
+        machine = run_machine(paper_example_problem)
+        out = utilization_timeline(machine)
+        lines = out.splitlines()
+        # header + D-array row + 6 levels
+        assert len(lines) == 8
+        assert "D-arr" in lines[1]
+
+    def test_subsampling(self, paper_example_problem):
+        machine = run_machine(paper_example_problem)
+        out = utilization_timeline(machine, max_rows=2)
+        assert len(out.splitlines()) <= 5
+
+    def test_utilization_bounded(self, paper_example_problem):
+        machine = run_machine(paper_example_problem)
+        for trace in machine.traces:
+            assert 0.0 <= trace.utilization <= 1.0 + 1e-9
+
+
+class TestSummary:
+    def test_contains_key_numbers(self, paper_example_problem):
+        machine = run_machine(paper_example_problem)
+        out = summarize(machine)
+        assert "4 processors" in out
+        assert "speedup" in out
+        assert "levels narrower than P" in out
+
+    def test_single_processor(self, paper_example_problem):
+        machine = run_machine(paper_example_problem, workers=1)
+        out = summarize(machine)
+        assert "1 processors" in out
+        assert "Karp-Flatt" not in out

@@ -1,0 +1,80 @@
+"""Tests for the named benchmark suites (:mod:`repro.workloads.suites`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.families import FAMILIES
+from repro.workloads.suites import SUITES, Suite, suite
+
+
+class TestRegistry:
+    def test_expected_suites(self):
+        assert set(SUITES) == {"paper-speedup", "paper-ratio", "smoke", "stress"}
+
+    def test_unknown_suite(self):
+        with pytest.raises(ValueError, match="unknown suite"):
+            suite("galaxy")
+
+    def test_paper_speedup_size(self):
+        # 4 families x 3 sizes x 20 replicates = 240 instances.
+        assert len(suite("paper-speedup")) == 240
+
+    def test_ratio_pool_covers_special_families(self):
+        kinds = {kind for kind, *_ in suite("paper-ratio").coordinates}
+        assert "lpt_adversarial" in kinds and "u_narrow" in kinds
+
+    def test_all_kinds_valid(self):
+        for s in SUITES.values():
+            for kind, *_ in s.coordinates:
+                assert kind in FAMILIES
+
+    def test_seeds_unique_within_suite(self):
+        for s in SUITES.values():
+            seeds = [seed for *_, seed in s.coordinates]
+            assert len(seeds) == len(set(seeds)), s.name
+
+    def test_seed_ranges_disjoint_across_suites(self):
+        ranges = {}
+        for s in SUITES.values():
+            seeds = {seed for *_, seed in s.coordinates}
+            ranges[s.name] = seeds
+        names = sorted(ranges)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                assert not (ranges[a] & ranges[b]), (a, b)
+
+
+class TestIteration:
+    def test_smoke_items(self):
+        items = list(suite("smoke"))
+        assert len(items) == 8
+        for index, item in enumerate(items):
+            assert item.index == index
+            assert item.suite == "smoke"
+            assert item.instance.num_machines == item.m
+            assert item.instance.num_jobs == item.n
+
+    def test_item_matches_iteration(self):
+        s = suite("smoke")
+        assert s.item(3).instance == list(s)[3].instance
+
+    def test_deterministic(self):
+        a = [it.instance for it in suite("smoke")]
+        b = [it.instance for it in suite("smoke")]
+        assert a == b
+
+    def test_lpt_adversarial_pins_n(self):
+        for item in suite("paper-ratio"):
+            if item.kind == "lpt_adversarial":
+                assert item.instance.num_jobs == 2 * item.m + 1
+
+    def test_smoke_suite_solvable_end_to_end(self):
+        from repro.core.ptas import ptas
+        from repro.exact.branch_and_bound import branch_and_bound
+
+        for item in suite("smoke"):
+            result = ptas(item.instance, 0.3)
+            exact = branch_and_bound(item.instance)
+            assert exact.optimal
+            assert result.makespan <= 1.3 * exact.makespan + 1e-9

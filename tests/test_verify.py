@@ -1,0 +1,84 @@
+"""Tests for the verification module (:mod:`repro.model.verify`)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.ptas import parallel_ptas, ptas
+from repro.model.instance import Instance
+from repro.model.schedule import Schedule
+from repro.model.verify import verify_ptas_result, verify_schedule
+
+from conftest import medium_instances, small_instances
+
+
+class TestVerifySchedule:
+    def test_clean_schedule(self):
+        inst = Instance([5, 4, 3], 2)
+        report = verify_schedule(Schedule(inst, [[0], [1, 2]]))
+        assert report.ok
+        assert bool(report)
+        report.raise_if_failed()  # no-op
+
+    def test_mismatched_instance(self):
+        inst = Instance([5, 4, 3], 2)
+        other = Instance([5, 4, 4], 2)
+        sched = Schedule(inst, [[0], [1, 2]])
+        report = verify_schedule(sched, other)
+        assert not report.ok
+        assert "different instance" in report.violations[0]
+
+    def test_raise_if_failed(self):
+        inst = Instance([5, 4, 3], 2)
+        report = verify_schedule(
+            Schedule(inst, [[0], [1, 2]]), Instance([9, 9], 1)
+        )
+        with pytest.raises(AssertionError, match="verification"):
+            report.raise_if_failed()
+
+    @given(medium_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_property_all_algorithms_verify(self, inst):
+        from repro.algorithms.list_scheduling import list_scheduling
+        from repro.algorithms.lpt import lpt
+        from repro.algorithms.multifit import multifit
+
+        for schedule in (lpt(inst), list_scheduling(inst), multifit(inst)):
+            assert verify_schedule(schedule).ok
+
+
+class TestVerifyPTASResult:
+    def test_sequential_result_verifies(self, small_instance):
+        report = verify_ptas_result(ptas(small_instance, 0.3))
+        assert report.ok, report.violations
+
+    def test_parallel_result_verifies(self, small_instance):
+        report = verify_ptas_result(
+            parallel_ptas(small_instance, 0.3, num_workers=4)
+        )
+        assert report.ok, report.violations
+
+    @given(small_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_property_every_run_verifies(self, inst):
+        for eps in (0.3, 0.7):
+            report = verify_ptas_result(ptas(inst, eps))
+            assert report.ok, (inst, eps, report.violations)
+
+    def test_detects_tampered_target(self, small_instance):
+        import dataclasses
+
+        result = ptas(small_instance, 0.3)
+        bad = dataclasses.replace(result, final_target=10**9)
+        report = verify_ptas_result(bad)
+        assert not report.ok
+        assert any("outside" in v for v in report.violations)
+
+    def test_detects_inconsistent_k(self, small_instance):
+        import dataclasses
+
+        result = ptas(small_instance, 0.3)
+        bad = dataclasses.replace(result, eps=0.9)  # k=4 but ceil(1/0.9)=2
+        report = verify_ptas_result(bad)
+        assert any("inconsistent" in v for v in report.violations)

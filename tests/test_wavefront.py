@@ -1,0 +1,75 @@
+"""Unit tests for the generic wavefront driver."""
+
+from __future__ import annotations
+
+from repro.parallel.executor import SerialExecutor, ThreadExecutor
+from repro.parallel.wavefront import run_wavefront
+
+
+def test_runs_levels_in_order():
+    seen: list[int] = []
+
+    def worker(chunk):
+        seen.extend(chunk)
+
+    levels = [[1], [2, 3], [4, 5, 6]]
+    run = run_wavefront(levels, worker)
+    assert seen == [1, 2, 3, 4, 5, 6]
+    assert run.num_levels == 3
+    assert run.total_items == 6
+    assert run.level_sizes == [1, 2, 3]
+    assert run.max_level_size == 3
+
+
+def test_barrier_between_levels():
+    """A toy triangular recurrence: every level-l value depends on all
+    level-(l-1) values.  Any barrier violation corrupts the sums."""
+    table = {0: {0: 1}}
+
+    def worker(chunk):
+        for level, i in chunk:
+            table.setdefault(level, {})[i] = sum(table[level - 1].values())
+
+    levels = [[(l, i) for i in range(l + 1)] for l in range(1, 6)]
+    with ThreadExecutor(4) as ex:
+        run_wavefront(levels, worker, ex)
+    # Level l has l+1 entries, each equal to the sum of level l-1:
+    # sums follow s_l = (l) * s_{l-1} ... check explicitly.
+    expected_value = 1
+    for l in range(1, 6):
+        expected_value = expected_value * l  # l entries of previous level
+        assert all(v == expected_value for v in table[l].values())
+
+
+def test_observer_called_per_level():
+    calls: list[tuple[int, int]] = []
+
+    def observer(level, items, results):
+        calls.append((level, len(items)))
+
+    run_wavefront([[1], [], [2, 3]], lambda c: None, observer=observer)
+    assert calls == [(0, 1), (1, 0), (2, 2)]
+
+
+def test_empty_levels_ok():
+    run = run_wavefront([[], [], []], lambda c: None)
+    assert run.num_levels == 3
+    assert run.total_items == 0
+
+
+def test_default_executor_is_serial():
+    out: list[int] = []
+    run_wavefront([[1, 2]], lambda c: out.extend(c))
+    assert out == [1, 2]
+
+
+def test_respects_executor_worker_count():
+    """With P modelled workers, each level is split into P chunks."""
+    chunk_sizes: list[int] = []
+
+    def worker(chunk):
+        chunk_sizes.append(len(chunk))
+
+    run_wavefront([[1, 2, 3, 4, 5]], worker, SerialExecutor(2))
+    # Round-robin of 5 items over 2 workers: chunks of 3 and 2.
+    assert sorted(chunk_sizes) == [2, 3]

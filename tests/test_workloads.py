@@ -1,0 +1,132 @@
+"""Tests for the workload generators (:mod:`repro.workloads`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.families import FAMILIES, SPEEDUP_FAMILY_KEYS, family, speedup_families
+from repro.workloads.generator import (
+    family_of_types,
+    generate_batch,
+    lpt_adversarial,
+    lpt_worst_case_exact,
+    make_instance,
+    uniform_instance,
+)
+
+
+class TestUniformInstance:
+    def test_shape(self):
+        inst = uniform_instance(4, 10, 1, 100, seed=0)
+        assert inst.num_jobs == 10
+        assert inst.num_machines == 4
+
+    def test_bounds_inclusive(self):
+        inst = uniform_instance(2, 2000, 3, 5, seed=1)
+        values = set(inst.processing_times)
+        assert values == {3, 4, 5}
+
+    def test_deterministic_seed(self):
+        a = uniform_instance(3, 20, 1, 50, seed=7)
+        b = uniform_instance(3, 20, 1, 50, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = uniform_instance(3, 20, 1, 50, seed=7)
+        b = uniform_instance(3, 20, 1, 50, seed=8)
+        assert a != b
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            uniform_instance(2, 5, 10, 9)
+        with pytest.raises(ValueError):
+            uniform_instance(2, 5, 0, 9)
+        with pytest.raises(ValueError):
+            uniform_instance(2, 0, 1, 9)
+
+
+class TestFamilies:
+    def test_all_six_defined(self):
+        assert set(FAMILIES) == {
+            "u_2m",
+            "u_100",
+            "u_10",
+            "u_10n",
+            "lpt_adversarial",
+            "u_narrow",
+        }
+
+    def test_speedup_order_matches_paper(self):
+        assert SPEEDUP_FAMILY_KEYS == ("u_2m", "u_100", "u_10", "u_10n")
+        assert [f.key for f in speedup_families()] == list(SPEEDUP_FAMILY_KEYS)
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            family("zipf")
+
+    @pytest.mark.parametrize("key", sorted(FAMILIES))
+    def test_bounds_valid_at_paper_sizes(self, key):
+        fam = family(key)
+        for m, n in [(10, 30), (10, 50), (20, 100)]:
+            lo, hi = fam.bounds(m, n)
+            assert 1 <= lo <= hi
+
+    def test_u_2m_bounds(self):
+        assert family("u_2m").bounds(10, 30) == (1, 19)
+
+    def test_u_10n_bounds(self):
+        assert family("u_10n").bounds(10, 30) == (1, 300)
+
+    def test_lpt_adversarial_pins_n(self):
+        fam = family("lpt_adversarial")
+        assert fam.job_count(10, 999) == 21
+        assert fam.bounds(10, 21) == (10, 19)
+
+    def test_narrow_bounds(self):
+        assert family("u_narrow").bounds(10, 30) == (95, 105)
+
+
+class TestMakeInstance:
+    @pytest.mark.parametrize("key", sorted(FAMILIES))
+    def test_every_family_generates(self, key):
+        inst = make_instance(key, 10, 30, seed=0)
+        fam = family(key)
+        lo, hi = fam.bounds(10, 30)
+        assert inst.num_jobs == fam.job_count(10, 30)
+        assert all(lo <= t <= hi for t in inst.processing_times)
+
+    def test_lpt_adversarial_wrapper(self):
+        inst = lpt_adversarial(10, seed=0)
+        assert inst.num_jobs == 21
+        assert all(10 <= t <= 19 for t in inst.processing_times)
+
+    def test_lpt_worst_case_exact_structure(self):
+        inst = lpt_worst_case_exact(4)
+        assert inst.num_jobs == 2 * 4 + 1
+        assert sorted(inst.processing_times) == [4, 4, 4, 5, 5, 6, 6, 7, 7]
+
+    def test_lpt_worst_case_needs_m2(self):
+        with pytest.raises(ValueError):
+            lpt_worst_case_exact(1)
+
+
+class TestBatches:
+    def test_batch_count_and_seeds(self):
+        batch = list(generate_batch("u_10", 5, 12, count=4, base_seed=100))
+        assert len(batch) == 4
+        assert len({b.processing_times for b in batch}) == 4  # distinct draws
+
+    def test_batch_reproducible(self):
+        a = list(generate_batch("u_100", 5, 12, count=3, base_seed=9))
+        b = list(generate_batch("u_100", 5, 12, count=3, base_seed=9))
+        assert a == b
+
+    def test_batch_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            list(generate_batch("u_10", 2, 5, count=0))
+
+    def test_family_of_types_default_grid(self):
+        grid = family_of_types()
+        assert len(grid) == 24  # 2 machine counts x 3 job counts x 4 kinds
+        assert ("u_10", 10, 30) in grid
+        assert ("u_10n", 20, 100) in grid
