@@ -1,0 +1,216 @@
+"""Wavefront kernel benchmark: states/sec per backend × worker count.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py
+
+Solves one Figure-3-scale DP probe — the ``u_10n`` family at ``m=10,
+n=50`` (seed 0), target at the Eq. 1 lower bound (the hardest probe of
+the bisection), accuracy parameter ``k=5`` so the table is large enough
+(sigma ~25k states) that per-sweep timing is dominated by the recurrence
+rather than by pool startup — and times:
+
+* ``legacy-thread`` — the seed's pure-Python per-state loop (the old
+  ``_compute_states`` worker, preserved verbatim below as the baseline)
+  on the thread backend;
+* the vectorized :class:`~repro.core.kernels.LevelKernel` on every
+  backend (numpy-serial, serial, thread, process).
+
+Every timed run is checked bit-identical to the reference table and
+asserted to reach the same OPT as :func:`repro.core.dp.solve_table`.
+The kernel thread backend must be at least 3x the legacy thread backend
+at every worker count; results land in ``BENCH_dp.json`` at the repo
+root so the perf trajectory is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.bounds import makespan_bounds
+from repro.core.dp import DPProblem, solve_table
+from repro.core.kernels import LevelKernel, build_level_arrays, table_to_optional
+from repro.core.parallel_dp import compute_table
+from repro.core.rounding import round_instance
+from repro.parallel.executor import ThreadExecutor, make_executor, shutdown_pools
+from repro.parallel.partition import round_robin_partition
+from repro.workloads.generator import make_instance
+
+FAMILY, M, N, SEED = "u_10n", 10, 50, 0
+K = 5
+THREAD_WORKERS = (1, 2, 4)
+PROCESS_WORKERS = (2,)
+REPS = 2
+MIN_SPEEDUP = 3.0
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_dp.json"
+
+
+def build_problem() -> DPProblem:
+    """The Figure-3-scale probe described in the module docstring."""
+    inst = make_instance(FAMILY, M, N, seed=SEED)
+    target = makespan_bounds(inst).lower
+    rounded = round_instance(inst, target, K)
+    return DPProblem(
+        rounded.class_sizes, rounded.class_counts, target, job_cap=K - 1
+    )
+
+
+def legacy_thread_sweep(problem: DPProblem, num_workers: int):
+    """The seed's thread backend: per-state pure-Python loop with the
+    ``None`` sentinel, one chunk per worker per level.  Kept here (only)
+    as the benchmark baseline after the kernel replaced it in
+    :mod:`repro.core.parallel_dp`."""
+    dims = problem.dims
+    strides = problem.strides()
+    configs = problem.configurations().configs
+    offsets = [
+        sum(s * st for s, st in zip(cfg, strides)) for cfg in configs
+    ]
+    table: list[int | None] = [None] * problem.table_size
+    table[0] = 0
+    d = len(dims)
+
+    def compute_states(chunk) -> None:
+        for flat in chunk:
+            flat = int(flat)
+            if flat == 0:
+                continue
+            v = tuple((flat // strides[i]) % dims[i] for i in range(d))
+            best: int | None = None
+            for cfg, offset in zip(configs, offsets):
+                if all(cfg[i] <= v[i] for i in range(d)):
+                    prev = table[flat - offset]
+                    if prev is not None and (best is None or prev < best):
+                        best = prev
+            table[flat] = None if best is None else best + 1
+
+    levels = build_level_arrays(dims)
+    with ThreadExecutor(num_workers) as ex:
+        for level in levels[1:]:
+            chunks = round_robin_partition(list(level), num_workers)
+            ex.map_chunks(compute_states, chunks)
+    return table
+
+
+def timed(fn, reps: int = REPS):
+    """Best-of-``reps`` wall time and the last result."""
+    best, result = float("inf"), None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def main() -> int:
+    problem = build_problem()
+    sigma = problem.table_size
+    print(
+        f"instance {FAMILY} m={M} n={N} seed={SEED} k={K}: "
+        f"sigma={sigma} configs={len(problem.configurations())} "
+        f"levels={len(build_level_arrays(problem.dims))}"
+    )
+
+    seq = solve_table(problem)
+    reference = compute_table(problem, 1, "numpy-serial")
+    opt_ref = seq.opt
+    print(f"solve_table OPT={opt_ref}")
+
+    runs: list[dict] = []
+
+    def record(backend: str, workers: int, elapsed: float, table) -> None:
+        if isinstance(table, np.ndarray):
+            assert np.array_equal(table, reference), (backend, workers)
+        else:
+            assert table == table_to_optional(reference), (backend, workers)
+        runs.append(
+            {
+                "backend": backend,
+                "workers": workers,
+                "seconds": round(elapsed, 6),
+                "states_per_sec": round((sigma - 1) / elapsed, 1),
+            }
+        )
+        print(
+            f"{backend:>14} w={workers}: {elapsed * 1e3:8.1f} ms "
+            f"({(sigma - 1) / elapsed:12.0f} states/s)"
+        )
+
+    for w in THREAD_WORKERS:
+        elapsed, table = timed(lambda w=w: legacy_thread_sweep(problem, w))
+        record("legacy-thread", w, elapsed, table)
+
+    elapsed, table = timed(lambda: compute_table(problem, 1, "numpy-serial"))
+    record("numpy-serial", 1, elapsed, table)
+    elapsed, table = timed(lambda: compute_table(problem, 1, "serial"))
+    record("serial", 1, elapsed, table)
+
+    for w in THREAD_WORKERS:
+        elapsed, table = timed(lambda w=w: compute_table(problem, w, "thread"))
+        record("thread", w, elapsed, table)
+
+    kernel = LevelKernel.for_problem(problem)
+    for w in PROCESS_WORKERS:
+        ex = make_executor("process", w, reuse=True)
+        try:
+            # Warm the pool once so spawn cost is not in the timing —
+            # exactly what the persistent pool buys the bisection driver.
+            compute_table(problem, w, "process", executor=ex, kernel=kernel)
+            elapsed, table = timed(
+                lambda w=w: compute_table(
+                    problem, w, "process", executor=ex, kernel=kernel
+                ),
+                reps=1,
+            )
+        finally:
+            ex.close()
+            shutdown_pools()
+        record("process", w, elapsed, table)
+
+    by_key = {(r["backend"], r["workers"]): r["states_per_sec"] for r in runs}
+    ratios = {
+        w: by_key[("thread", w)] / by_key[("legacy-thread", w)]
+        for w in THREAD_WORKERS
+    }
+    for w, ratio in ratios.items():
+        print(f"kernel/legacy thread speedup @ w={w}: {ratio:.1f}x")
+
+    payload = {
+        "benchmark": "wavefront kernel states/sec",
+        "instance": {
+            "family": FAMILY,
+            "m": M,
+            "n": N,
+            "seed": SEED,
+            "k": K,
+            "target": problem.target,
+            "sigma": sigma,
+            "num_configs": len(problem.configurations()),
+            "opt": opt_ref,
+        },
+        "runs": runs,
+        "thread_kernel_over_legacy": {
+            str(w): round(r, 2) for w, r in ratios.items()
+        },
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+
+    worst = min(ratios.values())
+    if worst < MIN_SPEEDUP:
+        print(
+            f"FAIL: kernel thread backend only {worst:.2f}x the legacy "
+            f"pure-Python thread backend (required >= {MIN_SPEEDUP}x)"
+        )
+        return 1
+    print(f"OK: kernel >= {MIN_SPEEDUP}x legacy on the thread backend")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

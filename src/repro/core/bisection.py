@@ -11,16 +11,41 @@ schedule is within the PTAS guarantee.
 
 Termination: the initial width is at most ``max t`` (Eqs. 1–2) and halves
 every iteration, so the loop runs ``O(log max t)`` times.
+
+Warm starts (deviation from the paper, ``warm_start=True``)
+-----------------------------------------------------------
+Two cheap accelerations shrink the work per solve without changing the
+certified target (property-tested against the faithful search):
+
+* **LPT-seeded upper bound.**  Eq. 2 is Graham's worst case; the actual
+  LPT makespan is never larger and usually much closer to optimal, and
+  any target ``>=`` it is feasible for the rounded DP (rounding only
+  shrinks loads, and a machine of load ``<= T`` holds fewer than ``k``
+  long jobs).  Seeding ``UB = min(Eq. 2, LPT)`` removes the top of the
+  search interval — fewer probes, each the expensive part.
+* **Rounding-bucket reuse.**  Consecutive probes whose targets share a
+  rounding bucket — same quantum ``ceil(T/k^2)`` and same long/short
+  split — produce identical class structure, so the previous probe's
+  :class:`~repro.core.rounding.RoundedInstance` is reused with only the
+  target swapped instead of re-scanning all ``n`` jobs.
+
+Every probe threads the machine budget through to the solver as its
+decision ``limit``, so early-exit engines (``frontier``, ``dominance``)
+stop at depth ``m`` — the callable contract of :data:`DecisionSolver`.
+Both accelerations reach the same ``final_target`` as the faithful
+search: the minimal feasible rounded target is a property of the
+instance, and bisection finds it from any valid bracketing interval.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.bounds import makespan_bounds
 from repro.core.dp import DPProblem, DPResult
-from repro.core.rounding import RoundedInstance, round_instance
+from repro.core.rounding import RoundedInstance, round_instance, rounding_unit
 from repro.model.instance import Instance
 
 #: A solver takes the rounded problem of one iteration and the machine
@@ -50,10 +75,66 @@ class BisectionOutcome:
     rounded: RoundedInstance
     dp_result: DPResult
     iterations: list[BisectionIteration] = field(default_factory=list)
+    #: Probes whose rounding was reused from the previous probe (same
+    #: rounding bucket) instead of recomputed; 0 for the faithful search.
+    rounding_reuses: int = 0
 
     @property
     def num_iterations(self) -> int:
         return len(self.iterations)
+
+
+class _RoundingCache:
+    """Per-search memo of the last probe's rounding.
+
+    A new target reuses the cached :class:`RoundedInstance` (with only
+    ``target`` replaced) when it lands in the same *rounding bucket*:
+    identical quantum ``ceil(T/k^2)`` and identical long/short split.
+    The split is checked in O(1) via the cached extreme processing times
+    — every short job must stay short (``t*k <= T``) and every long job
+    long (``t*k > T``).
+    """
+
+    def __init__(self, instance: Instance, k: int) -> None:
+        self._instance = instance
+        self._k = k
+        self._rounded: RoundedInstance | None = None
+        self._max_short = 0
+        self._min_long: int | None = None
+        self.reuses = 0
+
+    def round(self, target: int) -> RoundedInstance:
+        """Rounding for ``target``, reusing the previous bucket if valid."""
+        k = self._k
+        prev = self._rounded
+        if (
+            prev is not None
+            and rounding_unit(target, k) == prev.unit
+            and self._max_short * k <= target
+            and (self._min_long is None or self._min_long * k > target)
+        ):
+            self.reuses += 1
+            self._rounded = dataclasses.replace(prev, target=target)
+            return self._rounded
+        rounded = round_instance(self._instance, target, k)
+        times = self._instance.processing_times
+        self._rounded = rounded
+        self._max_short = max((times[j] for j in rounded.short_jobs), default=0)
+        long_times = [
+            times[j] for members in rounded.class_members for j in members
+        ]
+        self._min_long = min(long_times) if long_times else None
+        return rounded
+
+
+def _initial_upper_bound(instance: Instance, warm_start: bool) -> int:
+    """Eq. 2, tightened by the actual LPT makespan when warm-starting."""
+    upper = makespan_bounds(instance).upper
+    if not warm_start:
+        return upper
+    from repro.algorithms.lpt import lpt
+
+    return min(upper, lpt(instance).makespan)
 
 
 def bisect_target_makespan(
@@ -61,6 +142,8 @@ def bisect_target_makespan(
     k: int,
     solver: DecisionSolver,
     job_cap: int | None = None,
+    *,
+    warm_start: bool = False,
 ) -> BisectionOutcome:
     """Run the dual-approximation bisection and return the last feasible
     probe (whose target equals the final ``UB = LB``).
@@ -71,15 +154,24 @@ def bisect_target_makespan(
     is threaded into every probe's :class:`DPProblem` — the guarantee fix
     of :mod:`repro.core.configurations`; the cap never cuts off a true
     schedule because each long job strictly exceeds ``T/k``.
+
+    ``warm_start=False`` (default) is the paper-faithful search over the
+    full Eq. 1–2 interval with per-probe rounding; ``warm_start=True``
+    enables the LPT-seeded upper bound and rounding-bucket reuse (module
+    docstring) — same ``final_target``, fewer and cheaper probes.
     """
     m = instance.num_machines
-    bounds = makespan_bounds(instance)
-    lb, ub = bounds.lower, bounds.upper
+    lb = makespan_bounds(instance).lower
+    ub = _initial_upper_bound(instance, warm_start)
+    cache = _RoundingCache(instance, k)
+    do_round = cache.round if warm_start else (
+        lambda target: round_instance(instance, target, k)
+    )
     best: tuple[RoundedInstance, DPResult] | None = None
     trace: list[BisectionIteration] = []
     while lb < ub:
         target = (lb + ub) // 2
-        rounded = round_instance(instance, target, k)
+        rounded = do_round(target)
         problem = DPProblem(
             rounded.class_sizes, rounded.class_counts, target, job_cap=job_cap
         )
@@ -105,9 +197,10 @@ def bisect_target_makespan(
     if best is None or best[0].target != ub:
         # Either the interval was empty to begin with, or every probe
         # below the final UB was infeasible.  The final UB itself is
-        # always feasible (an LPT schedule fits within Eq. 2's bound and
-        # rounding only shrinks loads), so one more solve certifies it.
-        rounded = round_instance(instance, ub, k)
+        # always feasible (a real schedule — LPT's, or any within Eq. 2's
+        # bound — fits, and rounding only shrinks loads), so one more
+        # solve certifies it.
+        rounded = do_round(ub)
         problem = DPProblem(
             rounded.class_sizes, rounded.class_counts, ub, job_cap=job_cap
         )
@@ -135,4 +228,5 @@ def bisect_target_makespan(
         rounded=rounded,
         dp_result=result,
         iterations=trace,
+        rounding_reuses=cache.reuses,
     )

@@ -48,7 +48,7 @@ test suite enforces this on randomized inputs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -58,6 +58,7 @@ from repro.core.configurations import (
     enumerate_configurations,
     enumerate_maximal_configurations,
 )
+from repro.core.kernels import LevelKernel, build_level_arrays, table_opt
 
 #: Sentinel for "not computable / unreached" states.
 INFEASIBLE = None
@@ -620,48 +621,27 @@ def solve_numpy(
     collect_stats: bool = False,
 ) -> DPResult:
     """Level-synchronous sweep with numpy: all states of one anti-diagonal
-    are updated at once, one vectorized pass per configuration.
+    are updated at once by the shared :class:`~repro.core.kernels.LevelKernel`,
+    one vectorized pass per configuration.
 
     This is the data-parallel formulation of the paper's wavefront: the
     "processors" are SIMD lanes instead of cores, but the dependency
-    structure exploited is identical.
+    structure exploited is identical.  The same kernel is the compute
+    core of every backend in :mod:`repro.core.parallel_dp`.
     """
     if not problem.counts:
         return _empty_result("numpy", collect_stats)
-    dims = problem.dims
-    strides = np.array(problem.strides(), dtype=np.int64)
-    dims_arr = np.array(dims, dtype=np.int64)
     sigma = problem.table_size
     configs = problem.configurations()
-    inf = np.iinfo(np.int64).max // 2
-    table = np.full(sigma, inf, dtype=np.int64)
-    table[0] = 0
-
-    levels = state_levels_array(problem)
-    order = np.argsort(levels, kind="stable")
-    level_starts = np.searchsorted(levels[order], np.arange(levels.max() + 2))
-    scans = 0
-    d = len(dims)
-    for level in range(1, int(levels.max()) + 1):
-        lo, hi = level_starts[level], level_starts[level + 1]
-        if lo == hi:
-            continue
-        flats = order[lo:hi]
-        # Unrank the whole level at once: (q_l, d) matrix of count vectors.
-        vmat = (flats[:, None] // strides[None, :]) % dims_arr[None, :]
-        best = np.full(len(flats), inf, dtype=np.int64)
-        for cfg, weight in zip(configs.configs, configs.weights):
-            scans += len(flats)
-            cfg_arr = np.array(cfg, dtype=np.int64)
-            mask = np.all(vmat >= cfg_arr[None, :], axis=1)
-            if not mask.any():
-                continue
-            offset = int((cfg_arr * strides).sum())
-            preds = table[flats[mask] - offset]
-            np.minimum.at(best, np.nonzero(mask)[0], preds + 1)
-        table[flats] = best
-    opt_val = int(table[sigma - 1])
-    assert opt_val < inf, "DP must be feasible (singleton configurations exist)"
+    kernel = LevelKernel.for_problem(problem, configs)
+    table = kernel.allocate_table(sigma)
+    kernel.sweep(table, build_level_arrays(problem.dims))
+    # One vectorized pass per configuration over every non-origin state.
+    scans = len(configs) * (sigma - 1)
+    opt_val = table_opt(table, sigma - 1)
+    assert opt_val is not None, (
+        "DP must be feasible (singleton configurations exist)"
+    )
     stats = None
     if collect_stats:
         level_sizes = _level_sizes(problem)
@@ -678,7 +658,7 @@ def solve_numpy(
     machine_configs: tuple[tuple[int, ...], ...] = ()
     if track_schedule:
         machine_configs = backtrack_schedule(
-            lambda i: int(table[i]) if table[i] < inf else None, problem, configs
+            lambda i: table_opt(table, i), problem, configs
         )
     return DPResult(
         opt=opt_val, machine_configs=machine_configs, engine="numpy", stats=stats

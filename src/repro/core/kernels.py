@@ -1,0 +1,210 @@
+"""Vectorized anti-diagonal (wavefront) kernel shared by all backends.
+
+Every wavefront execution of the rounded DP — the numpy sequential
+engine, the serial reference, the thread backend, the shared-memory
+process backend, and the simulated multicore machine — computes the same
+per-level update: for each state ``v`` of one anti-diagonal, minimize
+``OPT(v - s) + 1`` over the machine configurations ``s <= v``.  This
+module holds the single implementation of that update,
+:class:`LevelKernel`, so the recurrence exists exactly once.
+
+The kernel is data-parallel: it unranks a whole anti-diagonal (or any
+chunk of one) into a ``(q, d)`` matrix of count vectors with two integer
+array ops, then applies one vectorized pass per configuration —
+componentwise bound check, gather of the predecessor entries, minimum.
+All arithmetic is numpy on ``int64`` arrays, which
+
+* makes the *thread* backend genuinely parallel (numpy releases the GIL
+  during array ops, so threads scale like the paper's OpenMP loops
+  instead of serializing on pure-Python bytecode), and
+* lets the *process* backend run the identical code against a table
+  living in a ``multiprocessing.shared_memory`` block.
+
+Sentinel convention
+-------------------
+The table is an ``int64`` array; entries holding
+:data:`KERNEL_INFEASIBLE` (a large positive value, *not* ``-1``) mean
+"no packing reaches this state".  A single positive sentinel keeps the
+update branch-free: ``min`` over candidates never needs to special-case
+infeasible predecessors because ``KERNEL_INFEASIBLE + 1`` still compares
+greater than every real machine count.  :func:`table_opt` converts back
+to the ``None``-based convention of :class:`repro.core.dp.DPResult`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dp imports us)
+    from repro.core.configurations import ConfigurationSet
+    from repro.core.dp import DPProblem
+
+#: Table sentinel for "state unreachable within the target".  Half the
+#: ``int64`` range so that ``sentinel + 1`` (a candidate produced by an
+#: infeasible predecessor) cannot overflow and still exceeds every real
+#: machine count.
+KERNEL_INFEASIBLE: int = np.iinfo(np.int64).max // 2
+
+
+def row_major_strides(dims: Sequence[int]) -> tuple[int, ...]:
+    """Row-major strides of a table with the given axis extents."""
+    d = len(dims)
+    strides = [1] * d
+    for c in range(d - 2, -1, -1):
+        strides[c] = strides[c + 1] * dims[c + 1]
+    return tuple(strides)
+
+
+def build_level_arrays(dims: Sequence[int]) -> tuple[np.ndarray, ...]:
+    """Group all flat table indices by anti-diagonal, as ``int64`` arrays.
+
+    ``result[l]`` holds the flat indices whose count vectors sum to
+    ``l``, ascending — the materialized ``D`` array of Alg. 3 without
+    boxing a single Python int.  For an empty ``dims`` the table is the
+    single state ``OPT(()) = 0``.
+    """
+    dims = tuple(int(x) for x in dims)
+    if not dims:
+        return (np.zeros(1, dtype=np.int64),)
+    strides = np.asarray(row_major_strides(dims), dtype=np.int64)
+    dims_arr = np.asarray(dims, dtype=np.int64)
+    sigma = int(np.prod(dims_arr))
+    flat = np.arange(sigma, dtype=np.int64)
+    levels = np.zeros(sigma, dtype=np.int64)
+    for c in range(len(dims)):
+        levels += (flat // strides[c]) % dims_arr[c]
+    order = np.argsort(levels, kind="stable")
+    n_levels = int(levels.max()) + 1
+    bounds = np.searchsorted(levels[order], np.arange(n_levels + 1))
+    return tuple(
+        np.ascontiguousarray(order[bounds[lvl] : bounds[lvl + 1]])
+        for lvl in range(n_levels)
+    )
+
+
+def table_opt(table: np.ndarray, index: int) -> int | None:
+    """Read one table entry, mapping the sentinel back to ``None``."""
+    value = int(table[index])
+    return None if value >= KERNEL_INFEASIBLE else value
+
+
+def table_to_optional(table: np.ndarray) -> list[int | None]:
+    """Whole-table conversion to the ``None``-sentinel list form."""
+    return [None if v >= KERNEL_INFEASIBLE else int(v) for v in table]
+
+
+class LevelKernel:
+    """The vectorized per-level DP update, shared by every backend.
+
+    Instances are cheap, immutable in practice, and picklable — the
+    process backend ships one kernel to its pool workers and reuses it
+    for every level of a probe.
+    """
+
+    def __init__(
+        self,
+        dims: Sequence[int],
+        strides: Sequence[int],
+        configs: "ConfigurationSet | Sequence[tuple[int, ...]]",
+    ) -> None:
+        """Build from the table geometry and the configuration set.
+
+        ``configs`` may be a
+        :class:`~repro.core.configurations.ConfigurationSet` or any
+        sequence of configuration tuples (canonical order).
+        """
+        self.dims = np.asarray(tuple(dims), dtype=np.int64)
+        self.strides = np.asarray(tuple(strides), dtype=np.int64)
+        raw = configs.configs if hasattr(configs, "configs") else tuple(configs)
+        d = len(self.dims)
+        if raw:
+            self.cfg_matrix = np.asarray(raw, dtype=np.int64).reshape(len(raw), d)
+        else:
+            self.cfg_matrix = np.zeros((0, d), dtype=np.int64)
+        #: Flat-index offset of each configuration: ``dot(s, strides)``.
+        self.offsets = self.cfg_matrix @ self.strides
+
+    @classmethod
+    def for_problem(
+        cls,
+        problem: "DPProblem",
+        configs: "ConfigurationSet | None" = None,
+    ) -> "LevelKernel":
+        """Kernel for one :class:`~repro.core.dp.DPProblem` (enumerates
+        the configuration set unless one is supplied)."""
+        if configs is None:
+            configs = problem.configurations()
+        return cls(problem.dims, problem.strides(), configs)
+
+    @property
+    def num_configs(self) -> int:
+        """``|C|`` — vectorized passes per level."""
+        return len(self.offsets)
+
+    def allocate_table(self, sigma: int) -> np.ndarray:
+        """Fresh ``int64`` table: all-infeasible except ``OPT(0) = 0``."""
+        table = np.full(sigma, KERNEL_INFEASIBLE, dtype=np.int64)
+        table[0] = 0
+        return table
+
+    def init_table(self, table: np.ndarray) -> None:
+        """Initialize an externally allocated table (e.g. shared memory)
+        in place to the all-infeasible / ``OPT(0) = 0`` state."""
+        table[:] = KERNEL_INFEASIBLE
+        table[0] = 0
+
+    def update(
+        self,
+        table: np.ndarray,
+        flats: np.ndarray,
+        *,
+        count_applicable: bool = False,
+    ) -> np.ndarray | None:
+        """Compute one chunk of one anti-diagonal, in place.
+
+        ``flats`` are flat indices whose predecessors (strictly earlier
+        anti-diagonals) are already final; chunks of the same level are
+        disjoint, so concurrent calls need no locking — the argument that
+        makes the paper's OpenMP loop race-free.
+
+        With ``count_applicable`` the per-state ``|C_v|`` (configurations
+        passing the componentwise bound — what Alg. 3's per-state
+        enumeration pays for) is returned for the simulated machine's
+        per-state cost fidelity; otherwise returns ``None``.
+        """
+        flats = np.ascontiguousarray(flats, dtype=np.int64)
+        counts = np.zeros(len(flats), dtype=np.int64) if count_applicable else None
+        if len(flats) == 0:
+            return counts
+        # Unrank the whole chunk at once: (q, d) matrix of count vectors.
+        vmat = (flats[:, None] // self.strides[None, :]) % self.dims[None, :]
+        best = np.full(len(flats), KERNEL_INFEASIBLE, dtype=np.int64)
+        for ci in range(len(self.offsets)):
+            mask = vmat >= self.cfg_matrix[ci]
+            mask = mask.all(axis=1)
+            if not mask.any():
+                continue
+            if counts is not None:
+                counts += mask
+            # Gather predecessors; masked-out lanes read index 0 (always
+            # valid) and are discarded by the where().
+            preds = table[np.where(mask, flats - self.offsets[ci], 0)]
+            np.minimum(
+                best, np.where(mask, preds + 1, KERNEL_INFEASIBLE), out=best
+            )
+        np.minimum(best, KERNEL_INFEASIBLE, out=best)
+        zero = flats == 0
+        if zero.any():
+            best[zero] = 0
+        table[flats] = best
+        return counts
+
+    def sweep(
+        self, table: np.ndarray, levels: Sequence[np.ndarray]
+    ) -> None:
+        """Serial whole-table fill: one :meth:`update` per anti-diagonal
+        (levels after the zeroth, whose single state the allocation set)."""
+        for flats in levels[1:]:
+            self.update(table, flats)

@@ -10,21 +10,32 @@ The key structural facts (paper §III):
 
 So the table is filled level by level (``l = 0 .. n'``); within a level
 the states are assigned to ``P`` processors round-robin and computed in
-parallel, with a barrier between levels.
+parallel, with a barrier between levels.  Every backend runs the same
+compute core — the vectorized :class:`~repro.core.kernels.LevelKernel` —
+against one ``int64`` table, so the recurrence is implemented exactly
+once and all backends are bit-identical by construction.
 
 Backends
 --------
 ``serial``
-    The wavefront order executed by one worker — bit-identical results to
-    the sequential row-major sweep, used as the reference.
+    The wavefront order executed by one worker through the executor
+    machinery (still partitions into ``P`` chunks) — the reference every
+    other backend is diffed against.
+``numpy-serial``
+    Direct kernel sweep, one vectorized pass per anti-diagonal with no
+    executor or partitioning overhead — the fastest single-worker path
+    and the reference the benchmarks normalize against.
 ``thread``
-    Shared-memory threads over one Python list (the faithful OpenMP
-    analogue; correctness, not speed, under the GIL).
+    Shared-memory threads over the one numpy table (the faithful OpenMP
+    analogue).  The kernel releases the GIL inside numpy array ops, so
+    threads scale on multicore hosts instead of serializing.
 ``process``
     Worker processes attached to one ``multiprocessing.shared_memory``
-    block holding the table as an int64 numpy array — genuinely parallel
-    on multicore hosts; each level ships only the flat indices of its
-    chunk.
+    block holding the table; each level ships only the flat indices of
+    its chunk.  Pool workers cache the probe's kernel and table mapping
+    on first touch, so a persistent pool (see
+    :func:`repro.parallel.executor.make_executor`) pays attachment once
+    per probe, not per level.
 ``simulated``
     Serial execution plus deterministic cost accounting on a
     :class:`~repro.simcore.machine.SimulatedMachine` — the testbed
@@ -36,202 +47,228 @@ and the same reconstructed machine configurations.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
-from repro.core.configurations import ConfigurationSet
 from repro.core.dp import (
     DPProblem,
     DPResult,
     DPStats,
     backtrack_schedule,
-    state_levels_array,
 )
-from repro.parallel.executor import make_executor
+from repro.core.kernels import (
+    LevelKernel,
+    build_level_arrays,
+    table_opt,
+)
+from repro.parallel.executor import Executor, make_executor
 from repro.parallel.partition import round_robin_partition
 from repro.simcore.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.simcore.machine import SimulatedMachine
 
-BACKENDS = ("serial", "thread", "process", "simulated")
+BACKENDS = ("serial", "numpy-serial", "thread", "process", "simulated")
+
+#: Backends that execute through an :class:`~repro.parallel.executor.Executor`
+#: and therefore accept an externally owned (persistent) one.
+EXECUTOR_BACKENDS = ("serial", "thread", "process")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class LevelIndex:
     """Flat state indices of every anti-diagonal, in row-major order.
 
-    ``levels[l]`` lists the DP-table entries with component sum ``l``;
-    this is the materialized form of Alg. 3's ``D`` array plus the
-    per-level grouping its main loop performs with the ``d_i = l`` test.
+    ``levels[l]`` is the ``int64`` index array of DP-table entries with
+    component sum ``l`` — the materialized form of Alg. 3's ``D`` array
+    plus the per-level grouping its main loop performs with the
+    ``d_i = l`` test.  Levels stay numpy arrays end-to-end (partitioned
+    by strided slicing, consumed by the vectorized kernel) — no
+    per-state boxing into Python ints.
     """
 
-    levels: tuple[tuple[int, ...], ...]
+    levels: tuple[np.ndarray, ...]
 
     @property
     def num_levels(self) -> int:
+        """Number of anti-diagonals (``n' + 1``)."""
         return len(self.levels)
 
     @property
     def sizes(self) -> tuple[int, ...]:
+        """``q_l`` for every level."""
         return tuple(len(lv) for lv in self.levels)
 
 
 def build_level_index(problem: DPProblem) -> LevelIndex:
     """Group all ``sigma`` states by anti-diagonal (vectorized)."""
-    levels_arr = state_levels_array(problem)
-    order = np.argsort(levels_arr, kind="stable")
-    sorted_levels = levels_arr[order]
-    n_levels = int(levels_arr.max()) + 1 if len(levels_arr) else 1
-    boundaries = np.searchsorted(sorted_levels, np.arange(n_levels + 1))
-    levels: list[tuple[int, ...]] = []
-    for l in range(n_levels):
-        lo, hi = boundaries[l], boundaries[l + 1]
-        levels.append(tuple(int(i) for i in order[lo:hi]))
-    return LevelIndex(tuple(levels))
+    return LevelIndex(build_level_arrays(problem.dims))
 
 
-def _config_offsets(
-    configs: ConfigurationSet, strides: Sequence[int]
-) -> list[tuple[tuple[int, ...], int]]:
-    return [
-        (cfg, sum(s * st for s, st in zip(cfg, strides))) for cfg in configs.configs
-    ]
+# ---------------------------------------------------------------------------
+# Process backend: shared-memory numpy table, kernel-running pool workers
+# ---------------------------------------------------------------------------
+
+#: Worker-side cache: probe token -> (shm handle, table view, kernel).
+_WORKER_STATE: dict[object, tuple] = {}
+
+#: Driver-side probe tokens — unique per shared-memory table so pool
+#: workers can cache their attachment across the levels of one probe and
+#: evict it when the next probe (same persistent pool) begins.
+_PROBE_TOKENS = itertools.count()
 
 
-def _compute_states(
-    chunk: Sequence[int],
-    table: list[int | None],
-    dims: Sequence[int],
-    strides: Sequence[int],
-    cfg_offsets: Sequence[tuple[tuple[int, ...], int]],
-) -> list[int]:
-    """Compute one chunk of a level against a shared table (list form).
+def _process_worker_run(payload: tuple) -> None:  # pragma: no cover - workers
+    """Run one chunk of one level inside a pool worker.
 
-    Writes are disjoint across chunks (each state belongs to exactly one
-    chunk) and reads touch earlier levels only, so no locking is needed —
-    the same argument that makes the OpenMP version race-free.
-
-    Returns, per state, the size of its configuration set ``|C_v|`` (the
-    configurations that passed the componentwise bound) — the quantity
-    Alg. 3's per-state enumeration pays for, consumed by the per-state
-    cost fidelity of the simulated backend.
+    ``payload`` is ``(token, shm_name, sigma, kernel, flats)``.  On the
+    first chunk of a new probe the worker drops stale attachments, maps
+    the probe's shared-memory table and caches it with the shipped
+    kernel under ``token``; subsequent chunks of the same probe reuse the
+    cache, so a persistent pool pays per-probe setup exactly once per
+    worker.
     """
-    d = len(dims)
-    counts: list[int] = []
-    for flat in chunk:
-        if flat == 0:
-            table[0] = 0
-            counts.append(0)
-            continue
-        # Unrank the state vector.
-        v = [(flat // strides[c]) % dims[c] for c in range(d)]
-        best: int | None = None
-        applicable = 0
-        for cfg, offset in cfg_offsets:
-            ok = True
-            for c in range(d):
-                if cfg[c] > v[c]:
-                    ok = False
-                    break
-            if not ok:
-                continue
-            applicable += 1
-            prev = table[flat - offset]
-            if prev is not None and prev >= 0 and (best is None or prev < best):
-                best = prev
-        table[flat] = None if best is None else best + 1
-        counts.append(applicable)
-    return counts
+    token, shm_name, sigma, kernel, flats = payload
+    state = _WORKER_STATE.get(token)
+    if state is None:
+        from multiprocessing import shared_memory
 
-
-# ---------------------------------------------------------------------------
-# Process backend: shared-memory numpy table
-# ---------------------------------------------------------------------------
-
-_SHARED: dict[str, object] = {}
-
-
-def _process_worker_init(
-    shm_name: str,
-    sigma: int,
-    dims: tuple[int, ...],
-    strides: tuple[int, ...],
-    cfg_offsets: tuple[tuple[tuple[int, ...], int], ...],
-) -> None:  # pragma: no cover - runs in worker processes
-    from multiprocessing import shared_memory
-
-    shm = shared_memory.SharedMemory(name=shm_name)
-    table = np.ndarray((sigma,), dtype=np.int64, buffer=shm.buf)
-    _SHARED["shm"] = shm  # keep a reference so the mapping stays alive
-    _SHARED["table"] = table
-    _SHARED["dims"] = dims
-    _SHARED["strides"] = strides
-    _SHARED["cfg_offsets"] = cfg_offsets
-
-
-def _process_worker_compute(chunk: Sequence[int]) -> None:  # pragma: no cover
-    table: np.ndarray = _SHARED["table"]  # type: ignore[assignment]
-    dims: tuple[int, ...] = _SHARED["dims"]  # type: ignore[assignment]
-    strides: tuple[int, ...] = _SHARED["strides"]  # type: ignore[assignment]
-    cfg_offsets = _SHARED["cfg_offsets"]  # type: ignore[assignment]
-    d = len(dims)
-    for flat in chunk:
-        if flat == 0:
-            table[0] = 0
-            continue
-        v = [(flat // strides[c]) % dims[c] for c in range(d)]
-        best = -1
-        for cfg, offset in cfg_offsets:  # type: ignore[union-attr]
-            ok = True
-            for c in range(d):
-                if cfg[c] > v[c]:
-                    ok = False
-                    break
-            if not ok:
-                continue
-            prev = table[flat - offset]
-            if prev >= 0 and (best < 0 or prev < best):
-                best = int(prev)
-        table[flat] = -1 if best < 0 else best + 1
+        for stale in list(_WORKER_STATE):
+            _WORKER_STATE.pop(stale)[0].close()
+        shm = shared_memory.SharedMemory(name=shm_name)
+        table = np.ndarray((sigma,), dtype=np.int64, buffer=shm.buf)
+        state = (shm, table, kernel)
+        _WORKER_STATE[token] = state
+    _, table, kernel = state
+    kernel.update(table, np.asarray(flats, dtype=np.int64))
 
 
 def _run_process_backend(
     problem: DPProblem,
+    kernel: LevelKernel,
     level_index: LevelIndex,
-    cfg_offsets: list[tuple[tuple[int, ...], int]],
     num_workers: int,
-) -> list[int | None]:
+    executor: Executor | None,
+) -> np.ndarray:
+    """Fill the table in shared memory with pool workers; returns a copy."""
     from multiprocessing import shared_memory
 
     sigma = problem.table_size
     shm = shared_memory.SharedMemory(create=True, size=max(sigma * 8, 8))
     try:
         table = np.ndarray((sigma,), dtype=np.int64, buffer=shm.buf)
-        table[:] = -1
-        table[0] = 0
-        executor = make_executor(
-            "process",
-            num_workers,
-            initializer=_process_worker_init,
-            initargs=(
-                shm.name,
-                sigma,
-                problem.dims,
-                problem.strides(),
-                tuple(cfg_offsets),
-            ),
+        kernel.init_table(table)
+        owns = executor is None
+        ex = executor if executor is not None else make_executor(
+            "process", num_workers
         )
+        token = next(_PROBE_TOKENS)
         try:
-            for level_items in level_index.levels[1:]:
-                chunks = round_robin_partition(level_items, num_workers)
-                executor.map_chunks(_process_worker_compute, chunks)
+            for flats in level_index.levels[1:]:
+                chunks = round_robin_partition(flats, ex.num_workers)
+                payloads = [
+                    (token, shm.name, sigma, kernel, np.ascontiguousarray(c))
+                    if len(c)
+                    else ()
+                    for c in chunks
+                ]
+                ex.map_chunks(_process_worker_run, payloads)
         finally:
-            executor.close()
-        return [None if x < 0 else int(x) for x in table]
+            if owns:
+                ex.close()
+        return table.copy()
     finally:
         shm.close()
         shm.unlink()
+
+
+# ---------------------------------------------------------------------------
+# Table filling (shared by parallel_dp and the test/benchmark surface)
+# ---------------------------------------------------------------------------
+
+def compute_table(
+    problem: DPProblem,
+    num_workers: int,
+    backend: str = "serial",
+    *,
+    executor: Executor | None = None,
+    kernel: LevelKernel | None = None,
+    machine: SimulatedMachine | None = None,
+    cost_model: CostModel | None = None,
+    cost_fidelity: str = "uniform",
+) -> np.ndarray:
+    """Fill and return the raw wavefront DP table for ``problem``.
+
+    The returned ``int64`` array uses the
+    :data:`~repro.core.kernels.KERNEL_INFEASIBLE` sentinel; all backends
+    return bit-identical tables.  ``executor`` lets a caller own a
+    persistent pool across many probes (serial/thread/process backends);
+    when omitted, a fresh executor is created and closed per call.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    if cost_fidelity not in ("uniform", "per_state"):
+        raise ValueError(
+            f"unknown cost_fidelity {cost_fidelity!r}; expected uniform/per_state"
+        )
+    if executor is not None and backend not in EXECUTOR_BACKENDS:
+        raise ValueError(
+            f"backend {backend!r} does not execute through an executor"
+        )
+    if kernel is None:
+        kernel = LevelKernel.for_problem(problem)
+    level_index = build_level_index(problem)
+    sigma = problem.table_size
+
+    if backend == "process":
+        return _run_process_backend(
+            problem, kernel, level_index, num_workers, executor
+        )
+
+    table = kernel.allocate_table(sigma)
+    if backend == "numpy-serial":
+        kernel.sweep(table, level_index.levels)
+        return table
+    if backend == "simulated":
+        model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        sim = machine if machine is not None else SimulatedMachine(
+            num_workers, model
+        )
+        # Alg. 3 lines 4-8: the parallel computation of the D array.
+        sim.record_parallel_for(sigma, cost_per_item=float(len(problem.dims)))
+        cost_per_state = model.state_cost(kernel.num_configs)
+        per_state = cost_fidelity == "per_state"
+        for level, flats in enumerate(level_index.levels):
+            if level == 0:
+                # Initialization of OPT(0,...,0) by one processor.
+                sim.record_uniform_level(0, 1, model.state_overhead_ops)
+                continue
+            counts = kernel.update(table, flats, count_applicable=per_state)
+            if per_state:
+                sim.record_level(
+                    level, [model.state_cost(int(c)) for c in counts]
+                )
+            else:
+                sim.record_uniform_level(level, len(flats), cost_per_state)
+        return table
+
+    # serial / thread: executor-driven chunks over the one shared table.
+    owns = executor is None
+    ex = executor if executor is not None else make_executor(backend, num_workers)
+
+    def worker(flats: Sequence[int]) -> None:
+        kernel.update(table, flats)
+
+    try:
+        for flats in level_index.levels[1:]:
+            ex.map_chunks(worker, round_robin_partition(flats, ex.num_workers))
+    finally:
+        if owns:
+            ex.close()
+    return table
 
 
 # ---------------------------------------------------------------------------
@@ -249,6 +286,7 @@ def parallel_dp(
     machine: SimulatedMachine | None = None,
     cost_model: CostModel | None = None,
     cost_fidelity: str = "uniform",
+    executor: Executor | None = None,
 ) -> DPResult:
     """Fill the DP table with the wavefront schedule of Alg. 3.
 
@@ -273,6 +311,12 @@ def parallel_dp(
         accounting); ``"per_state"`` charges the measured ``|C_v|`` of
         each state, which varies across a level and lets assignment
         policies (round-robin vs dynamic) be compared meaningfully.
+    executor:
+        Externally owned executor for the serial/thread/process
+        backends.  The bisection driver passes one persistent
+        (reusable-pool) executor to every probe so pool startup is paid
+        once per solve; ``parallel_dp`` never closes an executor it did
+        not create.
 
     Returns
     -------
@@ -306,59 +350,31 @@ def parallel_dp(
         return DPResult(opt=0, engine=f"parallel-{backend}", stats=stats)
 
     configs = problem.configurations()
-    strides = problem.strides()
-    dims = problem.dims
-    cfg_offsets = _config_offsets(configs, strides)
-    level_index = build_level_index(problem)
+    kernel = LevelKernel.for_problem(problem, configs)
     sigma = problem.table_size
+    table = compute_table(
+        problem,
+        num_workers,
+        backend,
+        executor=executor,
+        kernel=kernel,
+        machine=machine,
+        cost_model=cost_model,
+        cost_fidelity=cost_fidelity,
+    )
 
-    if backend == "process":
-        table = _run_process_backend(problem, level_index, cfg_offsets, num_workers)
-    else:
-        table: list[int | None] = [None] * sigma  # type: ignore[no-redef]
-        table[0] = 0
-
-        def worker(chunk: Sequence[int]) -> None:
-            _compute_states(chunk, table, dims, strides, cfg_offsets)
-
-        if backend == "simulated":
-            model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
-            sim = machine if machine is not None else SimulatedMachine(
-                num_workers, model
-            )
-            # Alg. 3 lines 4-8: the parallel computation of the D array.
-            sim.record_parallel_for(sigma, cost_per_item=float(len(dims)))
-            cost_per_state = model.state_cost(len(configs))
-            for level, items in enumerate(level_index.levels):
-                if level == 0:
-                    # Initialization of OPT(0,...,0) by one processor.
-                    sim.record_uniform_level(0, 1, model.state_overhead_ops)
-                    continue
-                counts = _compute_states(items, table, dims, strides, cfg_offsets)
-                if cost_fidelity == "per_state":
-                    sim.record_level(
-                        level, [model.state_cost(c) for c in counts]
-                    )
-                else:
-                    sim.record_uniform_level(level, len(items), cost_per_state)
-        else:
-            executor = make_executor(backend, num_workers)
-            try:
-                for items in level_index.levels[1:]:
-                    chunks = round_robin_partition(items, num_workers)
-                    executor.map_chunks(worker, chunks)
-            finally:
-                executor.close()
-
-    opt = table[sigma - 1]
+    opt = table_opt(table, sigma - 1)
     if opt is None:  # pragma: no cover - singleton configs guarantee feasibility
         raise AssertionError("parallel DP ended infeasible")
     stats = None
     if collect_stats:
+        level_sizes = tuple(
+            len(lv) for lv in build_level_arrays(problem.dims)
+        )
         stats = DPStats(
             sigma=sigma,
-            num_levels=level_index.num_levels,
-            level_sizes=level_index.sizes,
+            num_levels=len(level_sizes),
+            level_sizes=level_sizes,
             num_configs=len(configs),
             states_computed=sigma,
             config_scans=sigma * len(configs),
@@ -367,7 +383,9 @@ def parallel_dp(
         return DPResult(opt=None, engine=f"parallel-{backend}", stats=stats)
     machine_configs: tuple[tuple[int, ...], ...] = ()
     if track_schedule:
-        machine_configs = backtrack_schedule(lambda i: table[i], problem, configs)
+        machine_configs = backtrack_schedule(
+            lambda i: table_opt(table, i), problem, configs
+        )
     return DPResult(
         opt=opt,
         machine_configs=machine_configs,

@@ -24,8 +24,13 @@ from repro.core.rounding import accuracy_parameter
 from repro.model.instance import Instance
 from repro.model.schedule import Schedule
 from repro.core.reconstruct import build_schedule
+from repro.parallel.executor import make_executor
 from repro.simcore.costmodel import CostModel
 from repro.simcore.machine import SimulatedMachine
+
+#: Backends whose probes run through a pooled executor; the driver owns
+#: one persistent (reusable) pool for the whole bisection.
+_POOLED_BACKENDS = ("thread", "process")
 
 
 @dataclass(frozen=True)
@@ -83,6 +88,7 @@ def ptas(
     engine: str = "dominance",
     collect_stats: bool = False,
     guarantee_fix: bool = True,
+    warm_start: bool = True,
 ) -> PTASResult:
     """Sequential Hochbaum–Shmoys PTAS (Algorithm 1).
 
@@ -104,6 +110,12 @@ def ptas(
         restores the proof without excluding any true schedule.  Pass
         ``False`` for the verbatim printed behaviour (what
         :func:`repro.core.reference.algorithm1` implements).
+    warm_start:
+        Seed the bisection's upper bound with the LPT makespan and reuse
+        roundings across probes sharing a rounding bucket (default; see
+        :mod:`repro.core.bisection`).  The certified target and schedule
+        are identical either way — pass ``False`` for the paper-faithful
+        probe sequence.
 
     Examples
     --------
@@ -124,7 +136,11 @@ def ptas(
         )
 
     outcome = bisect_target_makespan(
-        instance, k, solver, job_cap=_effective_job_cap(k, guarantee_fix)
+        instance,
+        k,
+        solver,
+        job_cap=_effective_job_cap(k, guarantee_fix),
+        warm_start=warm_start,
     )
     schedule = build_schedule(
         instance, outcome.rounded, outcome.dp_result.machine_configs
@@ -149,6 +165,7 @@ def parallel_ptas(
     cost_model: CostModel | None = None,
     collect_stats: bool = False,
     guarantee_fix: bool = True,
+    warm_start: bool = True,
 ) -> PTASResult:
     """Parallel approximation algorithm (paper §III): Algorithm 1 with the
     DP replaced by the wavefront Parallel DP (Alg. 3).
@@ -158,10 +175,19 @@ def parallel_ptas(
     num_workers:
         ``P`` — number of (real or simulated) processors.
     backend:
-        ``"serial"`` (reference), ``"thread"`` (shared-memory threads),
-        ``"process"`` (shared-memory worker processes; true parallelism),
-        or ``"simulated"`` (deterministic multicore model used by the
-        speedup experiments — see DESIGN.md §6).
+        ``"serial"`` (reference), ``"numpy-serial"`` (direct kernel
+        sweep), ``"thread"`` (shared-memory threads over the vectorized
+        kernel; scales on multicore), ``"process"`` (shared-memory worker
+        processes), or ``"simulated"`` (deterministic multicore model
+        used by the speedup experiments — see DESIGN.md §6).
+    warm_start:
+        LPT-seeded bisection upper bound + rounding reuse (default; same
+        certified target and schedule — see :func:`ptas`).
+
+    For the thread and process backends the driver owns one persistent
+    reusable worker pool (``make_executor(..., reuse=True)``) that every
+    bisection probe's wavefront runs on, so pool startup and teardown are
+    paid once per solve instead of once per probe.
 
     The returned schedule is identical to :func:`ptas` with
     ``engine="table"`` — parallelization changes execution order within
@@ -175,6 +201,11 @@ def parallel_ptas(
         if backend == "simulated"
         else None
     )
+    executor = (
+        make_executor(backend, num_workers, reuse=True)
+        if backend in _POOLED_BACKENDS
+        else None
+    )
 
     def solver(problem: DPProblem, m: int) -> DPResult:
         return parallel_dp(
@@ -186,11 +217,20 @@ def parallel_ptas(
             collect_stats=collect_stats,
             machine=machine,
             cost_model=cost_model,
+            executor=executor,
         )
 
-    outcome = bisect_target_makespan(
-        instance, k, solver, job_cap=_effective_job_cap(k, guarantee_fix)
-    )
+    try:
+        outcome = bisect_target_makespan(
+            instance,
+            k,
+            solver,
+            job_cap=_effective_job_cap(k, guarantee_fix),
+            warm_start=warm_start,
+        )
+    finally:
+        if executor is not None:
+            executor.close()
     schedule = build_schedule(
         instance, outcome.rounded, outcome.dp_result.machine_configs
     )

@@ -5,33 +5,45 @@ round-robin fashion: iteration ``i`` goes to processor ``i mod P``, so a
 processor executes at most ``ceil(q_l / P)`` subproblems of a level with
 ``q_l`` entries.  :func:`round_robin_partition` reproduces exactly that
 assignment; :func:`block_partition` is the contiguous alternative (same
-worst-case balance for uniform costs, better locality), used by the
-process backend where chunk shipping favours contiguity.
+worst-case balance for uniform costs, better locality), used where chunk
+shipping favours contiguity.
+
+Both partitioners are numpy-aware: a level supplied as an ``ndarray``
+(how :class:`repro.core.parallel_dp.LevelIndex` stores anti-diagonals)
+is sliced into ``ndarray`` chunks — no per-element boxing into Python
+ints — so the vectorized kernel consumes index arrays end-to-end.
+Plain sequences keep the historical list-of-lists behaviour.
 """
 
 from __future__ import annotations
 
 from typing import Sequence, TypeVar
 
+import numpy as np
+
 T = TypeVar("T")
 
 
-def round_robin_partition(items: Sequence[T], num_workers: int) -> list[list[T]]:
-    """Split ``items`` into ``num_workers`` lists, item ``i`` to worker
+def round_robin_partition(items: Sequence[T], num_workers: int) -> list[Sequence[T]]:
+    """Split ``items`` into ``num_workers`` chunks, item ``i`` to worker
     ``i mod num_workers`` (Alg. 3 semantics).  Trailing workers may receive
-    empty lists when there are fewer items than workers.
+    empty chunks when there are fewer items than workers.  ``ndarray``
+    input yields ``ndarray`` (strided-view) chunks; other sequences yield
+    lists.
 
     >>> round_robin_partition([0, 1, 2, 3, 4], 2)
     [[0, 2, 4], [1, 3]]
     """
     if num_workers < 1:
         raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    if isinstance(items, np.ndarray):
+        return [items[w::num_workers] for w in range(num_workers)]
     return [list(items[w::num_workers]) for w in range(num_workers)]
 
 
-def block_partition(items: Sequence[T], num_workers: int) -> list[list[T]]:
+def block_partition(items: Sequence[T], num_workers: int) -> list[Sequence[T]]:
     """Split ``items`` into ``num_workers`` contiguous blocks whose sizes
-    differ by at most one.
+    differ by at most one.  ``ndarray`` input yields ``ndarray`` chunks.
 
     >>> block_partition([0, 1, 2, 3, 4], 2)
     [[0, 1, 2], [3, 4]]
@@ -40,11 +52,13 @@ def block_partition(items: Sequence[T], num_workers: int) -> list[list[T]]:
         raise ValueError(f"num_workers must be >= 1, got {num_workers}")
     n = len(items)
     base, extra = divmod(n, num_workers)
-    out: list[list[T]] = []
+    out: list[Sequence[T]] = []
     start = 0
+    is_array = isinstance(items, np.ndarray)
     for w in range(num_workers):
         size = base + (1 if w < extra else 0)
-        out.append(list(items[start : start + size]))
+        chunk = items[start : start + size]
+        out.append(chunk if is_array else list(chunk))
         start += size
     return out
 

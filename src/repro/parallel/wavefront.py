@@ -11,6 +11,12 @@ The driver partitions each level's items across ``P`` workers
 barrier before moving to the next level.  A per-level observer hook lets
 callers account costs (the simulated multicore machine plugs in there).
 
+Levels may be any sequences; numpy index arrays (how the DP's
+:class:`~repro.core.parallel_dp.LevelIndex` stores anti-diagonals) are
+partitioned by strided slicing without boxing, and the chunks reach the
+worker as arrays — the contract the vectorized
+:class:`~repro.core.kernels.LevelKernel` relies on.
+
 This module is deliberately independent of the DP so it can drive any
 non-serial monadic recurrence — the tests exercise it with a toy
 triangular recurrence as well as with the real DP table.

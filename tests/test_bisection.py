@@ -5,9 +5,11 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings
 
-from repro.core.bisection import bisect_target_makespan
+from repro.algorithms.lpt import lpt
+from repro.core.bisection import _RoundingCache, bisect_target_makespan
 from repro.core.bounds import makespan_bounds
 from repro.core.dp import DPProblem, DPResult, solve
+from repro.core.rounding import round_instance
 from repro.exact.brute import brute_force
 from repro.model.instance import Instance
 
@@ -79,6 +81,69 @@ class TestBisection:
         base = bisect_target_makespan(small_instance, 4, make_solver("table"))
         other = bisect_target_makespan(small_instance, 4, make_solver(engine))
         assert other.final_target == base.final_target
+
+
+class TestWarmStart:
+    """The warm-started search must certify the same target as the
+    faithful one — the acceptance bar for the deviation."""
+
+    def test_same_final_target_on_fixture(self, small_instance):
+        faithful = bisect_target_makespan(small_instance, 4, make_solver())
+        warm = bisect_target_makespan(
+            small_instance, 4, make_solver(), warm_start=True
+        )
+        assert warm.final_target == faithful.final_target
+        assert warm.dp_result.opt == faithful.dp_result.opt
+
+    def test_lpt_seed_tightens_first_probe(self):
+        inst = Instance([9, 8, 7, 6, 5, 5, 4, 3, 2, 1], num_machines=3)
+        seed = min(makespan_bounds(inst).upper, lpt(inst).makespan)
+        warm = bisect_target_makespan(inst, 4, make_solver(), warm_start=True)
+        assert warm.iterations[0].upper == seed
+        faithful = bisect_target_makespan(inst, 4, make_solver())
+        assert warm.num_iterations <= faithful.num_iterations
+
+    def test_faithful_search_never_reuses_roundings(self, small_instance):
+        outcome = bisect_target_makespan(small_instance, 4, make_solver())
+        assert outcome.rounding_reuses == 0
+
+    def test_rounding_cache_reuses_same_bucket(self):
+        # k = 2, times below: 15/14/13 are long and 2 short for both
+        # targets, and ceil(20/4) == ceil(19/4) == 5 — same bucket.
+        inst = Instance([15, 14, 13, 2], num_machines=3)
+        cache = _RoundingCache(inst, 2)
+        first = cache.round(20)
+        second = cache.round(19)
+        assert cache.reuses == 1
+        assert second.target == 19
+        assert second.unit == first.unit
+        assert second.class_sizes == first.class_sizes
+        assert second.class_counts == first.class_counts
+        # Reuse must be indistinguishable from rounding from scratch.
+        fresh = round_instance(inst, 19, 2)
+        assert second.class_sizes == fresh.class_sizes
+        assert second.class_counts == fresh.class_counts
+        assert second.short_jobs == fresh.short_jobs
+
+    def test_rounding_cache_rejects_bucket_change(self):
+        inst = Instance([15, 14, 13, 2], num_machines=3)
+        cache = _RoundingCache(inst, 2)
+        cache.round(20)
+        # ceil(24/4) == 6 != 5: new quantum, must re-round.
+        cache.round(24)
+        assert cache.reuses == 0
+
+    @given(small_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_property_warm_equals_faithful(self, inst: Instance):
+        for k in (2, 3, 4):
+            faithful = bisect_target_makespan(inst, k, make_solver())
+            warm = bisect_target_makespan(
+                inst, k, make_solver(), warm_start=True
+            )
+            assert warm.final_target == faithful.final_target, k
+            assert warm.dp_result.opt == faithful.dp_result.opt, k
+            assert warm.num_iterations <= faithful.num_iterations, k
 
 
 @given(small_instances())

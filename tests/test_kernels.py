@@ -1,0 +1,218 @@
+"""Tests for the shared vectorized wavefront kernel (:mod:`repro.core.kernels`).
+
+The contract under test: every backend — serial, numpy-serial, thread,
+process — fills a *bit-identical* ``int64`` table (one sentinel
+convention, one recurrence implementation), and the results agree with
+:func:`repro.core.dp.solve_table` including ``limit``-triggered
+infeasible probes and degenerate instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.dp import DPProblem, solve_table
+from repro.core.kernels import (
+    KERNEL_INFEASIBLE,
+    LevelKernel,
+    build_level_arrays,
+    row_major_strides,
+    table_opt,
+    table_to_optional,
+)
+from repro.core.parallel_dp import compute_table, parallel_dp
+from repro.parallel.executor import make_executor, shutdown_pools
+
+from conftest import dp_problems
+
+FAST_BACKENDS = ("serial", "numpy-serial", "thread")
+
+
+def reference_optional_table(problem: DPProblem) -> list[int | None]:
+    """Independent row-major sweep oracle (the seed's pure-Python loop)."""
+    dims = problem.dims
+    strides = problem.strides()
+    sigma = problem.table_size
+    configs = problem.configurations().configs
+    offsets = [sum(s * st for s, st in zip(cfg, strides)) for cfg in configs]
+    table: list[int | None] = [None] * sigma
+    table[0] = 0
+    v = [0] * len(dims)
+    for flat in range(1, sigma):
+        for c in range(len(dims) - 1, -1, -1):
+            if v[c] + 1 < dims[c]:
+                v[c] += 1
+                break
+            v[c] = 0
+        best: int | None = None
+        for cfg, offset in zip(configs, offsets):
+            if all(cfg[c] <= v[c] for c in range(len(cfg))):
+                prev = table[flat - offset]
+                if prev is not None and (best is None or prev < best):
+                    best = prev
+        table[flat] = None if best is None else best + 1
+    return table
+
+
+class TestKernelPrimitives:
+    def test_strides_match_problem(self, paper_example_problem):
+        p = paper_example_problem
+        assert row_major_strides(p.dims) == p.strides()
+
+    def test_level_arrays_partition_the_table(self, paper_example_problem):
+        p = paper_example_problem
+        levels = build_level_arrays(p.dims)
+        assert all(lv.dtype == np.int64 for lv in levels)
+        seen = np.sort(np.concatenate(levels))
+        assert np.array_equal(seen, np.arange(p.table_size))
+        assert tuple(len(lv) for lv in levels) == (1, 2, 3, 3, 2, 1)
+
+    def test_empty_dims_single_state(self):
+        levels = build_level_arrays(())
+        assert len(levels) == 1
+        assert levels[0].tolist() == [0]
+
+    def test_allocate_table_sentinel(self, paper_example_problem):
+        kernel = LevelKernel.for_problem(paper_example_problem)
+        table = kernel.allocate_table(5)
+        assert table[0] == 0
+        assert (table[1:] == KERNEL_INFEASIBLE).all()
+        assert table_opt(table, 0) == 0
+        assert table_opt(table, 1) is None
+
+    def test_sweep_matches_reference_on_paper_example(
+        self, paper_example_problem
+    ):
+        p = paper_example_problem
+        kernel = LevelKernel.for_problem(p)
+        table = kernel.allocate_table(p.table_size)
+        kernel.sweep(table, build_level_arrays(p.dims))
+        assert table_to_optional(table) == reference_optional_table(p)
+
+    def test_update_counts_applicable_configs(self, paper_example_problem):
+        p = paper_example_problem
+        kernel = LevelKernel.for_problem(p)
+        table = kernel.allocate_table(p.table_size)
+        levels = build_level_arrays(p.dims)
+        counted = {}
+        for flats in levels[1:]:
+            counts = kernel.update(table, flats, count_applicable=True)
+            counted.update(zip(flats.tolist(), counts.tolist()))
+        # |C_v| at the full vector N equals the whole configuration set
+        # bounded by N — every configuration is applicable there.
+        assert counted[p.table_size - 1] == len(p.configurations())
+        # A level-1 state admits exactly its singleton configuration.
+        one_hot_flat = int(levels[1][0])
+        assert counted[one_hot_flat] == 1
+
+    def test_kernel_is_picklable(self, paper_example_problem):
+        import pickle
+
+        kernel = LevelKernel.for_problem(paper_example_problem)
+        clone = pickle.loads(pickle.dumps(kernel))
+        p = paper_example_problem
+        table = clone.allocate_table(p.table_size)
+        clone.sweep(table, build_level_arrays(p.dims))
+        assert table_to_optional(table) == reference_optional_table(p)
+
+
+class TestBackendsBitIdentical:
+    @given(dp_problems())
+    @settings(max_examples=30, deadline=None)
+    def test_property_tables_bit_identical(self, problem: DPProblem):
+        if not problem.counts:
+            return
+        expected = reference_optional_table(problem)
+        tables = {
+            backend: compute_table(problem, workers, backend)
+            for backend, workers in (
+                ("numpy-serial", 1),
+                ("serial", 3),
+                ("thread", 4),
+            )
+        }
+        for backend, table in tables.items():
+            assert table.dtype == np.int64, backend
+            assert table_to_optional(table) == expected, backend
+            assert np.array_equal(table, tables["numpy-serial"]), backend
+
+    @given(dp_problems())
+    @settings(max_examples=20, deadline=None)
+    def test_property_results_match_solve_table_with_limits(
+        self, problem: DPProblem
+    ):
+        seq = solve_table(problem)
+        assert seq.opt is not None
+        # None, a passing limit, and a limit that triggers infeasibility.
+        for limit in (None, seq.opt, seq.opt - 1):
+            ref = solve_table(problem, limit=limit)
+            for backend in FAST_BACKENDS:
+                par = parallel_dp(problem, 3, backend, limit=limit)
+                assert par.opt == ref.opt, (backend, limit)
+                assert par.machine_configs == ref.machine_configs, (
+                    backend,
+                    limit,
+                )
+
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_empty_counts_instance(self, backend):
+        res = parallel_dp(DPProblem((), (), 7), 3, backend)
+        assert res.opt == 0
+        assert res.machine_configs == ()
+
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_all_zero_counts_instance(self, backend):
+        res = parallel_dp(DPProblem((5, 9), (0, 0), 11), 3, backend)
+        assert res.opt == 0
+        assert res.machine_configs == ()
+
+    def test_numpy_serial_registered_backend(self, paper_example_problem):
+        res = parallel_dp(paper_example_problem, 1, "numpy-serial")
+        assert res.engine == "parallel-numpy-serial"
+        assert res.opt == 2
+
+
+@pytest.mark.slow
+class TestProcessBackendKernel:
+    """Shared-memory process workers running the same kernel."""
+
+    def test_table_bit_identical(self, paper_example_problem):
+        p = paper_example_problem
+        ref = compute_table(p, 1, "numpy-serial")
+        table = compute_table(p, 2, "process")
+        assert np.array_equal(table, ref)
+
+    def test_persistent_pool_across_probes(self):
+        """One reusable pool serves consecutive probes (different tables);
+        the pool object is identical across probes and the workers'
+        cached attachment from the first probe does not leak into the
+        second — the lifecycle the bisection driver relies on."""
+        shutdown_pools()
+        try:
+            probes = [
+                DPProblem((4, 9), (3, 2), 13),
+                DPProblem((6, 11), (2, 3), 30),
+                DPProblem((3, 5, 7), (2, 1, 2), 15),
+            ]
+            ex = make_executor("process", 2, reuse=True)
+            pool = ex.pool
+            try:
+                for problem in probes:
+                    par = parallel_dp(problem, 2, "process", executor=ex)
+                    seq = solve_table(problem)
+                    assert par.opt == seq.opt
+                    assert par.machine_configs == seq.machine_configs
+            finally:
+                ex.close()
+            # Reopening with the same shape hands back the same pool.
+            again = make_executor("process", 2, reuse=True)
+            try:
+                assert again.pool is pool
+                res = parallel_dp(probes[0], 2, "process", executor=again)
+                assert res.opt == solve_table(probes[0]).opt
+            finally:
+                again.close()
+        finally:
+            shutdown_pools()
