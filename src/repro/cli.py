@@ -16,6 +16,9 @@ Subcommands
 ``bench-dp``
     Compare the DP engines on one generated instance (the ablation of
     DESIGN.md §7) — handy for quick profiling.
+``serve`` / ``submit``
+    Run the asyncio scheduling service (``docs/service.md``) and submit
+    requests to it over the JSON-lines protocol.
 """
 
 from __future__ import annotations
@@ -25,25 +28,20 @@ import sys
 import time
 from typing import Sequence
 
-from repro.algorithms.list_scheduling import list_scheduling
-from repro.algorithms.lpt import lpt
-from repro.algorithms.multifit import multifit
-from repro.core.ptas import parallel_ptas, ptas
-from repro.exact.api import solve_exact
 from repro.model.instance import Instance
+from repro.service.registry import (
+    UnknownEngineError,
+    available_engines,
+    get_engine,
+)
+from repro.service.requests import SolveRequest
 from repro.workloads.families import FAMILIES
 from repro.workloads.generator import make_instance
 
-ALGORITHMS = (
-    "ptas",
-    "parallel-ptas",
-    "lpt",
-    "ls",
-    "multifit",
-    "ilp",
-    "bnb",
-    "brute",
-)
+#: Engine names come from the service registry — the single source of
+#: truth shared with ``repro.service.server`` (dashes == underscores, so
+#: the historical ``parallel-ptas`` spelling keeps working).
+ALGORITHMS = available_engines()
 
 
 def _instance_from_args(args: argparse.Namespace) -> Instance:
@@ -72,27 +70,30 @@ def _add_instance_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--seed", type=int, default=0)
 
 
+def _solve_request_from_args(args: argparse.Namespace, inst: Instance) -> SolveRequest:
+    return SolveRequest(
+        times=inst.processing_times,
+        machines=inst.num_machines,
+        engine=args.algorithm,
+        eps=args.eps,
+        dp_engine=args.engine,
+        workers=args.workers,
+        backend=args.backend,
+        time_limit=args.time_limit,
+        deadline=getattr(args, "deadline", None),
+    )
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     inst = _instance_from_args(args)
-    t0 = time.perf_counter()
-    if args.algorithm == "ptas":
-        res = ptas(inst, args.eps, engine=args.engine)
-        schedule = res.schedule
-    elif args.algorithm == "parallel-ptas":
-        res = parallel_ptas(
-            inst, args.eps, num_workers=args.workers, backend=args.backend
-        )
-        schedule = res.schedule
-    elif args.algorithm == "lpt":
-        schedule = lpt(inst)
-    elif args.algorithm == "ls":
-        schedule = list_scheduling(inst)
-    elif args.algorithm == "multifit":
-        schedule = multifit(inst)
-    else:
-        schedule = solve_exact(
-            inst, args.algorithm, time_limit=args.time_limit
-        ).schedule
+    try:
+        spec = get_engine(args.algorithm)
+        request = _solve_request_from_args(args, inst)
+        t0 = time.perf_counter()
+        schedule = spec.solve(inst, request, None)
+    except UnknownEngineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     elapsed = time.perf_counter() - t0
     print(f"instance : {inst}")
     print(f"algorithm: {args.algorithm}")
@@ -211,6 +212,84 @@ def _cmd_bench_dp(args: argparse.Namespace) -> int:
             f"  {engine:10s} opt={res.opt} time={dt:.4f}s "
             f"states={res.stats.states_computed} scans={res.stats.config_scans}"
         )
+    from repro.service.metrics import MetricsRegistry, record_dp_cache
+
+    cache_stats = record_dp_cache(MetricsRegistry())
+    print(
+        "config-cache: "
+        f"hits={cache_stats['hits']} misses={cache_stats['misses']} "
+        f"currsize={cache_stats['currsize']}/{cache_stats['maxsize']}"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.admission import AdmissionController
+    from repro.service.cache import ResultCache
+    from repro.service.server import SolveService, serve
+
+    service = SolveService(
+        max_workers=args.workers,
+        batch_window=args.batch_window,
+        default_deadline=args.default_deadline,
+        cache=ResultCache(max_entries=args.cache_size, ttl=args.cache_ttl),
+        admission=AdmissionController(max_queue_depth=args.queue_depth),
+    )
+
+    def ready(host: str, port: int) -> None:
+        print(f"repro service listening on {host}:{port}", flush=True)
+
+    try:
+        asyncio.run(
+            serve(
+                args.host,
+                args.port,
+                service=service,
+                log_interval=args.log_interval,
+                on_ready=ready,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import asyncio
+    import json as _json
+
+    from repro.service.server import send_op, submit
+
+    if args.op:
+        reply = asyncio.run(send_op(args.host, args.port, args.op))
+        print(_json.dumps(reply, indent=2, sort_keys=True))
+        return 0
+    inst = _instance_from_args(args)
+    request = _solve_request_from_args(args, inst)
+    result = asyncio.run(
+        submit(args.host, args.port, request, timeout=args.timeout)
+    )
+    if result.status == "rejected":
+        print(
+            f"rejected: {result.error} (retry after {result.retry_after:.2f}s)",
+            file=sys.stderr,
+        )
+        return 3
+    if not result.ok:
+        print(f"error: {result.error}", file=sys.stderr)
+        return 2
+    print(f"instance : {inst}")
+    print(f"engine   : {result.engine}")
+    print(f"makespan : {result.makespan}")
+    print(f"guarantee: {result.guarantee:.4f}")
+    print(f"degraded : {result.degraded}")
+    print(f"cached   : {result.cached}")
+    if args.show_schedule and result.assignment is not None:
+        for i, grp in enumerate(result.assignment):
+            load = sum(inst.processing_times[j] for j in grp)
+            print(f"  machine {i:3d} (load {load:6d}): jobs {list(grp)}")
     return 0
 
 
@@ -271,7 +350,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     solve = subs.add_parser("solve", help="solve one instance")
     _add_instance_args(solve)
-    solve.add_argument("-a", "--algorithm", choices=ALGORITHMS, default="parallel-ptas")
+    solve.add_argument(
+        "-a",
+        "--algorithm",
+        default="parallel-ptas",
+        help=f"engine name (one of: {', '.join(ALGORITHMS)}; "
+        "dashes and underscores are interchangeable)",
+    )
     solve.add_argument("--eps", type=float, default=0.3)
     solve.add_argument("--engine", default="dominance")
     solve.add_argument("--workers", type=int, default=4)
@@ -321,6 +406,64 @@ def build_parser() -> argparse.ArgumentParser:
     _add_instance_args(bench)
     bench.add_argument("--eps", type=float, default=0.3)
     bench.set_defaults(fn=_cmd_bench_dp)
+
+    srv = subs.add_parser(
+        "serve", help="run the asyncio scheduling service (docs/service.md)"
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8357)
+    srv.add_argument("--workers", type=int, default=4)
+    srv.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.005,
+        help="seconds to gather compatible small requests into one batch",
+    )
+    srv.add_argument("--queue-depth", type=int, default=64)
+    srv.add_argument("--cache-size", type=int, default=1024)
+    srv.add_argument("--cache-ttl", type=float, default=None)
+    srv.add_argument(
+        "--default-deadline",
+        type=float,
+        default=None,
+        help="per-request deadline (s) applied when the request sets none",
+    )
+    srv.add_argument(
+        "--log-interval",
+        type=float,
+        default=30.0,
+        help="seconds between metrics heartbeat lines (0 disables)",
+    )
+    srv.set_defaults(fn=_cmd_serve)
+
+    sub_cmd = subs.add_parser(
+        "submit", help="submit one request to a running service"
+    )
+    _add_instance_args(sub_cmd)
+    sub_cmd.add_argument("--host", default="127.0.0.1")
+    sub_cmd.add_argument("--port", type=int, default=8357)
+    sub_cmd.add_argument(
+        "-a", "--algorithm", default="ptas", help="engine name (see 'solve')"
+    )
+    sub_cmd.add_argument("--eps", type=float, default=0.3)
+    sub_cmd.add_argument("--engine", default="dominance")
+    sub_cmd.add_argument("--workers", type=int, default=4)
+    sub_cmd.add_argument("--backend", default="thread")
+    sub_cmd.add_argument("--time-limit", type=float, default=None)
+    sub_cmd.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-request budget (s); overrun degrades to LPT",
+    )
+    sub_cmd.add_argument("--timeout", type=float, default=60.0)
+    sub_cmd.add_argument("--show-schedule", action="store_true")
+    sub_cmd.add_argument(
+        "--op",
+        choices=("ping", "stats", "shutdown"),
+        help="send a control op instead of a solve request",
+    )
+    sub_cmd.set_defaults(fn=_cmd_submit)
 
     rep = subs.add_parser(
         "reproduce", help="regenerate every paper artifact into a directory"

@@ -32,9 +32,13 @@ certified target (property-tested against the faithful search):
 Every probe threads the machine budget through to the solver as its
 decision ``limit``, so early-exit engines (``frontier``, ``dominance``)
 stop at depth ``m`` — the callable contract of :data:`DecisionSolver`.
-Both accelerations reach the same ``final_target`` as the faithful
-search: the minimal feasible rounded target is a property of the
-instance, and bisection finds it from any valid bracketing interval.
+Both accelerations certify an equally valid target: every ``T >= OPT``
+is feasible for the rounded DP (rounding only shrinks loads), so any
+bracketing interval converges to a feasible target ``<= OPT`` and the
+``(1 + eps)`` guarantee holds unchanged.  Below ``OPT`` the rounding
+bucket varies with ``T``, so the warm search may certify a *different*
+(equally valid) target than the faithful one — property-tested in
+``tests/test_bisection.py``.
 """
 
 from __future__ import annotations
@@ -144,6 +148,7 @@ def bisect_target_makespan(
     job_cap: int | None = None,
     *,
     warm_start: bool = False,
+    check_deadline: Callable[[], None] | None = None,
 ) -> BisectionOutcome:
     """Run the dual-approximation bisection and return the last feasible
     probe (whose target equals the final ``UB = LB``).
@@ -158,7 +163,14 @@ def bisect_target_makespan(
     ``warm_start=False`` (default) is the paper-faithful search over the
     full Eq. 1–2 interval with per-probe rounding; ``warm_start=True``
     enables the LPT-seeded upper bound and rounding-bucket reuse (module
-    docstring) — same ``final_target``, fewer and cheaper probes.
+    docstring) — an equally valid certified target from fewer and
+    cheaper probes.
+
+    ``check_deadline``, when given, is invoked before every probe (the
+    expensive unit of work).  It returns nothing and signals cancellation
+    by raising — typically :class:`repro.service.requests.DeadlineExceeded`
+    from the scheduling service — so a caller can abandon a solve between
+    probes instead of only at completion.
     """
     m = instance.num_machines
     lb = makespan_bounds(instance).lower
@@ -170,6 +182,8 @@ def bisect_target_makespan(
     best: tuple[RoundedInstance, DPResult] | None = None
     trace: list[BisectionIteration] = []
     while lb < ub:
+        if check_deadline is not None:
+            check_deadline()
         target = (lb + ub) // 2
         rounded = do_round(target)
         problem = DPProblem(
@@ -200,6 +214,8 @@ def bisect_target_makespan(
         # always feasible (a real schedule — LPT's, or any within Eq. 2's
         # bound — fits, and rounding only shrinks loads), so one more
         # solve certifies it.
+        if check_deadline is not None:
+            check_deadline()
         rounded = do_round(ub)
         problem = DPProblem(
             rounded.class_sizes, rounded.class_counts, ub, job_cap=job_cap

@@ -16,6 +16,7 @@ the sequential one, so it inherits the guarantee verbatim.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.bisection import BisectionOutcome, bisect_target_makespan
 from repro.core.dp import DPProblem, DPResult, solve
@@ -89,6 +90,7 @@ def ptas(
     collect_stats: bool = False,
     guarantee_fix: bool = True,
     warm_start: bool = True,
+    check_deadline: Callable[[], None] | None = None,
 ) -> PTASResult:
     """Sequential Hochbaum–Shmoys PTAS (Algorithm 1).
 
@@ -110,6 +112,12 @@ def ptas(
         restores the proof without excluding any true schedule.  Pass
         ``False`` for the verbatim printed behaviour (what
         :func:`repro.core.reference.algorithm1` implements).
+    check_deadline:
+        Optional zero-argument callback invoked before every bisection
+        probe; it cancels the solve by raising (e.g.
+        :class:`repro.service.requests.DeadlineExceeded`).  Lets a
+        deadline-bound caller abandon the solve between probes instead of
+        only at completion.
     warm_start:
         Seed the bisection's upper bound with the LPT makespan and reuse
         roundings across probes sharing a rounding bucket (default; see
@@ -141,6 +149,7 @@ def ptas(
         solver,
         job_cap=_effective_job_cap(k, guarantee_fix),
         warm_start=warm_start,
+        check_deadline=check_deadline,
     )
     schedule = build_schedule(
         instance, outcome.rounded, outcome.dp_result.machine_configs
@@ -166,6 +175,7 @@ def parallel_ptas(
     collect_stats: bool = False,
     guarantee_fix: bool = True,
     warm_start: bool = True,
+    check_deadline: Callable[[], None] | None = None,
 ) -> PTASResult:
     """Parallel approximation algorithm (paper §III): Algorithm 1 with the
     DP replaced by the wavefront Parallel DP (Alg. 3).
@@ -227,6 +237,7 @@ def parallel_ptas(
             solver,
             job_cap=_effective_job_cap(k, guarantee_fix),
             warm_start=warm_start,
+            check_deadline=check_deadline,
         )
     finally:
         if executor is not None:

@@ -1,0 +1,33 @@
+"""repro.service — a long-lived scheduling service over the solver library.
+
+The subsystem turns the one-shot solvers into an asyncio service:
+
+* :mod:`repro.service.requests` — the wire types (:class:`SolveRequest`,
+  :class:`SolveResult`) with JSON (de)serialization and deadline helpers.
+* :mod:`repro.service.registry` — one source of truth mapping engine
+  names to solver callables with declared capabilities; shared by the
+  CLI and the server.
+* :mod:`repro.service.cache` — canonical-form result cache (permutation
+  invariant, LRU + TTL, hit/miss counters).
+* :mod:`repro.service.admission` — bounded queue and load shedding
+  driven by a :mod:`repro.simcore.costmodel` work estimate.
+* :mod:`repro.service.metrics` — counters / gauges / histograms plus the
+  DP configuration-cache statistics.
+* :mod:`repro.service.server` — the asyncio JSON-lines front-end with
+  micro-batching, executor dispatch, and deadline-triggered degradation
+  to LPT.
+
+See ``docs/service.md`` for the architecture and protocol reference.
+"""
+
+from repro.service.admission import AdmissionController, AdmissionDecision
+from repro.service.cache import ResultCache, canonical_key
+from repro.service.metrics import MetricsRegistry, dp_cache_stats
+from repro.service.registry import (
+    EngineSpec,
+    UnknownEngineError,
+    available_engines,
+    get_engine,
+)
+from repro.service.requests import DeadlineExceeded, SolveRequest, SolveResult
+from repro.service.server import SolveService, serve, submit

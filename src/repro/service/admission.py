@@ -1,0 +1,169 @@
+"""Admission control: bounded queue + cost-aware load shedding.
+
+A service in front of an exponential-in-``1/eps`` solver must refuse
+work it cannot finish, and refuse it *early* — queueing a doomed request
+only adds latency for everyone behind it.  The controller tracks two
+quantities and sheds load when either would overflow:
+
+* **queue depth** — requests admitted but not yet finished (queued or
+  in-flight), bounded by ``max_queue_depth``;
+* **in-flight work** — the sum of each admitted request's estimated cost
+  in abstract *operations* (the unit of
+  :class:`repro.simcore.costmodel.CostModel`), bounded by
+  ``max_inflight_ops``.
+
+Rejections are the 429 pattern: the caller gets ``status="rejected"``
+with a ``retry_after`` hint derived from the in-flight backlog and the
+calibrated ``seconds_per_op`` (how the cost model converts operations to
+wall-clock).  :func:`estimate_ops` is a deliberately coarse admission
+proxy — monotone in ``n``, ``m`` and ``k = ceil(1/eps)``, shaped by the
+cost model's per-state constants — not a runtime prediction.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+
+from repro.service.registry import canonical_engine_name, get_engine
+from repro.service.requests import SolveRequest
+from repro.simcore.costmodel import DEFAULT_COST_MODEL, CostModel
+
+#: Engines whose work is a cheap sort + greedy pass, not a DP.
+_CHEAP_ENGINES = frozenset({"lpt", "ls", "multifit"})
+
+
+def estimate_ops(
+    request: SolveRequest, cost_model: CostModel = DEFAULT_COST_MODEL
+) -> float:
+    """Coarse cost estimate of *request* in cost-model operations.
+
+    The PTAS engines pay ``O(log max_t)`` bisection probes, each a DP
+    whose per-state work the cost model prices at
+    ``state_cost(config_scans)`` with roughly ``k`` scans per state; the
+    state count is proxied by ``(n + 1) * k^2`` (jobs times classes).
+    Baselines are priced as a sort plus a greedy pass.  Exact engines get
+    the PTAS price times a safety factor — they are the ones a loaded
+    service should shed first.
+    """
+    n = max(1, request.num_jobs)
+    m = max(1, request.machines)
+    name = canonical_engine_name(request.engine)
+    sort_ops = n * max(1.0, math.log2(n)) + n + m
+    if name in _CHEAP_ENGINES:
+        return sort_ops
+    k = max(1, math.ceil(1.0 / request.eps))
+    max_t = max(request.times) if request.times else 1
+    probes = 1.0 + math.log2(max(2, max_t))
+    states = (n + 1) * k * k
+    dp_ops = probes * states * cost_model.state_cost(k) + sort_ops
+    spec = get_engine(name)
+    if spec.exact:
+        return 50.0 * dp_ops
+    return dp_ops
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of :meth:`AdmissionController.try_admit`.
+
+    ``admitted=True`` carries the ``ops`` charge that must be handed back
+    via :meth:`AdmissionController.release`; ``admitted=False`` carries
+    the rejection ``reason`` and a ``retry_after`` hint in seconds.
+    """
+
+    admitted: bool
+    ops: float = 0.0
+    reason: str | None = None
+    retry_after: float | None = None
+
+
+class AdmissionController:
+    """Thread-safe bounded-queue/bounded-work admission gate."""
+
+    def __init__(
+        self,
+        max_queue_depth: int = 64,
+        max_inflight_ops: float = 5e8,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        seconds_per_op: float = 2e-7,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if max_inflight_ops <= 0:
+            raise ValueError("max_inflight_ops must be positive")
+        if seconds_per_op <= 0:
+            raise ValueError("seconds_per_op must be positive")
+        self.max_queue_depth = max_queue_depth
+        self.max_inflight_ops = max_inflight_ops
+        self.cost_model = cost_model
+        self.seconds_per_op = seconds_per_op
+        self._lock = threading.Lock()
+        self._depth = 0
+        self._inflight_ops = 0.0
+        self.admitted_total = 0
+        self.rejected_total = 0
+
+    @property
+    def queue_depth(self) -> int:
+        return self._depth
+
+    @property
+    def inflight_ops(self) -> float:
+        return self._inflight_ops
+
+    def _retry_after(self) -> float:
+        """Seconds until roughly half the in-flight backlog has drained."""
+        backlog = self._inflight_ops * self.seconds_per_op / 2.0
+        return max(0.05, min(30.0, backlog))
+
+    def try_admit(self, request: SolveRequest) -> AdmissionDecision:
+        """Admit *request* or shed it; never blocks."""
+        ops = estimate_ops(request, self.cost_model)
+        with self._lock:
+            if self._depth >= self.max_queue_depth:
+                self.rejected_total += 1
+                return AdmissionDecision(
+                    admitted=False,
+                    reason=f"queue full ({self._depth}/{self.max_queue_depth})",
+                    retry_after=self._retry_after(),
+                )
+            # A single huge request may exceed the budget on an idle
+            # service; admit it then (depth still bounds concurrency) so
+            # the limit sheds *additional* work rather than starving.
+            if self._depth > 0 and self._inflight_ops + ops > self.max_inflight_ops:
+                self.rejected_total += 1
+                return AdmissionDecision(
+                    admitted=False,
+                    reason=(
+                        f"in-flight work {self._inflight_ops + ops:.0f} ops "
+                        f"would exceed budget {self.max_inflight_ops:.0f}"
+                    ),
+                    retry_after=self._retry_after(),
+                )
+            self._depth += 1
+            self._inflight_ops += ops
+            self.admitted_total += 1
+            return AdmissionDecision(admitted=True, ops=ops)
+
+    def release(self, decision: AdmissionDecision) -> None:
+        """Return an admitted decision's charge (idempotence is the
+        caller's job — call exactly once per admitted request)."""
+        if not decision.admitted:
+            return
+        with self._lock:
+            self._depth = max(0, self._depth - 1)
+            self._inflight_ops = max(0.0, self._inflight_ops - decision.ops)
+
+    def stats(self) -> dict[str, float | int]:
+        """Depth/work levels and admit/reject totals for metrics."""
+        with self._lock:
+            return {
+                "queue_depth": self._depth,
+                "inflight_ops": self._inflight_ops,
+                "admitted_total": self.admitted_total,
+                "rejected_total": self.rejected_total,
+                "max_queue_depth": self.max_queue_depth,
+                "max_inflight_ops": self.max_inflight_ops,
+            }

@@ -1,0 +1,192 @@
+"""Canonical-form result cache.
+
+``P || Cmax`` is permutation-invariant: the makespan of an instance
+depends only on the *multiset* of processing times.  The cache therefore
+keys on the sort-normalized job vector plus ``(m, engine, eps)``, so a
+request whose times are any permutation of a previously solved instance
+is served instantly.
+
+To return a *valid schedule for the caller's job numbering* (not just a
+makespan), entries store the assignment in canonical coordinates —
+machine groups of *positions in the sorted job order* — and translate on
+the way in and out:
+
+* ``put``: job index ``j`` of the request maps to its position in the
+  request's stable sort order;
+* ``get``: canonical position ``p`` maps to the *new* request's job at
+  the same sorted position (same processing time, since the multisets
+  match), so the returned assignment has identical machine loads.
+
+Eviction is LRU bounded by ``max_entries`` plus an optional TTL; hits,
+misses, evictions and expirations are counted for
+:mod:`repro.service.metrics`.  The cache is lock-protected — the server
+touches it from the event loop but batch workers and tests may not.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Callable
+
+from repro.service.registry import canonical_engine_name
+from repro.service.requests import SolveRequest, SolveResult
+
+CacheKey = tuple[tuple[int, ...], int, str, float]
+
+
+def _sort_order(times: tuple[int, ...]) -> list[int]:
+    """Job indices in the stable canonical order (by time, ties by index)."""
+    return sorted(range(len(times)), key=lambda j: (times[j], j))
+
+
+def canonical_key(request: SolveRequest) -> CacheKey:
+    """The permutation-invariant identity of a request's *answer*.
+
+    Two requests share a key iff they describe the same multiset of
+    times, machine count, engine and ``eps`` — everything that can change
+    the returned schedule's loads.  Tuning knobs (workers, backend,
+    dp_engine) deliberately do not participate: they change how fast the
+    answer is computed, never what a valid answer is.
+    """
+    return (
+        tuple(sorted(request.times)),
+        request.machines,
+        canonical_engine_name(request.engine),
+        round(request.eps, 12),
+    )
+
+
+def _to_canonical(
+    times: tuple[int, ...], assignment: tuple[tuple[int, ...], ...]
+) -> tuple[tuple[int, ...], ...]:
+    """Re-express an assignment over job indices as one over sorted positions."""
+    position_of = {j: p for p, j in enumerate(_sort_order(times))}
+    return tuple(
+        tuple(sorted(position_of[j] for j in grp)) for grp in assignment
+    )
+
+
+def _from_canonical(
+    times: tuple[int, ...], canonical: tuple[tuple[int, ...], ...]
+) -> tuple[tuple[int, ...], ...]:
+    """Instantiate a canonical assignment for a concrete job numbering."""
+    order = _sort_order(times)
+    return tuple(tuple(order[p] for p in grp) for grp in canonical)
+
+
+class ResultCache:
+    """LRU + TTL cache of solve results in canonical coordinates.
+
+    Parameters
+    ----------
+    max_entries:
+        LRU bound; 0 disables caching entirely.
+    ttl:
+        Seconds an entry stays valid, or ``None`` for no expiry.
+    clock:
+        Injectable monotonic clock (tests freeze it).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 1024,
+        ttl: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive (or None)")
+        self.max_entries = max_entries
+        self.ttl = ttl
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[CacheKey, tuple[float, SolveResult]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, request: SolveRequest) -> SolveResult | None:
+        """The cached result translated to *request*'s job numbering, or
+        ``None``.  A hit is tagged ``cached=True`` and echoes the
+        request's own id."""
+        if self.max_entries == 0:
+            return None
+        key = canonical_key(request)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and self._expired(entry[0]):
+                del self._entries[key]
+                self.expirations += 1
+                entry = None
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            stored = entry[1]
+        assignment = (
+            _from_canonical(request.times, stored.assignment)
+            if stored.assignment is not None
+            else None
+        )
+        return replace(
+            stored,
+            request_id=request.request_id,
+            assignment=assignment,
+            cached=True,
+        )
+
+    def put(self, request: SolveRequest, result: SolveResult) -> bool:
+        """Store *result* for *request*'s canonical key.
+
+        Only clean, full-fidelity answers are cached: degraded (deadline
+        fallback) and non-``ok`` results are refused, since re-running
+        them may produce the real answer.  Returns whether it was stored.
+        """
+        if self.max_entries == 0 or not result.ok or result.degraded:
+            return False
+        canonical = (
+            _to_canonical(request.times, result.assignment)
+            if result.assignment is not None
+            else None
+        )
+        stored = replace(
+            result, request_id="", assignment=canonical, cached=False, elapsed=0.0
+        )
+        key = canonical_key(request)
+        with self._lock:
+            self._entries[key] = (self._clock(), stored)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return True
+
+    def _expired(self, stored_at: float) -> bool:
+        return self.ttl is not None and self._clock() - stored_at > self.ttl
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction/expiration counters plus the current size."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+                "currsize": len(self._entries),
+                "maxsize": self.max_entries,
+            }

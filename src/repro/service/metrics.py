@@ -1,0 +1,206 @@
+"""Lightweight service metrics: counters, gauges, histograms.
+
+No external dependency — the registry is a dict of named instruments
+with a thread-safe ``snapshot()`` (the payload of the service's
+``{"op": "stats"}`` query) and a one-line ``render_line()`` for the
+periodic log.  Histograms keep exact count/sum/min/max plus a bounded
+reservoir of recent observations for approximate percentiles, so memory
+stays O(1) per instrument under sustained traffic.
+
+The module also exposes the solver library's own cache telemetry:
+:func:`dp_cache_stats` reads ``cache_info()`` from the memoized
+machine-configuration enumeration
+(:func:`repro.core.configurations._enumerate_cached`) — the hottest
+shared cache in the DP path — so the service (and ``bench-dp``) can
+report it alongside the request-level counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Iterable
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (>= 0) to the count."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, pool utilization)."""
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Shift the gauge by *delta*."""
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Exact count/sum/min/max + reservoir percentiles of recent values."""
+
+    def __init__(self, reservoir_size: int = 512) -> None:
+        if reservoir_size < 1:
+            raise ValueError("reservoir_size must be >= 1")
+        self._lock = threading.Lock()
+        self._recent: deque[float] = deque(maxlen=reservoir_size)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        v = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += v
+            self.min = v if self.min is None else min(self.min, v)
+            self.max = v if self.max is None else max(self.max, v)
+            self._recent.append(v)
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def percentile(self, p: float) -> float | None:
+        """Approximate percentile (0..100) over the recent reservoir."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        with self._lock:
+            values = sorted(self._recent)
+        if not values:
+            return None
+        rank = min(len(values) - 1, max(0, round(p / 100 * (len(values) - 1))))
+        return values[rank]
+
+    def summary(self) -> dict[str, float | int | None]:
+        """count/sum/mean/min/max plus reservoir p50/p99."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("requests_total").inc()
+    >>> reg.histogram("latency_seconds").observe(0.25)
+    >>> reg.snapshot()["counters"]["requests_total"]
+    1
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter named *name*, created on first use."""
+        with self._lock:
+            return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named *name*, created on first use."""
+        with self._lock:
+            return self._gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram named *name*, created on first use."""
+        with self._lock:
+            return self._histograms.setdefault(name, Histogram())
+
+    def set_many(self, prefix: str, values: dict[str, float]) -> None:
+        """Mirror a dict of values as ``prefix.key`` gauges (used for the
+        DP configuration-cache stats and cache counters)."""
+        for key, value in values.items():
+            self.gauge(f"{prefix}.{key}").set(value)
+
+    def snapshot(self) -> dict:
+        """A JSON-safe dump of every instrument."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {k: c.value for k, c in sorted(counters.items())},
+            "gauges": {k: g.value for k, g in sorted(gauges.items())},
+            "histograms": {k: h.summary() for k, h in sorted(histograms.items())},
+        }
+
+    def render_line(self, include: Iterable[str] | None = None) -> str:
+        """One ``key=value`` log line (the periodic service heartbeat)."""
+        snap = self.snapshot()
+        parts: list[str] = []
+        for name, value in snap["counters"].items():
+            parts.append(f"{name}={value}")
+        for name, value in snap["gauges"].items():
+            parts.append(f"{name}={value:g}")
+        for name, summary in snap["histograms"].items():
+            mean = summary["mean"]
+            parts.append(
+                f"{name}.count={summary['count']}"
+                + (f" {name}.mean={mean:.6f}" if mean is not None else "")
+            )
+        if include is not None:
+            wanted = tuple(include)
+            parts = [p for p in parts if p.startswith(wanted)]
+        return "metrics: " + " ".join(parts) if parts else "metrics: (empty)"
+
+
+def dp_cache_stats() -> dict[str, int]:
+    """Hit/miss/size statistics of the memoized machine-configuration
+    enumeration shared by every DP engine (see
+    :mod:`repro.core.configurations`)."""
+    from repro.core.configurations import _enumerate_cached
+
+    info = _enumerate_cached.cache_info()
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "currsize": info.currsize,
+        "maxsize": info.maxsize or 0,
+    }
+
+
+def record_dp_cache(registry: MetricsRegistry) -> dict[str, int]:
+    """Publish :func:`dp_cache_stats` into *registry* as gauges under
+    ``dp_config_cache.*`` and return the raw stats."""
+    stats = dp_cache_stats()
+    registry.set_many("dp_config_cache", {k: float(v) for k, v in stats.items()})
+    return stats

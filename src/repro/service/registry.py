@@ -1,0 +1,235 @@
+"""The solver registry — one source of truth for engine names.
+
+Both the CLI (``repro-pcmax solve``) and the service front-end resolve
+engine names here, so "which engines exist, what do they guarantee, and
+can they be cancelled mid-flight" lives in exactly one place.  Each
+:class:`EngineSpec` declares
+
+* ``guarantee(request)`` — the a-priori approximation factor of the
+  engine for that request (``1 + eps`` for the PTAS family, Graham's
+  bounds for the list heuristics, ``1.0`` for exact methods);
+* ``supports_deadline`` — whether the engine honours a ``check_deadline``
+  callback between units of work (the PTAS bisection probes);
+* ``parallelizable`` — whether the engine fans out onto worker pools;
+* ``solve(instance, request, check_deadline)`` — the actual callable.
+
+Unknown names raise :class:`UnknownEngineError` (a ``ValueError``) whose
+message lists the valid names — the CLI turns it into a clean non-zero
+exit instead of a traceback, the server into a ``status="error"``
+response.  Dashes and underscores are interchangeable in names
+(``parallel-ptas`` resolves to ``parallel_ptas``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.algorithms.list_scheduling import (
+    list_scheduling,
+    list_scheduling_worst_case_ratio,
+)
+from repro.algorithms.lpt import lpt, lpt_worst_case_ratio
+from repro.algorithms.multifit import multifit
+from repro.core.dp import SEQUENTIAL_ENGINES
+from repro.core.parallel_dp import BACKENDS
+from repro.core.ptas import parallel_ptas, ptas
+from repro.model.instance import Instance
+from repro.model.schedule import Schedule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.requests import SolveRequest
+
+CheckDeadline = Callable[[], None]
+SolverFn = Callable[[Instance, "SolveRequest", CheckDeadline | None], Schedule]
+
+
+class UnknownEngineError(ValueError):
+    """An engine (or sub-engine/backend) name that the registry does not
+    know; the message enumerates the valid choices."""
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Declared capabilities and entry point of one engine."""
+
+    name: str
+    description: str
+    guarantee: Callable[["SolveRequest"], float]
+    solve: SolverFn
+    supports_deadline: bool = False
+    parallelizable: bool = False
+    exact: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Engine adapters: (instance, request, check_deadline) -> Schedule
+# ---------------------------------------------------------------------------
+
+def _solve_ptas(
+    instance: Instance, request: "SolveRequest", check_deadline: CheckDeadline | None
+) -> Schedule:
+    if request.dp_engine not in SEQUENTIAL_ENGINES:
+        raise UnknownEngineError(
+            f"unknown DP engine {request.dp_engine!r}; available: "
+            f"{sorted(SEQUENTIAL_ENGINES)}"
+        )
+    return ptas(
+        instance,
+        request.eps,
+        engine=request.dp_engine,
+        check_deadline=check_deadline,
+    ).schedule
+
+
+def _solve_parallel_ptas(
+    instance: Instance, request: "SolveRequest", check_deadline: CheckDeadline | None
+) -> Schedule:
+    if request.backend not in BACKENDS:
+        raise UnknownEngineError(
+            f"unknown wavefront backend {request.backend!r}; available: "
+            f"{sorted(BACKENDS)}"
+        )
+    return parallel_ptas(
+        instance,
+        request.eps,
+        num_workers=request.workers,
+        backend=request.backend,
+        check_deadline=check_deadline,
+    ).schedule
+
+
+def _solve_exact(method: str) -> SolverFn:
+    def run(
+        instance: Instance,
+        request: "SolveRequest",
+        check_deadline: CheckDeadline | None,
+    ) -> Schedule:
+        from repro.exact.api import solve_exact
+
+        return solve_exact(
+            instance, method, time_limit=request.time_limit
+        ).schedule
+
+    return run
+
+
+def _solve_baseline(fn: Callable[[Instance], Schedule]) -> SolverFn:
+    def run(
+        instance: Instance,
+        request: "SolveRequest",
+        check_deadline: CheckDeadline | None,
+    ) -> Schedule:
+        return fn(instance)
+
+    return run
+
+
+def _ptas_guarantee(request: "SolveRequest") -> float:
+    return 1.0 + request.eps
+
+
+_REGISTRY: dict[str, EngineSpec] = {}
+
+
+def _register(spec: EngineSpec) -> None:
+    _REGISTRY[spec.name] = spec
+
+
+_register(
+    EngineSpec(
+        name="ptas",
+        description="sequential Hochbaum–Shmoys PTAS (Algorithm 1)",
+        guarantee=_ptas_guarantee,
+        solve=_solve_ptas,
+        supports_deadline=True,
+    )
+)
+_register(
+    EngineSpec(
+        name="parallel_ptas",
+        description="wavefront parallel PTAS (paper §III, Algorithm 3)",
+        guarantee=_ptas_guarantee,
+        solve=_solve_parallel_ptas,
+        supports_deadline=True,
+        parallelizable=True,
+    )
+)
+_register(
+    EngineSpec(
+        name="lpt",
+        description="Longest Processing Time first (4/3 − 1/(3m))",
+        guarantee=lambda req: lpt_worst_case_ratio(req.machines),
+        solve=_solve_baseline(lpt),
+    )
+)
+_register(
+    EngineSpec(
+        name="ls",
+        description="Graham list scheduling (2 − 1/m)",
+        guarantee=lambda req: list_scheduling_worst_case_ratio(req.machines),
+        solve=_solve_baseline(list_scheduling),
+    )
+)
+_register(
+    EngineSpec(
+        name="multifit",
+        description="MULTIFIT binary search over FFD (1.22 + 2^-k)",
+        guarantee=lambda req: 1.22,
+        solve=_solve_baseline(multifit),
+    )
+)
+_register(
+    EngineSpec(
+        name="ilp",
+        description="assignment MILP via HiGHS (exact, time-limited)",
+        guarantee=lambda req: 1.0,
+        solve=_solve_exact("ilp"),
+        exact=True,
+    )
+)
+_register(
+    EngineSpec(
+        name="bnb",
+        description="branch and bound (exact)",
+        guarantee=lambda req: 1.0,
+        solve=_solve_exact("bnb"),
+        exact=True,
+    )
+)
+_register(
+    EngineSpec(
+        name="brute",
+        description="brute force (exact, tiny instances only)",
+        guarantee=lambda req: 1.0,
+        solve=_solve_exact("brute"),
+        exact=True,
+    )
+)
+
+
+def canonical_engine_name(name: str) -> str:
+    """Normalize an engine name (dashes == underscores, case-folded)."""
+    return name.strip().lower().replace("-", "_")
+
+
+def available_engines() -> tuple[str, ...]:
+    """The registered engine names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_engine(name: str) -> EngineSpec:
+    """Resolve *name* to its :class:`EngineSpec`.
+
+    Raises
+    ------
+    UnknownEngineError
+        If the (normalized) name is not registered; the message lists the
+        valid names so callers can surface it verbatim.
+    """
+    spec = _REGISTRY.get(canonical_engine_name(name))
+    if spec is None:
+        raise UnknownEngineError(
+            f"unknown engine {name!r}; available: {', '.join(available_engines())}"
+        )
+    return spec

@@ -1,0 +1,229 @@
+"""Wire types of the scheduling service.
+
+A :class:`SolveRequest` carries one ``P || Cmax`` instance plus solver
+selection (engine name, ``eps``, tuning knobs) and an optional *deadline*
+— a per-request wall-clock budget in seconds.  A :class:`SolveResult`
+carries the outcome: the assignment, its makespan, the a-priori guarantee
+factor of the engine that actually produced it, and service metadata
+(cache hit, degradation, rejection).
+
+Both types serialize to single-line JSON objects — the unit of the
+service's JSON-lines protocol (``docs/service.md``).  Deserialization is
+strict about structure (missing/odd fields raise :class:`ValueError`
+rather than producing half-formed requests) because the bytes arrive
+from a socket.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, replace
+from typing import Callable
+
+from repro.model.instance import Instance
+from repro.model.schedule import Schedule
+
+
+class DeadlineExceeded(Exception):
+    """Raised (by a ``check_deadline`` callback) when a solve overruns
+    its per-request budget; the service catches it and degrades to LPT."""
+
+
+#: Result status values.
+STATUS_OK = "ok"
+STATUS_REJECTED = "rejected"
+STATUS_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One solve order: an instance plus engine selection and budget.
+
+    Parameters
+    ----------
+    times:
+        Positive integer processing times, one per job.
+    machines:
+        Number of identical machines ``m``.
+    engine:
+        Registry engine name (:func:`repro.service.registry.available_engines`);
+        dashes and underscores are interchangeable (``parallel-ptas`` ==
+        ``parallel_ptas``).
+    eps:
+        Relative error for the PTAS engines (ignored by the baselines).
+    deadline:
+        Wall-clock budget in seconds for this request, measured from
+        admission.  ``None`` means unbounded.  When a deadline-capable
+        engine overruns, the service returns the LPT schedule tagged
+        ``degraded=True`` instead of timing out the client.
+    dp_engine:
+        Sequential DP engine for ``ptas`` (see
+        :data:`repro.core.dp.SEQUENTIAL_ENGINES`).
+    workers / backend:
+        Worker count and wavefront backend for ``parallel_ptas``.
+    time_limit:
+        Budget forwarded to the exact ``ilp`` solver.
+    request_id:
+        Opaque client-chosen correlation id, echoed in the result.
+    """
+
+    times: tuple[int, ...]
+    machines: int
+    engine: str = "ptas"
+    eps: float = 0.3
+    deadline: float | None = None
+    dp_engine: str = "dominance"
+    workers: int = 4
+    backend: str = "thread"
+    time_limit: float | None = None
+    request_id: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "times", tuple(int(t) for t in self.times))
+        if self.deadline is not None and self.deadline < 0:
+            raise ValueError(f"deadline must be >= 0, got {self.deadline}")
+        if self.eps <= 0:
+            raise ValueError(f"eps must be positive, got {self.eps}")
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.times)
+
+    def instance(self) -> Instance:
+        """The validated :class:`Instance` this request describes."""
+        return Instance(self.times, self.machines)
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe dict form (``times`` as a list)."""
+        d = asdict(self)
+        d["times"] = list(self.times)
+        return d
+
+    def to_json(self) -> str:
+        """One protocol line (compact JSON, no newline)."""
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SolveRequest":
+        """Strictly parse a decoded JSON object into a request."""
+        if not isinstance(data, dict):
+            raise ValueError(f"request must be a JSON object, got {type(data).__name__}")
+        try:
+            times = data["times"]
+            machines = data["machines"]
+        except KeyError as exc:
+            raise ValueError(f"request is missing required field {exc.args[0]!r}") from None
+        known = {f for f in cls.__dataclass_fields__}
+        extra = set(data) - known
+        if extra:
+            raise ValueError(f"unknown request field(s): {sorted(extra)}")
+        kwargs = {k: v for k, v in data.items() if k not in ("times", "machines")}
+        return cls(times=tuple(times), machines=int(machines), **kwargs)
+
+    @classmethod
+    def from_json(cls, line: str) -> "SolveRequest":
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"malformed request JSON: {exc}") from None
+        return cls.from_dict(data)
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Outcome of one request (also the unit of the response stream).
+
+    ``status`` is ``"ok"`` (schedule present, possibly ``degraded``),
+    ``"rejected"`` (load shed — retry after ``retry_after`` seconds), or
+    ``"error"`` (bad request / solver failure; see ``error``).
+
+    ``guarantee`` is the a-priori approximation factor of the engine that
+    actually produced the schedule: ``1 + eps`` for the PTAS engines,
+    Graham's ``4/3 - 1/(3m)`` when the result is an LPT degradation, and
+    ``1.0`` for exact engines.
+    """
+
+    request_id: str = ""
+    status: str = STATUS_OK
+    engine: str = ""
+    makespan: int | None = None
+    assignment: tuple[tuple[int, ...], ...] | None = None
+    guarantee: float | None = None
+    degraded: bool = False
+    cached: bool = False
+    elapsed: float = 0.0
+    retry_after: float | None = None
+    error: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.assignment is not None:
+            object.__setattr__(
+                self,
+                "assignment",
+                tuple(tuple(int(j) for j in grp) for grp in self.assignment),
+            )
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def schedule(self, instance: Instance) -> Schedule:
+        """Reconstruct the (validated) :class:`Schedule` for *instance*."""
+        if self.assignment is None:
+            raise ValueError(f"result has no assignment (status={self.status!r})")
+        return Schedule(instance, self.assignment)
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe dict form (assignment as nested lists)."""
+        d = asdict(self)
+        if self.assignment is not None:
+            d["assignment"] = [list(grp) for grp in self.assignment]
+        return d
+
+    def to_json(self) -> str:
+        """One protocol line (compact JSON, no newline)."""
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SolveResult":
+        """Strictly parse a decoded JSON object into a result."""
+        if not isinstance(data, dict):
+            raise ValueError(f"result must be a JSON object, got {type(data).__name__}")
+        known = {f for f in cls.__dataclass_fields__}
+        extra = set(data) - known
+        if extra:
+            raise ValueError(f"unknown result field(s): {sorted(extra)}")
+        kwargs = dict(data)
+        if kwargs.get("assignment") is not None:
+            kwargs["assignment"] = tuple(tuple(g) for g in kwargs["assignment"])
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json(cls, line: str) -> "SolveResult":
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"malformed result JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    def with_request_id(self, request_id: str) -> "SolveResult":
+        """A copy carrying *request_id* (cache hits echo the caller's)."""
+        return replace(self, request_id=request_id)
+
+
+def deadline_checker(
+    deadline_at: float, clock: Callable[[], float] = time.monotonic
+) -> Callable[[], None]:
+    """A ``check_deadline`` callback raising :class:`DeadlineExceeded`
+    once ``clock()`` passes *deadline_at* (a :func:`time.monotonic`
+    instant).  Threaded into the PTAS bisection loops so a solve aborts
+    between probes."""
+
+    def check() -> None:
+        if clock() > deadline_at:
+            raise DeadlineExceeded(f"deadline passed at t={deadline_at:.6f}")
+
+    return check

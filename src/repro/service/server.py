@@ -1,0 +1,597 @@
+"""The asyncio scheduling service: JSON-lines front-end over the solvers.
+
+Architecture (see ``docs/service.md`` for the full reference)::
+
+    client ──JSON line──▶ connection handler ──▶ SolveService.handle
+                                                   │ 1. result cache
+                                                   │ 2. admission gate
+                                                   │ 3. micro-batcher (small)
+                                                   │    or direct dispatch
+                                                   ▼
+                                        ThreadPoolExecutor workers
+                                          └─ registry engines; parallel
+                                             PTAS draws its wavefront
+                                             workers from the persistent
+                                             reusable pools of
+                                             repro.parallel.executor
+
+Requests are solved off the event loop via ``run_in_executor``; the
+event loop only parses, batches, and enforces deadlines.  *Compatible*
+small requests (same engine and ``eps``, at most ``batch_max_jobs``
+jobs) queued within ``batch_window`` seconds are shipped to one worker
+as a single batch, amortizing executor round-trips under high request
+rates; heavy solves dispatch individually.
+
+Graceful degradation: a request with a ``deadline`` gets a
+``check_deadline`` callback threaded into the PTAS bisection (probes
+abort mid-solve); when the deadline fires, the service returns the LPT
+schedule for the same instance tagged ``degraded=true`` with Graham's
+``4/3 - 1/(3m)`` guarantee — a worse bound, never a timeout.  Engines
+that cannot be cancelled (the exact solvers) are abandoned in their
+worker thread and degraded from the event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.algorithms.lpt import lpt, lpt_worst_case_ratio
+from repro.model.instance import Instance
+from repro.service.admission import AdmissionController
+from repro.service.cache import CacheKey, ResultCache, canonical_key
+from repro.service.metrics import MetricsRegistry, record_dp_cache
+from repro.service.registry import (
+    EngineSpec,
+    UnknownEngineError,
+    canonical_engine_name,
+    get_engine,
+)
+from repro.service.requests import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_REJECTED,
+    DeadlineExceeded,
+    SolveRequest,
+    SolveResult,
+    deadline_checker,
+)
+
+#: Default TCP port (no registered meaning; "Cmax" on a phone keypad-ish).
+DEFAULT_PORT = 8357
+
+
+@dataclass
+class _Job:
+    """One admitted request travelling through the dispatch machinery."""
+
+    request: SolveRequest
+    spec: EngineSpec
+    instance: Instance
+    deadline_at: float | None
+    admitted_at: float
+    future: "asyncio.Future[SolveResult]"
+
+    @property
+    def batch_key(self) -> tuple[str, float]:
+        return (canonical_engine_name(self.request.engine), self.request.eps)
+
+
+class SolveService:
+    """Request orchestrator: cache → admission → batch/dispatch → degrade.
+
+    The service is transport-agnostic — :meth:`handle` takes a
+    :class:`SolveRequest` and returns a :class:`SolveResult`; the
+    JSON-lines TCP front-end (:func:`start_server` / :func:`serve`) is
+    one thin consumer, and tests or in-process callers are another.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: ResultCache | None = None,
+        admission: AdmissionController | None = None,
+        metrics: MetricsRegistry | None = None,
+        max_workers: int = 4,
+        batch_window: float = 0.005,
+        batch_max_size: int = 16,
+        batch_max_jobs: int = 64,
+        default_deadline: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if batch_window < 0:
+            raise ValueError("batch_window must be >= 0")
+        if batch_max_size < 1:
+            raise ValueError("batch_max_size must be >= 1")
+        self.cache = cache if cache is not None else ResultCache()
+        self.admission = admission if admission is not None else AdmissionController()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.max_workers = max_workers
+        self.batch_window = batch_window
+        self.batch_max_size = batch_max_size
+        self.batch_max_jobs = batch_max_jobs
+        self.default_deadline = default_deadline
+        self._clock = clock
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-solve"
+        )
+        self._batch_queue: asyncio.Queue[_Job] | None = None
+        self._batcher: asyncio.Task[None] | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown_event: asyncio.Event | None = None
+        self._busy_workers = 0
+        self._inflight: dict[CacheKey, asyncio.Future[None]] = {}
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    async def handle(self, request: SolveRequest) -> SolveResult:
+        """Serve one request end to end (cache → admission → solve)."""
+        t0 = self._clock()
+        self.metrics.counter("requests_total").inc()
+        try:
+            request.instance()  # eager structural validation
+            get_engine(request.engine)
+        except (UnknownEngineError, ValueError, TypeError) as exc:
+            self.metrics.counter("requests_invalid").inc()
+            return SolveResult(
+                request_id=request.request_id,
+                status=STATUS_ERROR,
+                engine=request.engine,
+                error=str(exc),
+            )
+
+        hit = self.cache.get(request)
+        if hit is not None:
+            self.metrics.counter("cache_hits").inc()
+            self.metrics.histogram("request_latency_seconds").observe(
+                self._clock() - t0
+            )
+            return hit
+        self.metrics.counter("cache_misses").inc()
+
+        # Single-flight coalescing: a concurrent duplicate (same
+        # canonical key — a thundering herd of permuted twins) waits for
+        # the leader instead of burning a worker on identical work, then
+        # reads the freshly populated cache.  If the leader's answer was
+        # not cacheable (degraded / failed), fall through and solve.
+        key = canonical_key(request)
+        leader = key not in self._inflight
+        if leader:
+            self._inflight[key] = asyncio.get_running_loop().create_future()
+        else:
+            self.metrics.counter("requests_coalesced").inc()
+            try:
+                await asyncio.shield(self._inflight[key])
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                pass
+            hit = self.cache.get(request)
+            if hit is not None:
+                self.metrics.counter("cache_hits").inc()
+                self.metrics.histogram("request_latency_seconds").observe(
+                    self._clock() - t0
+                )
+                return hit
+
+        try:
+            return await self._admit_and_solve(request, t0)
+        finally:
+            if leader:
+                waiters = self._inflight.pop(key)
+                if not waiters.done():
+                    waiters.set_result(None)
+
+    async def _admit_and_solve(
+        self, request: SolveRequest, t0: float
+    ) -> SolveResult:
+        instance = request.instance()
+        spec = get_engine(request.engine)
+        decision = self.admission.try_admit(request)
+        if not decision.admitted:
+            self.metrics.counter("requests_shed").inc()
+            return SolveResult(
+                request_id=request.request_id,
+                status=STATUS_REJECTED,
+                engine=request.engine,
+                retry_after=decision.retry_after,
+                error=decision.reason,
+            )
+
+        deadline = (
+            request.deadline if request.deadline is not None else self.default_deadline
+        )
+        deadline_at = None if deadline is None else t0 + deadline
+        job = _Job(
+            request=request,
+            spec=spec,
+            instance=instance,
+            deadline_at=deadline_at,
+            admitted_at=self._clock(),
+            future=asyncio.get_running_loop().create_future(),
+        )
+        try:
+            if self._is_batchable(job):
+                await self._enqueue_batch(job)
+            else:
+                self._dispatch([job])
+            result = await self._await_with_deadline(job)
+        finally:
+            self.admission.release(decision)
+        if result.ok and not result.degraded:
+            self.cache.put(request, result)
+        self.metrics.histogram("request_latency_seconds").observe(self._clock() - t0)
+        return result
+
+    def _is_batchable(self, job: _Job) -> bool:
+        """Small, cancellable-or-instant work rides the micro-batcher;
+        exact engines and big instances get a worker to themselves."""
+        return (
+            self.batch_window > 0
+            and not job.spec.exact
+            and job.request.num_jobs <= self.batch_max_jobs
+        )
+
+    async def _await_with_deadline(self, job: _Job) -> SolveResult:
+        """Wait for the job; degrade from the event loop if a deadline
+        passes on an engine that cannot cancel itself (its worker thread
+        is abandoned — it still occupies a slot until it finishes)."""
+        if job.deadline_at is None or job.spec.supports_deadline:
+            return await job.future
+        remaining = max(0.0, job.deadline_at - self._clock())
+        try:
+            return await asyncio.wait_for(asyncio.shield(job.future), remaining)
+        except asyncio.TimeoutError:
+            self.metrics.counter("solves_abandoned").inc()
+            job.future.add_done_callback(lambda f: f.exception())  # reap quietly
+            return self._degrade(job)
+
+    # ------------------------------------------------------------------
+    # Batching and dispatch
+    # ------------------------------------------------------------------
+    async def _enqueue_batch(self, job: _Job) -> None:
+        loop = asyncio.get_running_loop()
+        if self._batch_queue is None or self._loop is not loop:
+            # First use on this event loop (or the loop changed between
+            # asyncio.run() invocations in tests): fresh queue + batcher.
+            self._loop = loop
+            self._batch_queue = asyncio.Queue()
+            self._batcher = loop.create_task(self._batch_loop())
+        await self._batch_queue.put(job)
+
+    async def _batch_loop(self) -> None:
+        """Collect compatible jobs for up to ``batch_window`` seconds,
+        then dispatch each compatibility group as one executor call."""
+        assert self._batch_queue is not None
+        while True:
+            batch = [await self._batch_queue.get()]
+            horizon = self._clock() + self.batch_window
+            while len(batch) < self.batch_max_size:
+                timeout = horizon - self._clock()
+                if timeout <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._batch_queue.get(), timeout)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            groups: dict[tuple[str, float], list[_Job]] = {}
+            for job in batch:
+                groups.setdefault(job.batch_key, []).append(job)
+            self.metrics.counter("batches_total").inc(len(groups))
+            self.metrics.histogram("batch_size").observe(len(batch))
+            for group in groups.values():
+                self._dispatch(group)
+
+    def _dispatch(self, jobs: list[_Job]) -> None:
+        """Ship a group of jobs to one worker thread."""
+        loop = asyncio.get_running_loop()
+        self._busy_workers += 1
+        self.metrics.gauge("executor_busy").set(self._busy_workers)
+
+        def run() -> list[SolveResult]:
+            return [self._solve_one(job) for job in jobs]
+
+        def done(fut: "asyncio.Future[list[SolveResult]]") -> None:
+            self._busy_workers -= 1
+            self.metrics.gauge("executor_busy").set(self._busy_workers)
+            if fut.cancelled():
+                for job in jobs:
+                    if not job.future.done():
+                        job.future.cancel()
+                return
+            exc = fut.exception()
+            for job, result in zip(
+                jobs, fut.result() if exc is None else [None] * len(jobs)
+            ):
+                if job.future.done():
+                    continue
+                if exc is not None:
+                    job.future.set_exception(exc)
+                else:
+                    job.future.set_result(result)
+
+        task = loop.run_in_executor(self._executor, run)
+        task.add_done_callback(done)
+
+    # ------------------------------------------------------------------
+    # Worker-side solve (runs in an executor thread)
+    # ------------------------------------------------------------------
+    def _solve_one(self, job: _Job) -> SolveResult:
+        self.metrics.histogram("queue_wait_seconds").observe(
+            self._clock() - job.admitted_at
+        )
+        request, spec = job.request, job.spec
+        if job.deadline_at is not None and self._clock() > job.deadline_at:
+            return self._degrade(job)
+        check = (
+            deadline_checker(job.deadline_at, self._clock)
+            if job.deadline_at is not None and spec.supports_deadline
+            else None
+        )
+        t0 = self._clock()
+        try:
+            schedule = spec.solve(job.instance, request, check)
+        except DeadlineExceeded:
+            return self._degrade(job)
+        except UnknownEngineError as exc:
+            self.metrics.counter("requests_invalid").inc()
+            return SolveResult(
+                request_id=request.request_id,
+                status=STATUS_ERROR,
+                engine=request.engine,
+                error=str(exc),
+            )
+        return SolveResult(
+            request_id=request.request_id,
+            status=STATUS_OK,
+            engine=canonical_engine_name(request.engine),
+            makespan=schedule.makespan,
+            assignment=schedule.assignment,
+            guarantee=spec.guarantee(request),
+            elapsed=self._clock() - t0,
+        )
+
+    def _degrade(self, job: _Job) -> SolveResult:
+        """The anytime fallback: LPT in O(n log n), tagged ``degraded``."""
+        self.metrics.counter("degradations_total").inc()
+        schedule = lpt(job.instance)
+        return SolveResult(
+            request_id=job.request.request_id,
+            status=STATUS_OK,
+            engine="lpt",
+            makespan=schedule.makespan,
+            assignment=schedule.assignment,
+            guarantee=lpt_worst_case_ratio(job.instance.num_machines),
+            degraded=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """The ``{"op": "stats"}`` payload: every subsystem's counters."""
+        self.metrics.set_many(
+            "result_cache", {k: float(v) for k, v in self.cache.stats().items()}
+        )
+        self.metrics.set_many(
+            "admission", {k: float(v) for k, v in self.admission.stats().items()}
+        )
+        record_dp_cache(self.metrics)
+        self.metrics.gauge("pool_utilization").set(
+            self._busy_workers / self.max_workers
+        )
+        return self.metrics.snapshot()
+
+    def request_shutdown(self) -> None:
+        """Ask :func:`serve` to wind down (set by the ``shutdown`` op)."""
+        if self._shutdown_event is not None:
+            self._shutdown_event.set()
+
+    async def aclose(self) -> None:
+        """Stop the batcher and release the worker pool."""
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except (asyncio.CancelledError, RuntimeError):
+                pass
+            self._batcher = None
+            self._batch_queue = None
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+
+# ---------------------------------------------------------------------------
+# JSON-lines TCP front-end
+# ---------------------------------------------------------------------------
+
+async def _write_line(
+    writer: asyncio.StreamWriter, lock: asyncio.Lock, payload: str
+) -> None:
+    async with lock:
+        writer.write(payload.encode("utf-8") + b"\n")
+        await writer.drain()
+
+
+async def _handle_connection(
+    service: SolveService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """One client connection: requests in, responses out (possibly out of
+    order — correlate via ``request_id``).  Control ops: ``ping``,
+    ``stats``, ``shutdown``."""
+    lock = asyncio.Lock()
+    pending: set[asyncio.Task[None]] = set()
+
+    async def respond(request: SolveRequest) -> None:
+        result = await service.handle(request)
+        await _write_line(writer, lock, result.to_json())
+
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            text = line.decode("utf-8", errors="replace").strip()
+            if not text:
+                continue
+            try:
+                data = json.loads(text)
+            except json.JSONDecodeError as exc:
+                await _write_line(
+                    writer,
+                    lock,
+                    SolveResult(
+                        status=STATUS_ERROR, error=f"malformed JSON: {exc}"
+                    ).to_json(),
+                )
+                continue
+            if isinstance(data, dict) and "op" in data:
+                op = data["op"]
+                if op == "ping":
+                    await _write_line(writer, lock, json.dumps({"op": "pong"}))
+                elif op == "stats":
+                    await _write_line(
+                        writer, lock, json.dumps({"op": "stats", "stats": service.stats()})
+                    )
+                elif op == "shutdown":
+                    await _write_line(writer, lock, json.dumps({"op": "bye"}))
+                    service.request_shutdown()
+                    break
+                else:
+                    await _write_line(
+                        writer,
+                        lock,
+                        SolveResult(
+                            status=STATUS_ERROR, error=f"unknown op {op!r}"
+                        ).to_json(),
+                    )
+                continue
+            try:
+                request = SolveRequest.from_dict(data)
+            except ValueError as exc:
+                await _write_line(
+                    writer,
+                    lock,
+                    SolveResult(status=STATUS_ERROR, error=str(exc)).to_json(),
+                )
+                continue
+            task = asyncio.create_task(respond(request))
+            pending.add(task)
+            task.add_done_callback(pending.discard)
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+    finally:
+        for task in pending:
+            task.cancel()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def start_server(
+    service: SolveService, host: str = "127.0.0.1", port: int = DEFAULT_PORT
+) -> asyncio.AbstractServer:
+    """Bind the JSON-lines front-end; the caller owns the returned
+    server's lifetime (tests use ``port=0`` for an ephemeral port)."""
+    service._shutdown_event = asyncio.Event()
+    return await asyncio.start_server(
+        lambda r, w: _handle_connection(service, r, w), host, port
+    )
+
+
+async def serve(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    *,
+    service: SolveService | None = None,
+    log_interval: float | None = None,
+    on_ready: Callable[[str, int], None] | None = None,
+) -> None:
+    """Run the service until a ``shutdown`` op (or cancellation).
+
+    ``log_interval`` enables the periodic metrics heartbeat line;
+    ``on_ready`` receives the bound ``(host, port)`` once listening.
+    """
+    svc = service if service is not None else SolveService()
+    server = await start_server(svc, host, port)
+    bound = server.sockets[0].getsockname()[:2] if server.sockets else (host, port)
+    if on_ready is not None:
+        on_ready(bound[0], bound[1])
+
+    async def heartbeat() -> None:
+        assert log_interval is not None
+        while True:
+            await asyncio.sleep(log_interval)
+            svc.stats()
+            print(svc.metrics.render_line(), flush=True)
+
+    beat = (
+        asyncio.get_running_loop().create_task(heartbeat())
+        if log_interval is not None and log_interval > 0
+        else None
+    )
+    try:
+        assert svc._shutdown_event is not None
+        await svc._shutdown_event.wait()
+    finally:
+        if beat is not None:
+            beat.cancel()
+        server.close()
+        await server.wait_closed()
+        await svc.aclose()
+
+
+# ---------------------------------------------------------------------------
+# Client helpers (used by ``repro-pcmax submit`` and the tests)
+# ---------------------------------------------------------------------------
+
+async def submit(
+    host: str, port: int, request: SolveRequest, *, timeout: float | None = 60.0
+) -> SolveResult:
+    """Submit one request over a fresh connection and await its result."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(request.to_json().encode("utf-8") + b"\n")
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(), timeout)
+        if not line:
+            raise ConnectionError("server closed the connection without replying")
+        return SolveResult.from_json(line.decode("utf-8"))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def send_op(
+    host: str, port: int, op: str, *, timeout: float | None = 10.0
+) -> dict:
+    """Send a control op (``ping`` / ``stats`` / ``shutdown``)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(json.dumps({"op": op}).encode("utf-8") + b"\n")
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(), timeout)
+        if not line:
+            raise ConnectionError("server closed the connection without replying")
+        return json.loads(line.decode("utf-8"))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

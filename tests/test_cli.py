@@ -166,3 +166,134 @@ class TestBenchDP:
         )
         out = capsys.readouterr().out
         assert "table" in out and "dominance" in out
+
+
+class TestUnknownEngine:
+    def test_solve_unknown_algorithm_exits_nonzero(self, capsys):
+        assert main(["solve", "--times", "5,4,3", "-m", "2", "-a", "nosuch"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "nosuch" in err
+        assert "ptas" in err  # the message lists the valid names
+
+    def test_solve_unknown_dp_engine_exits_nonzero(self, capsys):
+        assert (
+            main(
+                [
+                    "solve",
+                    "--times",
+                    "5,4,3",
+                    "-m",
+                    "2",
+                    "-a",
+                    "ptas",
+                    "--engine",
+                    "bogus",
+                ]
+            )
+            == 2
+        )
+        assert "bogus" in capsys.readouterr().err
+
+    def test_dash_alias_accepted(self, capsys):
+        assert (
+            main(
+                ["solve", "--times", "5,4,3,3,3", "-m", "2", "-a", "parallel-ptas"]
+            )
+            == 0
+        )
+        assert "makespan" in capsys.readouterr().out
+
+
+class TestBenchDPCacheLine:
+    def test_bench_dp_reports_config_cache(self, capsys):
+        assert (
+            main(["bench-dp", "--family", "u_10", "-m", "3", "-n", "10"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "config-cache:" in out
+        assert "hits=" in out and "misses=" in out and "currsize=" in out
+
+
+class TestServeSubmit:
+    def test_serve_submit_round_trip(self, capsys):
+        import re
+        import threading
+        import time as _time
+
+        thread = threading.Thread(
+            target=main,
+            args=(
+                [
+                    "serve",
+                    "--host",
+                    "127.0.0.1",
+                    "--port",
+                    "0",
+                    "--workers",
+                    "2",
+                    "--log-interval",
+                    "0",
+                ],
+            ),
+            daemon=True,
+        )
+        thread.start()
+        # The serve thread prints the bound port through the captured
+        # stdout; poll until the ready line appears.
+        port = None
+        buffered = ""
+        deadline = _time.monotonic() + 20
+        while port is None and _time.monotonic() < deadline:
+            buffered += capsys.readouterr().out
+            found = re.search(r"listening on 127\.0\.0\.1:(\d+)", buffered)
+            if found:
+                port = int(found.group(1))
+            else:
+                _time.sleep(0.05)
+        assert port is not None, f"server never became ready: {buffered!r}"
+        try:
+            assert (
+                main(
+                    [
+                        "submit",
+                        "--port",
+                        str(port),
+                        "--times",
+                        "5,4,3,3,3",
+                        "-m",
+                        "2",
+                        "-a",
+                        "ptas",
+                    ]
+                )
+                == 0
+            )
+            out = capsys.readouterr().out
+            assert "makespan : " in out
+            assert "engine   : ptas" in out
+
+            assert main(["submit", "--port", str(port), "--op", "ping"]) == 0
+            assert '"pong"' in capsys.readouterr().out
+
+            assert (
+                main(
+                    [
+                        "submit",
+                        "--port",
+                        str(port),
+                        "--times",
+                        "5,4,3",
+                        "-m",
+                        "2",
+                        "-a",
+                        "nosuch",
+                    ]
+                )
+                == 2
+            )
+            assert "nosuch" in capsys.readouterr().err
+        finally:
+            main(["submit", "--port", str(port), "--op", "shutdown"])
+            capsys.readouterr()
+            thread.join(timeout=20)
+        assert not thread.is_alive()

@@ -167,3 +167,39 @@ class TestEpsilonTradeoff:
             ptas(inst, eps).final_target for eps in (1.0, 0.5, 0.34, 0.25)
         ]
         assert targets == sorted(targets, reverse=True)
+
+
+class TestCheckDeadline:
+    """``check_deadline`` threads from the public PTAS entry points into
+    the bisection loop (used by repro.service for graceful degradation)."""
+
+    def test_sequential_noop_hook_same_schedule(self, small_instance):
+        plain = ptas(small_instance, eps=0.3)
+        hooked = ptas(small_instance, eps=0.3, check_deadline=lambda: None)
+        assert hooked.schedule.makespan == plain.schedule.makespan
+
+    def test_sequential_raising_hook_propagates(self, small_instance):
+        class Expired(Exception):
+            pass
+
+        def check() -> None:
+            raise Expired
+
+        with pytest.raises(Expired):
+            ptas(small_instance, eps=0.3, check_deadline=check)
+
+    def test_parallel_raising_hook_propagates(self, small_instance):
+        class Expired(Exception):
+            pass
+
+        def check() -> None:
+            raise Expired
+
+        with pytest.raises(Expired):
+            parallel_ptas(
+                small_instance,
+                eps=0.05,
+                num_workers=2,
+                backend="serial",
+                check_deadline=check,
+            )

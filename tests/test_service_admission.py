@@ -1,0 +1,91 @@
+"""Tests for admission control (:mod:`repro.service.admission`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.admission import AdmissionController, estimate_ops
+from repro.service.requests import SolveRequest
+
+
+def _request(n=10, m=3, engine="ptas", eps=0.3):
+    return SolveRequest(times=tuple(range(1, n + 1)), machines=m, engine=engine, eps=eps)
+
+
+class TestEstimate:
+    def test_monotone_in_size(self):
+        assert estimate_ops(_request(n=100)) > estimate_ops(_request(n=10))
+
+    def test_monotone_in_accuracy(self):
+        assert estimate_ops(_request(eps=0.05)) > estimate_ops(_request(eps=0.5))
+
+    def test_baselines_far_cheaper_than_ptas(self):
+        assert estimate_ops(_request(engine="lpt")) * 10 < estimate_ops(
+            _request(engine="ptas")
+        )
+
+    def test_exact_priced_above_ptas(self):
+        assert estimate_ops(_request(engine="ilp")) > estimate_ops(
+            _request(engine="ptas")
+        )
+
+
+class TestQueueBound:
+    def test_rejects_when_queue_full(self):
+        gate = AdmissionController(max_queue_depth=2, max_inflight_ops=1e18)
+        d1 = gate.try_admit(_request())
+        d2 = gate.try_admit(_request())
+        assert d1.admitted and d2.admitted
+        d3 = gate.try_admit(_request())
+        assert not d3.admitted
+        assert "queue full" in d3.reason
+        assert d3.retry_after is not None and d3.retry_after > 0
+        assert gate.rejected_total == 1
+
+    def test_release_reopens_the_queue(self):
+        gate = AdmissionController(max_queue_depth=1, max_inflight_ops=1e18)
+        d1 = gate.try_admit(_request())
+        assert not gate.try_admit(_request()).admitted
+        gate.release(d1)
+        assert gate.queue_depth == 0
+        assert gate.try_admit(_request()).admitted
+
+    def test_release_of_rejection_is_a_no_op(self):
+        gate = AdmissionController(max_queue_depth=1)
+        gate.try_admit(_request())
+        rejected = gate.try_admit(_request())
+        gate.release(rejected)
+        assert gate.queue_depth == 1
+
+
+class TestWorkBound:
+    def test_sheds_additional_work_over_budget(self):
+        ops = estimate_ops(_request())
+        gate = AdmissionController(max_queue_depth=10, max_inflight_ops=ops * 1.5)
+        assert gate.try_admit(_request()).admitted
+        decision = gate.try_admit(_request())
+        assert not decision.admitted
+        assert "budget" in decision.reason
+
+    def test_single_huge_request_admitted_when_idle(self):
+        # The ops cap sheds *additional* work; an idle service still
+        # accepts a request bigger than the whole budget.
+        gate = AdmissionController(max_queue_depth=10, max_inflight_ops=1.0)
+        assert gate.try_admit(_request(n=200, eps=0.1)).admitted
+
+    def test_inflight_ops_accounting(self):
+        gate = AdmissionController(max_queue_depth=10, max_inflight_ops=1e18)
+        d = gate.try_admit(_request())
+        assert gate.inflight_ops == pytest.approx(d.ops)
+        gate.release(d)
+        assert gate.inflight_ops == 0.0
+
+
+def test_stats_shape():
+    gate = AdmissionController(max_queue_depth=4)
+    gate.try_admit(_request())
+    stats = gate.stats()
+    assert stats["queue_depth"] == 1
+    assert stats["admitted_total"] == 1
+    assert stats["rejected_total"] == 0
+    assert stats["max_queue_depth"] == 4

@@ -1,0 +1,156 @@
+"""Tests for the canonical-form result cache (:mod:`repro.service.cache`)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.model.verify import verify_schedule
+from repro.service.cache import ResultCache, canonical_key
+from repro.service.requests import SolveRequest, SolveResult
+
+
+def _request(times, machines=3, engine="ptas", eps=0.3, request_id=""):
+    return SolveRequest(
+        times=tuple(times),
+        machines=machines,
+        engine=engine,
+        eps=eps,
+        request_id=request_id,
+    )
+
+
+def _ok_result(request: SolveRequest, assignment) -> SolveResult:
+    from repro.model.schedule import Schedule
+
+    sched = Schedule(request.instance(), assignment)
+    return SolveResult(
+        request_id=request.request_id,
+        status="ok",
+        engine=request.engine,
+        makespan=sched.makespan,
+        assignment=sched.assignment,
+        guarantee=1.3,
+    )
+
+
+class TestCanonicalKey:
+    def test_permutation_invariant(self):
+        a = _request([5, 9, 2, 2, 7])
+        b = _request([2, 7, 9, 2, 5])
+        assert canonical_key(a) == canonical_key(b)
+
+    def test_engine_and_eps_and_m_distinguish(self):
+        base = _request([5, 9, 2])
+        assert canonical_key(base) != canonical_key(_request([5, 9, 2], machines=4))
+        assert canonical_key(base) != canonical_key(_request([5, 9, 2], engine="lpt"))
+        assert canonical_key(base) != canonical_key(_request([5, 9, 2], eps=0.1))
+
+    def test_dash_engine_aliases_share_key(self):
+        assert canonical_key(_request([1, 2], engine="parallel-ptas")) == canonical_key(
+            _request([1, 2], engine="parallel_ptas")
+        )
+
+
+class TestPermutedHits:
+    def test_permuted_instance_hits_and_remaps(self):
+        cache = ResultCache()
+        req = _request([7, 3, 5, 5, 2, 8], machines=2, request_id="orig")
+        # loads: 7+3+5 = 15 and 5+2+8 = 15 — makespan 15.
+        assert cache.put(req, _ok_result(req, [(0, 1, 2), (3, 4, 5)]))
+
+        rng = random.Random(0)
+        times = list(req.times)
+        for trial in range(10):
+            rng.shuffle(times)
+            permuted = _request(times, machines=2, request_id=f"p{trial}")
+            hit = cache.get(permuted)
+            assert hit is not None
+            assert hit.cached
+            assert hit.request_id == f"p{trial}"
+            # The remapped assignment must be a valid schedule of the
+            # *permuted* instance with the original makespan.
+            sched = hit.schedule(permuted.instance())
+            assert verify_schedule(sched, permuted.instance()).ok
+            assert sched.makespan == hit.makespan == 15
+        assert cache.hits == 10
+        assert cache.misses == 0
+
+    def test_duplicate_times_remap_is_a_bijection(self):
+        cache = ResultCache()
+        req = _request([4, 4, 4, 1, 1], machines=2, request_id="a")
+        cache.put(req, _ok_result(req, [(0, 3), (1, 2, 4)]))
+        hit = cache.get(_request([1, 4, 1, 4, 4], machines=2, request_id="b"))
+        assert hit is not None
+        sched = hit.schedule(_request([1, 4, 1, 4, 4], machines=2).instance())
+        assert sorted(j for grp in sched.assignment for j in grp) == [0, 1, 2, 3, 4]
+        assert sched.makespan == hit.makespan
+
+    def test_miss_on_different_multiset(self):
+        cache = ResultCache()
+        req = _request([5, 5, 5])
+        cache.put(req, _ok_result(req, [(0,), (1,), (2,)]))
+        assert cache.get(_request([5, 5, 6])) is None
+        assert cache.misses == 1
+
+
+class TestBoundsAndPolicies:
+    def test_lru_eviction(self):
+        cache = ResultCache(max_entries=2)
+        reqs = [_request([i + 1], machines=1) for i in range(3)]
+        for r in reqs:
+            cache.put(r, _ok_result(r, [(0,)]))
+        assert cache.get(reqs[0]) is None  # oldest evicted
+        assert cache.get(reqs[1]) is not None
+        assert cache.get(reqs[2]) is not None
+        assert cache.evictions == 1
+
+    def test_get_refreshes_lru_order(self):
+        cache = ResultCache(max_entries=2)
+        a, b, c = (_request([i + 1], machines=1) for i in range(3))
+        cache.put(a, _ok_result(a, [(0,)]))
+        cache.put(b, _ok_result(b, [(0,)]))
+        cache.get(a)  # a becomes most-recent
+        cache.put(c, _ok_result(c, [(0,)]))
+        assert cache.get(b) is None
+        assert cache.get(a) is not None
+
+    def test_ttl_expiry_with_frozen_clock(self):
+        now = [0.0]
+        cache = ResultCache(ttl=10.0, clock=lambda: now[0])
+        req = _request([3, 2, 1])
+        cache.put(req, _ok_result(req, [(0,), (1,), (2,)]))
+        now[0] = 9.0
+        assert cache.get(req) is not None
+        now[0] = 10.5
+        assert cache.get(req) is None
+        assert cache.expirations == 1
+        assert len(cache) == 0
+
+    def test_degraded_and_failed_results_not_cached(self):
+        cache = ResultCache()
+        req = _request([3, 2, 1])
+        ok = _ok_result(req, [(0,), (1,), (2,)])
+        from dataclasses import replace
+
+        assert not cache.put(req, replace(ok, degraded=True))
+        assert not cache.put(req, SolveResult(status="rejected"))
+        assert not cache.put(req, SolveResult(status="error", error="x"))
+        assert len(cache) == 0
+
+    def test_zero_capacity_disables(self):
+        cache = ResultCache(max_entries=0)
+        req = _request([1, 2])
+        assert not cache.put(req, _ok_result(req, [(0, 1), (), ()]))
+        assert cache.get(req) is None
+
+    def test_stats_shape(self):
+        cache = ResultCache(max_entries=8)
+        stats = cache.stats()
+        assert stats == {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "expirations": 0,
+            "currsize": 0,
+            "maxsize": 8,
+        }

@@ -1,0 +1,81 @@
+"""Tests for the solver registry (:mod:`repro.service.registry`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.verify import verify_schedule
+from repro.service.registry import (
+    UnknownEngineError,
+    available_engines,
+    canonical_engine_name,
+    get_engine,
+)
+from repro.service.requests import SolveRequest
+
+
+def _request(engine: str, **kwargs) -> SolveRequest:
+    return SolveRequest(
+        times=(7, 7, 6, 6, 5, 4, 4, 3), machines=3, engine=engine, **kwargs
+    )
+
+
+class TestLookup:
+    def test_required_engines_registered(self):
+        names = available_engines()
+        for required in ("ptas", "parallel_ptas", "lpt", "ls", "ilp"):
+            assert required in names
+
+    def test_dash_and_underscore_equivalent(self):
+        assert get_engine("parallel-ptas") is get_engine("parallel_ptas")
+        assert canonical_engine_name("Parallel-PTAS") == "parallel_ptas"
+
+    def test_unknown_engine_message_lists_choices(self):
+        with pytest.raises(UnknownEngineError, match="ptas"):
+            get_engine("nope")
+
+    def test_unknown_is_value_error(self):
+        # The CLI and server both catch ValueError-compatible failures.
+        with pytest.raises(ValueError):
+            get_engine("nope")
+
+
+class TestCapabilities:
+    def test_ptas_family_supports_deadline(self):
+        assert get_engine("ptas").supports_deadline
+        assert get_engine("parallel_ptas").supports_deadline
+        assert get_engine("parallel_ptas").parallelizable
+
+    def test_baselines_do_not_need_deadline(self):
+        for name in ("lpt", "ls", "multifit"):
+            assert not get_engine(name).supports_deadline
+
+    def test_guarantees(self):
+        req = _request("ptas", eps=0.3)
+        assert get_engine("ptas").guarantee(req) == pytest.approx(1.3)
+        assert get_engine("lpt").guarantee(req) == pytest.approx(4 / 3 - 1 / 9)
+        assert get_engine("ls").guarantee(req) == pytest.approx(2 - 1 / 3)
+        assert get_engine("ilp").guarantee(req) == 1.0
+        assert get_engine("ilp").exact
+
+
+class TestSolveAdapters:
+    @pytest.mark.parametrize(
+        "engine", ["ptas", "parallel_ptas", "lpt", "ls", "multifit", "bnb"]
+    )
+    def test_produces_valid_schedule(self, engine):
+        req = _request(engine, workers=2, backend="serial")
+        inst = req.instance()
+        schedule = get_engine(engine).solve(inst, req, None)
+        assert verify_schedule(schedule, inst).ok
+        assert schedule.makespan <= get_engine(engine).guarantee(req) * 14 + 1e-9
+
+    def test_ptas_rejects_unknown_dp_engine(self):
+        req = _request("ptas", dp_engine="bogus")
+        with pytest.raises(UnknownEngineError, match="bogus"):
+            get_engine("ptas").solve(req.instance(), req, None)
+
+    def test_parallel_ptas_rejects_unknown_backend(self):
+        req = _request("parallel_ptas", backend="bogus")
+        with pytest.raises(UnknownEngineError, match="bogus"):
+            get_engine("parallel_ptas").solve(req.instance(), req, None)

@@ -1,0 +1,100 @@
+"""Tests for the service wire types (:mod:`repro.service.requests`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.instance import Instance
+from repro.service.requests import (
+    DeadlineExceeded,
+    SolveRequest,
+    SolveResult,
+    deadline_checker,
+)
+
+
+class TestSolveRequest:
+    def test_round_trip_json(self):
+        req = SolveRequest(
+            times=(5, 4, 3),
+            machines=2,
+            engine="parallel_ptas",
+            eps=0.25,
+            deadline=1.5,
+            workers=8,
+            backend="thread",
+            request_id="abc",
+        )
+        again = SolveRequest.from_json(req.to_json())
+        assert again == req
+
+    def test_instance_validation(self):
+        req = SolveRequest(times=(5, 4, 3), machines=2)
+        inst = req.instance()
+        assert inst == Instance((5, 4, 3), 2)
+        bad = SolveRequest(times=(0,), machines=1)
+        with pytest.raises(ValueError):
+            bad.instance()
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValueError, match="machines"):
+            SolveRequest.from_json('{"times": [1, 2]}')
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="bogus"):
+            SolveRequest.from_json('{"times": [1], "machines": 1, "bogus": 2}')
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            SolveRequest.from_json("{not json")
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValueError, match="deadline"):
+            SolveRequest(times=(1,), machines=1, deadline=-1.0)
+
+    def test_non_positive_eps_rejected(self):
+        with pytest.raises(ValueError, match="eps"):
+            SolveRequest(times=(1,), machines=1, eps=0.0)
+
+
+class TestSolveResult:
+    def test_round_trip_json(self):
+        res = SolveResult(
+            request_id="r1",
+            status="ok",
+            engine="ptas",
+            makespan=14,
+            assignment=((0, 1), (2,)),
+            guarantee=1.3,
+            elapsed=0.01,
+        )
+        again = SolveResult.from_json(res.to_json())
+        assert again == res
+
+    def test_schedule_reconstruction_validates(self):
+        inst = Instance((5, 4, 3), 2)
+        res = SolveResult(
+            status="ok", makespan=8, assignment=((0, 2), (1,)), engine="lpt"
+        )
+        sched = res.schedule(inst)
+        assert sched.makespan == 8
+        with pytest.raises(ValueError):
+            SolveResult(status="rejected").schedule(inst)
+
+    def test_rejected_round_trip(self):
+        res = SolveResult(status="rejected", retry_after=0.5, error="queue full")
+        again = SolveResult.from_json(res.to_json())
+        assert again.retry_after == 0.5
+        assert not again.ok
+
+
+class TestDeadlineChecker:
+    def test_passes_before_and_raises_after(self):
+        now = [0.0]
+        check = deadline_checker(1.0, clock=lambda: now[0])
+        check()  # t=0, fine
+        now[0] = 0.999
+        check()
+        now[0] = 1.001
+        with pytest.raises(DeadlineExceeded):
+            check()

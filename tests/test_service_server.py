@@ -1,0 +1,346 @@
+"""Tests for the asyncio scheduling service (:mod:`repro.service.server`).
+
+The unit tests drive :meth:`SolveService.handle` in-process; the
+end-to-end test boots the JSON-lines TCP server and pushes 50+
+concurrent mixed requests through real sockets — the acceptance
+criterion of the subsystem.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+
+import pytest
+
+from repro.model.instance import Instance
+from repro.model.verify import verify_schedule
+from repro.service.admission import AdmissionController
+from repro.service.cache import ResultCache
+from repro.service.requests import SolveRequest, SolveResult
+from repro.service.server import (
+    SolveService,
+    send_op,
+    start_server,
+    submit,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _closed(service: SolveService, server=None):
+    if server is not None:
+        server.close()
+        await server.wait_closed()
+    await service.aclose()
+
+
+def _req(times, machines=3, engine="lpt", **kwargs) -> SolveRequest:
+    return SolveRequest(times=tuple(times), machines=machines, engine=engine, **kwargs)
+
+
+class TestHandle:
+    def test_solves_and_reports_guarantee(self):
+        async def scenario():
+            svc = SolveService(max_workers=2, batch_window=0.0)
+            try:
+                res = await svc.handle(
+                    _req([7, 7, 6, 6, 5, 4, 4, 3], engine="ptas", request_id="x")
+                )
+            finally:
+                await _closed(svc)
+            return res
+
+        res = run(scenario())
+        assert res.ok and not res.degraded
+        assert res.request_id == "x"
+        assert res.guarantee == pytest.approx(1.3)
+        inst = Instance((7, 7, 6, 6, 5, 4, 4, 3), 3)
+        assert verify_schedule(res.schedule(inst), inst).ok
+
+    def test_unknown_engine_is_clean_error(self):
+        async def scenario():
+            svc = SolveService(batch_window=0.0)
+            try:
+                return await svc.handle(_req([1, 2, 3], engine="nope"))
+            finally:
+                await _closed(svc)
+
+        res = run(scenario())
+        assert res.status == "error"
+        assert "unknown engine" in res.error
+
+    def test_invalid_instance_is_clean_error(self):
+        async def scenario():
+            svc = SolveService(batch_window=0.0)
+            try:
+                return await svc.handle(
+                    SolveRequest(times=(), machines=2, engine="lpt")
+                )
+            finally:
+                await _closed(svc)
+
+        res = run(scenario())
+        assert res.status == "error"
+
+    def test_repeat_request_served_from_cache(self):
+        async def scenario():
+            svc = SolveService(batch_window=0.0)
+            try:
+                first = await svc.handle(_req([5, 4, 3, 2, 1], engine="ptas"))
+                second = await svc.handle(_req([5, 4, 3, 2, 1], engine="ptas"))
+                permuted = await svc.handle(_req([1, 2, 3, 4, 5], engine="ptas"))
+            finally:
+                await _closed(svc)
+            return first, second, permuted, svc.cache.stats()
+
+        first, second, permuted, stats = run(scenario())
+        assert not first.cached and second.cached and permuted.cached
+        assert first.makespan == second.makespan == permuted.makespan
+        assert stats["hits"] == 2
+
+    def test_deadline_degrades_to_lpt(self):
+        async def scenario():
+            svc = SolveService(batch_window=0.0)
+            try:
+                return await svc.handle(
+                    _req(
+                        range(1, 120),
+                        machines=5,
+                        engine="ptas",
+                        eps=0.05,
+                        deadline=0.0,
+                    )
+                )
+            finally:
+                await _closed(svc)
+
+        res = run(scenario())
+        assert res.ok and res.degraded
+        assert res.engine == "lpt"
+        m = 5
+        assert res.guarantee == pytest.approx(4 / 3 - 1 / (3 * m))
+        inst = Instance(tuple(range(1, 120)), m)
+        assert verify_schedule(res.schedule(inst), inst).ok
+
+    def test_degraded_results_are_not_cached(self):
+        async def scenario():
+            svc = SolveService(batch_window=0.0)
+            try:
+                await svc.handle(
+                    _req(range(1, 80), engine="ptas", eps=0.1, deadline=0.0)
+                )
+                return await svc.handle(_req(range(1, 80), engine="ptas", eps=0.1))
+            finally:
+                await _closed(svc)
+
+        res = run(scenario())
+        assert not res.cached and not res.degraded
+
+    def test_non_cancellable_engine_degrades_from_event_loop(self):
+        async def scenario():
+            svc = SolveService(batch_window=0.0)
+            try:
+                return await svc.handle(
+                    _req([9, 8, 7, 6, 5, 4], engine="bnb", deadline=0.0)
+                )
+            finally:
+                await _closed(svc)
+
+        res = run(scenario())
+        assert res.ok and res.degraded and res.engine == "lpt"
+
+    def test_load_shedding_reports_retry_after(self):
+        async def scenario():
+            gate = AdmissionController(max_queue_depth=1)
+            # Occupy the only slot so the real request is shed.
+            gate.try_admit(_req([1, 2, 3]))
+            svc = SolveService(admission=gate, batch_window=0.0)
+            try:
+                return await svc.handle(_req([4, 5, 6]))
+            finally:
+                await _closed(svc)
+
+        res = run(scenario())
+        assert res.status == "rejected"
+        assert res.retry_after > 0
+        assert "queue full" in res.error
+
+    def test_batching_groups_compatible_small_requests(self):
+        async def scenario():
+            svc = SolveService(max_workers=2, batch_window=0.05, batch_max_size=8)
+            try:
+                reqs = [
+                    _req([i + 1, 2 * i + 1, 5, 7], engine="lpt", request_id=str(i))
+                    for i in range(6)
+                ]
+                results = await asyncio.gather(*(svc.handle(r) for r in reqs))
+            finally:
+                await _closed(svc)
+            return results, svc.metrics.snapshot()
+
+        results, snap = run(scenario())
+        assert all(r.ok for r in results)
+        assert {r.request_id for r in results} == {str(i) for i in range(6)}
+        assert snap["counters"]["batches_total"] >= 1
+        assert snap["histograms"]["batch_size"]["max"] >= 2
+
+    def test_stats_exposes_every_subsystem(self):
+        async def scenario():
+            svc = SolveService(batch_window=0.0)
+            try:
+                await svc.handle(_req([3, 1, 2], engine="ptas"))
+                return svc.stats()
+            finally:
+                await _closed(svc)
+
+        snap = run(scenario())
+        assert snap["counters"]["requests_total"] == 1
+        assert "result_cache.hits" in snap["gauges"]
+        assert "admission.queue_depth" in snap["gauges"]
+        assert "dp_config_cache.hits" in snap["gauges"]
+        assert "pool_utilization" in snap["gauges"]
+        assert "request_latency_seconds" in snap["histograms"]
+
+
+class TestProtocol:
+    def test_ping_stats_malformed_and_shutdown(self):
+        async def scenario():
+            svc = SolveService(batch_window=0.0)
+            server = await start_server(svc, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            pong = await send_op("127.0.0.1", port, "ping")
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b"{broken\n")
+            await writer.drain()
+            broken = SolveResult.from_json((await reader.readline()).decode())
+            writer.write(json.dumps({"op": "wat"}).encode() + b"\n")
+            await writer.drain()
+            unknown_op = SolveResult.from_json((await reader.readline()).decode())
+            writer.write(json.dumps({"times": [1], "machines": 0}).encode() + b"\n")
+            await writer.drain()
+            bad_req = SolveResult.from_json((await reader.readline()).decode())
+            writer.close()
+            await writer.wait_closed()
+            stats = await send_op("127.0.0.1", port, "stats")
+            bye = await send_op("127.0.0.1", port, "shutdown")
+            await _closed(svc, server)
+            return pong, broken, unknown_op, bad_req, stats, bye, svc
+
+        pong, broken, unknown_op, bad_req, stats, bye, svc = run(scenario())
+        assert pong == {"op": "pong"}
+        assert broken.status == "error" and "malformed" in broken.error
+        assert unknown_op.status == "error" and "unknown op" in unknown_op.error
+        assert bad_req.status == "error"
+        assert stats["op"] == "stats" and "counters" in stats["stats"]
+        assert bye == {"op": "bye"}
+        assert svc._shutdown_event.is_set()
+
+
+class TestEndToEnd:
+    """The subsystem acceptance run: ≥50 concurrent requests, mixed
+    engines and deadlines, over real sockets."""
+
+    def test_fifty_concurrent_mixed_requests(self):
+        rng = random.Random(1234)
+        requests: list[SolveRequest] = []
+
+        # 1) PTAS traffic over a handful of base instances, resubmitted
+        #    shuffled — the permuted repeats must hit the cache.
+        bases = [
+            tuple(rng.randint(1, 40) for _ in range(rng.randint(8, 14)))
+            for _ in range(5)
+        ]
+        for i in range(15):
+            times = list(bases[i % len(bases)])
+            rng.shuffle(times)
+            requests.append(
+                _req(times, machines=3, engine="ptas", request_id=f"ptas-{i}")
+            )
+        # 2) Parallel PTAS on both pooled and serial wavefront backends.
+        for i in range(8):
+            times = [rng.randint(1, 30) for _ in range(10)]
+            requests.append(
+                _req(
+                    times,
+                    machines=3,
+                    engine="parallel-ptas",
+                    backend="thread" if i % 2 else "serial",
+                    workers=2,
+                    request_id=f"par-{i}",
+                )
+            )
+        # 3) Cheap baseline traffic (rides the micro-batcher).
+        for i, engine in enumerate(
+            ["lpt"] * 10 + ["ls"] * 6 + ["multifit"] * 6
+        ):
+            times = [rng.randint(1, 50) for _ in range(rng.randint(5, 20))]
+            requests.append(
+                _req(times, machines=4, engine=engine, request_id=f"{engine}-{i}")
+            )
+        # 4) A little exact traffic (dispatched unbatched).
+        for i in range(3):
+            times = [rng.randint(1, 9) for _ in range(7)]
+            requests.append(
+                _req(times, machines=2, engine="bnb", request_id=f"bnb-{i}")
+            )
+        # 5) Deadline-bound heavy PTAS solves that must degrade to LPT
+        #    rather than time the client out.
+        for i in range(3):
+            times = [rng.randint(1, 400) for _ in range(150)]
+            requests.append(
+                _req(
+                    times,
+                    machines=6,
+                    engine="ptas",
+                    eps=0.04,
+                    deadline=0.0 if i == 0 else 1e-4,
+                    request_id=f"deadline-{i}",
+                )
+            )
+        assert len(requests) >= 50
+
+        async def scenario():
+            svc = SolveService(
+                max_workers=4,
+                batch_window=0.005,
+                cache=ResultCache(max_entries=256),
+                admission=AdmissionController(
+                    max_queue_depth=len(requests) + 8, max_inflight_ops=1e18
+                ),
+            )
+            server = await start_server(svc, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            results = await asyncio.gather(
+                *(submit("127.0.0.1", port, r, timeout=120.0) for r in requests)
+            )
+            stats = await send_op("127.0.0.1", port, "stats")
+            await _closed(svc, server)
+            return results, stats
+
+        results, stats = run(scenario())
+
+        by_id = {r.request_id: r for r in results}
+        assert len(by_id) == len(requests)
+        for request in requests:
+            result = by_id[request.request_id]
+            assert result.ok, (request.request_id, result.error)
+            inst = request.instance()
+            schedule = result.schedule(inst)
+            report = verify_schedule(schedule, inst)
+            assert report.ok, (request.request_id, report.violations)
+            assert schedule.makespan == result.makespan
+
+        gauges = stats["stats"]["gauges"]
+        counters = stats["stats"]["counters"]
+        # Permuted/repeated PTAS instances were served from the cache.
+        assert gauges["result_cache.hits"] > 0
+        # At least one deadline-bound request degraded to LPT.
+        degraded = [r for r in results if r.degraded]
+        assert degraded
+        assert all(r.engine == "lpt" for r in degraded)
+        assert counters["degradations_total"] >= len(degraded)
+        assert counters["requests_total"] == len(requests)
