@@ -21,6 +21,13 @@ asserted to reach the same OPT as :func:`repro.core.dp.solve_table`.
 The kernel thread backend must be at least 3x the legacy thread backend
 at every worker count; results land in ``BENCH_dp.json`` at the repo
 root so the perf trajectory is tracked across PRs.
+
+A final traced run (``repro.obs.Tracer`` through a
+:class:`~repro.core.context.SolveContext`) records the per-level span
+breakdown of one numpy-serial table fill and reports what share of the
+``dp`` span the ``level`` spans account for — the observability layer's
+coverage figure, also asserted (loosely) here so a regression that stops
+instrumenting levels fails the benchmark.
 """
 
 from __future__ import annotations
@@ -33,10 +40,12 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.bounds import makespan_bounds
+from repro.core.context import SolveContext
 from repro.core.dp import DPProblem, solve_table
 from repro.core.kernels import LevelKernel, build_level_arrays, table_to_optional
-from repro.core.parallel_dp import compute_table
+from repro.core.parallel_dp import compute_table, parallel_dp
 from repro.core.rounding import round_instance
+from repro.obs import Tracer
 from repro.parallel.executor import ThreadExecutor, make_executor, shutdown_pools
 from repro.parallel.partition import round_robin_partition
 from repro.workloads.generator import make_instance
@@ -180,6 +189,35 @@ def main() -> int:
     for w, ratio in ratios.items():
         print(f"kernel/legacy thread speedup @ w={w}: {ratio:.1f}x")
 
+    # Traced numpy-serial fill: how much of the DP wall time the
+    # per-level spans account for (observability coverage figure).
+    tracer = Tracer()
+    parallel_dp(
+        problem,
+        1,
+        "numpy-serial",
+        track_schedule=False,
+        ctx=SolveContext(tracer=tracer),
+    )
+    summary = tracer.phase_summary()
+    dp_seconds = float(summary["dp"]["seconds"])
+    level_seconds = float(summary["level"]["seconds"])
+    level_share = level_seconds / dp_seconds if dp_seconds else 0.0
+    trace_stats = {
+        "dp_seconds": round(dp_seconds, 6),
+        "level_seconds": round(level_seconds, 6),
+        "level_share": round(level_share, 4),
+        "num_levels": int(summary["level"]["count"]),
+    }
+    print(
+        f"traced numpy-serial: level spans cover {level_share:.1%} of the "
+        f"dp span across {trace_stats['num_levels']} levels"
+    )
+    assert level_share >= 0.8, (
+        f"level spans cover only {level_share:.1%} of dp time — "
+        "wavefront instrumentation regressed"
+    )
+
     payload = {
         "benchmark": "wavefront kernel states/sec",
         "instance": {
@@ -197,6 +235,7 @@ def main() -> int:
         "thread_kernel_over_legacy": {
             str(w): round(r, 2) for w, r in ratios.items()
         },
+        "trace": trace_stats,
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {OUTPUT}")

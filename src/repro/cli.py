@@ -28,10 +28,12 @@ import sys
 import time
 from typing import Sequence
 
+from repro.core.dp import SEQUENTIAL_ENGINES
 from repro.model.instance import Instance
 from repro.service.registry import (
     UnknownEngineError,
     available_engines,
+    build_solve_context,
     get_engine,
 )
 from repro.service.requests import SolveRequest
@@ -84,13 +86,53 @@ def _solve_request_from_args(args: argparse.Namespace, inst: Instance) -> SolveR
     )
 
 
+def _build_trace_context(args: argparse.Namespace, request: SolveRequest):
+    """Tracer + context for ``solve --trace`` (``(None, None)`` untraced)."""
+    if not getattr(args, "trace", None):
+        return None, None
+    from repro.obs import SamplingProfiler, Tracer
+
+    profiler = (
+        SamplingProfiler(threshold=args.trace_profile)
+        if getattr(args, "trace_profile", None) is not None
+        else None
+    )
+    tracer = Tracer(profiler=profiler)
+    return tracer, build_solve_context(request, tracer=tracer)
+
+
+def _finish_trace(tracer, path: str) -> None:
+    """Write the trace file and print the per-phase summary."""
+    from repro.obs import save_trace
+
+    save_trace(tracer, path)
+    print(f"trace    : {path}")
+    for kind, agg in sorted(
+        tracer.phase_summary().items(), key=lambda kv: -kv[1]["seconds"]
+    ):
+        print(
+            f"  phase {kind:11s} count={agg['count']:5d} "
+            f"seconds={agg['seconds']:.4f}"
+        )
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
+    # Validate the DP engine eagerly so a typo exits cleanly regardless
+    # of which algorithm would (or would not) consume it.
+    if args.engine not in SEQUENTIAL_ENGINES:
+        print(
+            f"error: unknown DP engine {args.engine!r}; available: "
+            f"{', '.join(sorted(SEQUENTIAL_ENGINES))}",
+            file=sys.stderr,
+        )
+        return 2
     inst = _instance_from_args(args)
     try:
         spec = get_engine(args.algorithm)
         request = _solve_request_from_args(args, inst)
+        tracer, ctx = _build_trace_context(args, request)
         t0 = time.perf_counter()
-        schedule = spec.solve(inst, request, None)
+        schedule = spec.solve(inst, request, ctx)
     except UnknownEngineError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -99,6 +141,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(f"algorithm: {args.algorithm}")
     print(f"makespan : {schedule.makespan}")
     print(f"time     : {elapsed:.4f}s")
+    if tracer is not None:
+        _finish_trace(tracer, args.trace)
     if args.show_schedule:
         for i, grp in enumerate(schedule.assignment):
             load = sum(inst.processing_times[j] for j in grp)
@@ -358,10 +402,31 @@ def build_parser() -> argparse.ArgumentParser:
         "dashes and underscores are interchangeable)",
     )
     solve.add_argument("--eps", type=float, default=0.3)
-    solve.add_argument("--engine", default="dominance")
+    solve.add_argument(
+        "--engine",
+        "--dp-engine",
+        dest="engine",
+        default="dominance",
+        help="sequential DP engine for the PTAS bisection (one of: "
+        f"{', '.join(sorted(SEQUENTIAL_ENGINES))})",
+    )
     solve.add_argument("--workers", type=int, default=4)
     solve.add_argument("--backend", default="serial")
     solve.add_argument("--time-limit", type=float, default=None)
+    solve.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record a hierarchical trace and write it as "
+        "chrome://tracing JSON (docs/observability.md)",
+    )
+    solve.add_argument(
+        "--trace-profile",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="with --trace: sample the solver's stack and attach hottest "
+        "stacks to probes slower than SECONDS",
+    )
     solve.add_argument("--show-schedule", action="store_true")
     solve.add_argument(
         "--gantt", action="store_true", help="render an ASCII Gantt chart"

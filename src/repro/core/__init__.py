@@ -19,10 +19,21 @@ Module map (mirrors the paper's Algorithm 1/2/3 structure):
   over target makespans ``T`` (Alg. 1, lines 5–30).
 * :mod:`repro.core.reconstruct` — replacing rounded long jobs by the
   originals and LPT placement of short jobs (Alg. 1, lines 31–51).
+* :mod:`repro.core.context` — :class:`SolveContext`, the single object
+  carrying deadline / warm-start / tracing / metrics / executor concerns
+  through every layer above.
 * :mod:`repro.core.ptas` — the public entry points :func:`ptas` and
   :func:`parallel_ptas`.
 """
 
+from repro.core.context import DEFAULT_CONTEXT, SolveContext, resolve_context
 from repro.core.ptas import PTASResult, parallel_ptas, ptas
 
-__all__ = ["ptas", "parallel_ptas", "PTASResult"]
+__all__ = [
+    "ptas",
+    "parallel_ptas",
+    "PTASResult",
+    "SolveContext",
+    "DEFAULT_CONTEXT",
+    "resolve_context",
+]

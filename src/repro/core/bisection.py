@@ -48,9 +48,15 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.bounds import makespan_bounds
+from repro.core.context import SolveContext, resolve_context
 from repro.core.dp import DPProblem, DPResult
 from repro.core.rounding import RoundedInstance, round_instance, rounding_unit
 from repro.model.instance import Instance
+
+#: Default context of the *standalone* bisection: the paper-faithful
+#: search (no warm start) — callers coming through :func:`repro.core.ptas.ptas`
+#: get warm starts from its own default context instead.
+_FAITHFUL_CONTEXT = SolveContext(warm_start=False)
 
 #: A solver takes the rounded problem of one iteration and the machine
 #: budget ``m``, and must report ``opt=None`` when ``OPT(N) > m``.
@@ -147,7 +153,8 @@ def bisect_target_makespan(
     solver: DecisionSolver,
     job_cap: int | None = None,
     *,
-    warm_start: bool = False,
+    ctx: SolveContext | None = None,
+    warm_start: bool | None = None,
     check_deadline: Callable[[], None] | None = None,
 ) -> BisectionOutcome:
     """Run the dual-approximation bisection and return the last feasible
@@ -160,42 +167,58 @@ def bisect_target_makespan(
     of :mod:`repro.core.configurations`; the cap never cuts off a true
     schedule because each long job strictly exceeds ``T/k``.
 
-    ``warm_start=False`` (default) is the paper-faithful search over the
-    full Eq. 1–2 interval with per-probe rounding; ``warm_start=True``
-    enables the LPT-seeded upper bound and rounding-bucket reuse (module
-    docstring) — an equally valid certified target from fewer and
-    cheaper probes.
+    ``ctx`` (a :class:`~repro.core.context.SolveContext`) carries every
+    cross-cutting concern: ``ctx.warm_start`` selects between the
+    paper-faithful search (the standalone default here) and the
+    LPT-seeded + rounding-reuse search (module docstring);
+    ``ctx.check_deadline`` is invoked before every probe (the expensive
+    unit of work) and cancels the solve by raising — typically
+    :class:`repro.service.requests.DeadlineExceeded`; ``ctx.tracer``
+    receives one ``probe`` span per iteration with a nested ``round``
+    span (the solver adds ``enumerate``/``dp``/``level`` spans beneath).
 
-    ``check_deadline``, when given, is invoked before every probe (the
-    expensive unit of work).  It returns nothing and signals cancellation
-    by raising — typically :class:`repro.service.requests.DeadlineExceeded`
-    from the scheduling service — so a caller can abandon a solve between
-    probes instead of only at completion.
+    The bare ``warm_start=`` / ``check_deadline=`` kwargs are deprecated
+    shims that build a context and warn; pass ``ctx=`` in new code.
     """
+    ctx = resolve_context(
+        ctx,
+        warm_start=warm_start,
+        check_deadline=check_deadline,
+        default=_FAITHFUL_CONTEXT,
+        caller="bisect_target_makespan",
+    )
+    tracer = ctx.tracer
     m = instance.num_machines
     lb = makespan_bounds(instance).lower
-    ub = _initial_upper_bound(instance, warm_start)
+    ub = _initial_upper_bound(instance, ctx.warm_start)
     cache = _RoundingCache(instance, k)
-    do_round = cache.round if warm_start else (
+    do_round = cache.round if ctx.warm_start else (
         lambda target: round_instance(instance, target, k)
     )
-    best: tuple[RoundedInstance, DPResult] | None = None
-    trace: list[BisectionIteration] = []
-    while lb < ub:
-        if check_deadline is not None:
-            check_deadline()
-        target = (lb + ub) // 2
-        rounded = do_round(target)
-        problem = DPProblem(
-            rounded.class_sizes, rounded.class_counts, target, job_cap=job_cap
-        )
-        result = solver(problem, m)
-        feasible = result.opt is not None and result.opt <= m
+
+    def probe(target: int, lower: int, upper: int) -> tuple[RoundedInstance, DPResult, bool]:
+        """One traced bisection probe: round, solve, record."""
+        with tracer.span("probe", target=target, lower=lower, upper=upper) as sp:
+            with tracer.span("round", target=target, k=k):
+                rounded = do_round(target)
+            problem = DPProblem(
+                rounded.class_sizes, rounded.class_counts, target, job_cap=job_cap
+            )
+            result = solver(problem, m)
+            feasible = result.opt is not None and result.opt <= m
+            sp.set(
+                feasible=feasible,
+                opt=result.opt,
+                table_size=problem.table_size,
+                num_long_jobs=rounded.num_long_jobs,
+                num_classes=rounded.num_classes,
+            )
+        tracer.count("probes")
         trace.append(
             BisectionIteration(
                 target=target,
-                lower=lb,
-                upper=ub,
+                lower=lower,
+                upper=upper,
                 feasible=feasible,
                 opt=result.opt,
                 table_size=problem.table_size,
@@ -203,6 +226,14 @@ def bisect_target_makespan(
                 num_classes=rounded.num_classes,
             )
         )
+        return rounded, result, feasible
+
+    best: tuple[RoundedInstance, DPResult] | None = None
+    trace: list[BisectionIteration] = []
+    while lb < ub:
+        ctx.check()
+        target = (lb + ub) // 2
+        rounded, result, feasible = probe(target, lb, ub)
         if feasible:
             ub = target
             best = (rounded, result)
@@ -214,30 +245,14 @@ def bisect_target_makespan(
         # always feasible (a real schedule — LPT's, or any within Eq. 2's
         # bound — fits, and rounding only shrinks loads), so one more
         # solve certifies it.
-        if check_deadline is not None:
-            check_deadline()
-        rounded = do_round(ub)
-        problem = DPProblem(
-            rounded.class_sizes, rounded.class_counts, ub, job_cap=job_cap
-        )
-        result = solver(problem, m)
-        if result.opt is None or result.opt > m:  # pragma: no cover - guard
+        ctx.check()
+        rounded, result, feasible = probe(ub, lb, ub)
+        if not feasible:  # pragma: no cover - guard
             raise AssertionError(
                 f"DP infeasible at the guaranteed-feasible target {ub}"
             )
-        trace.append(
-            BisectionIteration(
-                target=ub,
-                lower=lb,
-                upper=ub,
-                feasible=True,
-                opt=result.opt,
-                table_size=problem.table_size,
-                num_long_jobs=rounded.num_long_jobs,
-                num_classes=rounded.num_classes,
-            )
-        )
         best = (rounded, result)
+    tracer.count("rounding_reuses", cache.reuses)
     rounded, result = best
     return BisectionOutcome(
         final_target=rounded.target,

@@ -1,0 +1,127 @@
+"""The unified solve context: one object carrying every cross-cutting
+concern through the solver stack.
+
+Before this module, each cross-cutting feature grew its own keyword
+argument on every function between the entry point and the code that
+needed it (``warm_start=``, ``check_deadline=``, next a tracer, then a
+metrics handle, …).  :class:`SolveContext` replaces that kwarg sprawl:
+``ptas`` / ``parallel_ptas`` / ``bisect_target_makespan`` / the DP
+engines all accept a single ``ctx=`` and pass it down unchanged.
+
+The context bundles
+
+* ``check_deadline`` — zero-argument cancellation hook, invoked between
+  bisection probes (raises, e.g.
+  :class:`repro.service.requests.DeadlineExceeded`, to abandon a solve);
+* ``warm_start`` — LPT-seeded bisection bound + rounding-bucket reuse;
+* ``tracer`` — the :mod:`repro.obs` span tracer (default: the no-op
+  :data:`~repro.obs.trace.NULL_TRACER`, which costs nanoseconds);
+* ``metrics`` — an optional metrics registry (duck-typed against
+  :class:`repro.service.metrics.MetricsRegistry`);
+* ``executor`` — an externally owned worker pool for the wavefront
+  backends (the service reuses one pool across requests).
+
+The legacy ``warm_start=`` / ``check_deadline=`` kwargs survive as thin
+deprecation shims (:func:`resolve_context` builds a context from them
+and emits :class:`DeprecationWarning`); new code passes ``ctx=`` only.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.obs.trace import NULL_TRACER
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel.executor import Executor
+
+
+@dataclass(frozen=True)
+class SolveContext:
+    """Immutable bundle of cross-cutting solve concerns.
+
+    Construct once per solve (the service builds one per request via
+    :func:`repro.service.registry.build_solve_context`) and hand the same
+    object to every layer.  Derive variants with
+    :func:`dataclasses.replace`.
+
+    >>> from repro.core.context import SolveContext
+    >>> ctx = SolveContext(warm_start=False)
+    >>> ctx.check()          # no deadline installed: a no-op
+    >>> ctx.tracer.enabled   # default tracer is the no-op singleton
+    False
+    """
+
+    #: Cancellation hook invoked between bisection probes; signals by
+    #: raising.  ``None`` means the solve cannot be cancelled.
+    check_deadline: Callable[[], None] | None = None
+    #: LPT-seeded upper bound + rounding-bucket reuse in the bisection
+    #: (see :mod:`repro.core.bisection`); the certified target is equally
+    #: valid either way.
+    warm_start: bool = True
+    #: Span tracer (:class:`repro.obs.trace.Tracer` or the no-op
+    #: singleton).  Never ``None`` — use :data:`NULL_TRACER` to disable.
+    tracer: Any = NULL_TRACER
+    #: Optional metrics registry (duck-typed; kept out of the type system
+    #: to avoid a core → service import cycle).
+    metrics: Any = None
+    #: Externally owned executor for the pooled wavefront backends; the
+    #: solver never closes an executor it received here.
+    executor: "Executor | None" = None
+
+    def check(self) -> None:
+        """Invoke the deadline hook, if any (raises to cancel)."""
+        if self.check_deadline is not None:
+            self.check_deadline()
+
+    def span(self, kind: str, **attrs: Any):
+        """Open a tracer span (no-op context manager when untraced)."""
+        return self.tracer.span(kind, **attrs)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump a tracer counter (no-op when untraced)."""
+        self.tracer.count(name, n)
+
+
+#: Shared all-defaults context (warm start on, no deadline, no tracing)
+#: used wherever a ``ctx=None`` argument needs resolving.
+DEFAULT_CONTEXT = SolveContext()
+
+
+def _warn_legacy(caller: str, kwarg: str) -> None:
+    """Emit the deprecation warning for one legacy kwarg."""
+    warnings.warn(
+        f"{caller}({kwarg}=...) is deprecated; pass "
+        f"ctx=SolveContext({kwarg}=...) instead",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+def resolve_context(
+    ctx: SolveContext | None = None,
+    *,
+    warm_start: bool | None = None,
+    check_deadline: Callable[[], None] | None = None,
+    default: SolveContext | None = None,
+    caller: str = "solver",
+) -> SolveContext:
+    """Resolve the effective :class:`SolveContext` for an entry point.
+
+    ``ctx`` wins when given (else ``default``, else
+    :data:`DEFAULT_CONTEXT`).  The legacy ``warm_start=`` /
+    ``check_deadline=`` kwargs are honoured as deprecation shims: each
+    non-``None`` value emits a :class:`DeprecationWarning` naming
+    *caller* and overrides the corresponding context field.
+    """
+    base = ctx if ctx is not None else (default if default is not None else DEFAULT_CONTEXT)
+    updates: dict[str, Any] = {}
+    if warm_start is not None:
+        _warn_legacy(caller, "warm_start")
+        updates["warm_start"] = warm_start
+    if check_deadline is not None:
+        _warn_legacy(caller, "check_deadline")
+        updates["check_deadline"] = check_deadline
+    return replace(base, **updates) if updates else base

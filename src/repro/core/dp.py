@@ -58,6 +58,7 @@ from repro.core.configurations import (
     enumerate_configurations,
     enumerate_maximal_configurations,
 )
+from repro.core.context import DEFAULT_CONTEXT, SolveContext
 from repro.core.kernels import LevelKernel, build_level_arrays, table_opt
 
 #: Sentinel for "not computable / unreached" states.
@@ -246,6 +247,21 @@ def backtrack_schedule(
     return tuple(chosen)
 
 
+def _enumerate_traced(
+    problem: DPProblem, ctx: SolveContext, *, maximal: bool = False
+) -> ConfigurationSet:
+    """Enumerate the problem's configuration set under an ``enumerate``
+    span, tagging the span with ``|C|`` and bumping the
+    ``configs_enumerated`` counter."""
+    with ctx.span("enumerate", maximal=maximal) as sp:
+        configs = (
+            problem.maximal_configurations() if maximal else problem.configurations()
+        )
+        sp.set(num_configs=len(configs))
+    ctx.count("configs_enumerated", len(configs))
+    return configs
+
+
 def _empty_result(engine: str, collect_stats: bool) -> DPResult:
     stats = (
         DPStats(
@@ -272,6 +288,7 @@ def solve_table(
     limit: int | None = None,
     track_schedule: bool = True,
     collect_stats: bool = False,
+    ctx: SolveContext | None = None,
 ) -> DPResult:
     """Alg. 2 as an iterative row-major sweep of the complete DP table.
 
@@ -280,12 +297,13 @@ def solve_table(
     the *returned* value — the faithful engine still fills the whole
     table, as the paper's algorithm does.
     """
+    ctx = ctx if ctx is not None else DEFAULT_CONTEXT
     if not problem.counts:
         return _empty_result("table", collect_stats)
     dims = problem.dims
     strides = problem.strides()
     sigma = problem.table_size
-    configs = problem.configurations()
+    configs = _enumerate_traced(problem, ctx)
     cfg_offsets = [
         (cfg, sum(s * st for s, st in zip(cfg, strides))) for cfg in configs.configs
     ]
@@ -333,7 +351,8 @@ def solve_table(
         return DPResult(opt=None, engine="table", stats=stats)
     machine_configs: tuple[tuple[int, ...], ...] = ()
     if track_schedule:
-        machine_configs = backtrack_schedule(lambda i: table[i], problem, configs)
+        with ctx.span("backtrack", engine="table"):
+            machine_configs = backtrack_schedule(lambda i: table[i], problem, configs)
     return DPResult(opt=opt, machine_configs=machine_configs, engine="table", stats=stats)
 
 
@@ -356,15 +375,17 @@ def solve_memo(
     limit: int | None = None,
     track_schedule: bool = True,
     collect_stats: bool = False,
+    ctx: SolveContext | None = None,
 ) -> DPResult:
     """Top-down transcription of Eq. 4 with memoization.
 
     Only intended as a readable oracle for tests; recursion depth grows
     with the number of long jobs, so inputs must stay small.
     """
+    ctx = ctx if ctx is not None else DEFAULT_CONTEXT
     if not problem.counts:
         return _empty_result("memo", collect_stats)
-    configs = problem.configurations()
+    configs = _enumerate_traced(problem, ctx)
     memo: dict[tuple[int, ...], int] = {}
     scans = 0
 
@@ -420,7 +441,8 @@ def solve_memo(
                 return 0
             return memo.get(vec)
 
-        machine_configs = backtrack_schedule(lookup, problem, configs)
+        with ctx.span("backtrack", engine="memo"):
+            machine_configs = backtrack_schedule(lookup, problem, configs)
     return DPResult(opt=value, machine_configs=machine_configs, engine="memo", stats=stats)
 
 
@@ -434,6 +456,7 @@ def solve_frontier(
     limit: int | None = None,
     track_schedule: bool = True,
     collect_stats: bool = False,
+    ctx: SolveContext | None = None,
 ) -> DPResult:
     """Breadth-first search from the zero vector, one machine per step.
 
@@ -442,9 +465,10 @@ def solve_frontier(
     box ``0 <= v <= N`` and stops as soon as ``N`` is popped, or once the
     depth would exceed ``limit``.
     """
+    ctx = ctx if ctx is not None else DEFAULT_CONTEXT
     if not problem.counts:
         return _empty_result("frontier", collect_stats)
-    configs = problem.configurations()
+    configs = _enumerate_traced(problem, ctx)
     target_vec = problem.counts
     depth_of: dict[tuple[int, ...], int] = {tuple([0] * len(target_vec)): 0}
     parent: dict[tuple[int, ...], tuple[tuple[int, ...], tuple[int, ...]]] = {}
@@ -541,6 +565,7 @@ def solve_dominance(
     limit: int | None = None,
     track_schedule: bool = True,
     collect_stats: bool = False,
+    ctx: SolveContext | None = None,
 ) -> DPResult:
     """Optimized engine: cover formulation + Pareto pruning.
 
@@ -551,9 +576,10 @@ def solve_dominance(
     ``<= N``; this keeps the per-step state tiny compared to the full DP
     table.
     """
+    ctx = ctx if ctx is not None else DEFAULT_CONTEXT
     if not problem.counts:
         return _empty_result("dominance", collect_stats)
-    configs = problem.maximal_configurations()
+    configs = _enumerate_traced(problem, ctx, maximal=True)
     target_vec = problem.counts
     zero = tuple([0] * len(target_vec))
     frontier: list[tuple[int, ...]] = [zero]
@@ -619,6 +645,7 @@ def solve_numpy(
     limit: int | None = None,
     track_schedule: bool = True,
     collect_stats: bool = False,
+    ctx: SolveContext | None = None,
 ) -> DPResult:
     """Level-synchronous sweep with numpy: all states of one anti-diagonal
     are updated at once by the shared :class:`~repro.core.kernels.LevelKernel`,
@@ -629,10 +656,11 @@ def solve_numpy(
     structure exploited is identical.  The same kernel is the compute
     core of every backend in :mod:`repro.core.parallel_dp`.
     """
+    ctx = ctx if ctx is not None else DEFAULT_CONTEXT
     if not problem.counts:
         return _empty_result("numpy", collect_stats)
     sigma = problem.table_size
-    configs = problem.configurations()
+    configs = _enumerate_traced(problem, ctx)
     kernel = LevelKernel.for_problem(problem, configs)
     table = kernel.allocate_table(sigma)
     kernel.sweep(table, build_level_arrays(problem.dims))
@@ -657,9 +685,10 @@ def solve_numpy(
         return DPResult(opt=None, engine="numpy", stats=stats)
     machine_configs: tuple[tuple[int, ...], ...] = ()
     if track_schedule:
-        machine_configs = backtrack_schedule(
-            lambda i: table_opt(table, i), problem, configs
-        )
+        with ctx.span("backtrack", engine="numpy"):
+            machine_configs = backtrack_schedule(
+                lambda i: table_opt(table, i), problem, configs
+            )
     return DPResult(
         opt=opt_val, machine_configs=machine_configs, engine="numpy", stats=stats
     )
@@ -694,8 +723,13 @@ def solve(
     limit: int | None = None,
     track_schedule: bool = True,
     collect_stats: bool = False,
+    ctx: SolveContext | None = None,
 ) -> DPResult:
     """Dispatch to a sequential DP engine by name.
+
+    When ``ctx`` carries a live tracer the engine call is wrapped in a
+    ``dp`` span tagged with the engine name and ``sigma``, and the engine
+    itself adds ``enumerate`` / ``backtrack`` child spans.
 
     >>> p = DPProblem((6, 11), (2, 3), 30)
     >>> solve(p, "table").opt
@@ -708,9 +742,14 @@ def solve(
             f"unknown DP engine {engine!r}; available: "
             f"{sorted(SEQUENTIAL_ENGINES)}"
         ) from None
-    return fn(
-        problem,
-        limit=limit,
-        track_schedule=track_schedule,
-        collect_stats=collect_stats,
-    )
+    ctx = ctx if ctx is not None else DEFAULT_CONTEXT
+    with ctx.span("dp", engine=engine, sigma=problem.table_size) as sp:
+        result = fn(
+            problem,
+            limit=limit,
+            track_schedule=track_schedule,
+            collect_stats=collect_stats,
+            ctx=ctx,
+        )
+        sp.set(opt=result.opt)
+    return result

@@ -25,7 +25,8 @@ from __future__ import annotations
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
-from repro.core.dp import DPProblem, DPResult, DPStats
+from repro.core.context import DEFAULT_CONTEXT, SolveContext
+from repro.core.dp import DPProblem, DPResult, DPStats, _enumerate_traced
 
 
 def solve_config_ilp(
@@ -35,6 +36,7 @@ def solve_config_ilp(
     track_schedule: bool = True,
     collect_stats: bool = False,
     time_limit: float | None = None,
+    ctx: SolveContext | None = None,
 ) -> DPResult:
     """Solve ``OPT(N)`` via the configuration integer program.
 
@@ -42,6 +44,7 @@ def solve_config_ilp(
     ``"config-ilp"``); raises ``RuntimeError`` if HiGHS fails to prove
     optimality within ``time_limit``.
     """
+    ctx = ctx if ctx is not None else DEFAULT_CONTEXT
     if not problem.counts or not any(problem.counts):
         stats = (
             DPStats(
@@ -57,7 +60,7 @@ def solve_config_ilp(
         )
         return DPResult(opt=0, engine="config-ilp", stats=stats)
 
-    configs = problem.configurations()
+    configs = _enumerate_traced(problem, ctx)
     num_vars = len(configs)
     if num_vars == 0:  # pragma: no cover - singleton configs always exist
         raise AssertionError("no feasible configurations")

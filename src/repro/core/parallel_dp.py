@@ -53,10 +53,12 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.context import DEFAULT_CONTEXT, SolveContext
 from repro.core.dp import (
     DPProblem,
     DPResult,
     DPStats,
+    _enumerate_traced,
     backtrack_schedule,
 )
 from repro.core.kernels import (
@@ -150,6 +152,7 @@ def _run_process_backend(
     level_index: LevelIndex,
     num_workers: int,
     executor: Executor | None,
+    ctx: SolveContext,
 ) -> np.ndarray:
     """Fill the table in shared memory with pool workers; returns a copy."""
     from multiprocessing import shared_memory
@@ -165,15 +168,17 @@ def _run_process_backend(
         )
         token = next(_PROBE_TOKENS)
         try:
-            for flats in level_index.levels[1:]:
-                chunks = round_robin_partition(flats, ex.num_workers)
-                payloads = [
-                    (token, shm.name, sigma, kernel, np.ascontiguousarray(c))
-                    if len(c)
-                    else ()
-                    for c in chunks
-                ]
-                ex.map_chunks(_process_worker_run, payloads)
+            for level, flats in enumerate(level_index.levels[1:], start=1):
+                with ctx.span("level", level=level, states=len(flats)):
+                    chunks = round_robin_partition(flats, ex.num_workers)
+                    payloads = [
+                        (token, shm.name, sigma, kernel, np.ascontiguousarray(c))
+                        if len(c)
+                        else ()
+                        for c in chunks
+                    ]
+                    ex.map_chunks(_process_worker_run, payloads)
+                ctx.count("levels")
         finally:
             if owns:
                 ex.close()
@@ -197,6 +202,7 @@ def compute_table(
     machine: SimulatedMachine | None = None,
     cost_model: CostModel | None = None,
     cost_fidelity: str = "uniform",
+    ctx: SolveContext | None = None,
 ) -> np.ndarray:
     """Fill and return the raw wavefront DP table for ``problem``.
 
@@ -204,7 +210,14 @@ def compute_table(
     :data:`~repro.core.kernels.KERNEL_INFEASIBLE` sentinel; all backends
     return bit-identical tables.  ``executor`` lets a caller own a
     persistent pool across many probes (serial/thread/process backends);
-    when omitted, a fresh executor is created and closed per call.
+    when omitted, ``ctx.executor`` is adopted (never closed) if set and
+    compatible, else a fresh executor is created and closed per call.
+
+    When ``ctx`` carries a live tracer, every anti-diagonal batch is
+    wrapped in a ``level`` span (tagged with the level index and its
+    state count) and bumps the ``levels`` counter; the untraced
+    ``numpy-serial`` path keeps the fused :meth:`LevelKernel.sweep` fast
+    path.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
@@ -218,6 +231,9 @@ def compute_table(
         raise ValueError(
             f"backend {backend!r} does not execute through an executor"
         )
+    ctx = ctx if ctx is not None else DEFAULT_CONTEXT
+    if executor is None and backend in EXECUTOR_BACKENDS:
+        executor = ctx.executor
     if kernel is None:
         kernel = LevelKernel.for_problem(problem)
     level_index = build_level_index(problem)
@@ -225,12 +241,18 @@ def compute_table(
 
     if backend == "process":
         return _run_process_backend(
-            problem, kernel, level_index, num_workers, executor
+            problem, kernel, level_index, num_workers, executor, ctx
         )
 
     table = kernel.allocate_table(sigma)
     if backend == "numpy-serial":
-        kernel.sweep(table, level_index.levels)
+        if not ctx.tracer.enabled:
+            kernel.sweep(table, level_index.levels)
+            return table
+        for level, flats in enumerate(level_index.levels[1:], start=1):
+            with ctx.span("level", level=level, states=len(flats)):
+                kernel.update(table, flats)
+            ctx.count("levels")
         return table
     if backend == "simulated":
         model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
@@ -246,13 +268,15 @@ def compute_table(
                 # Initialization of OPT(0,...,0) by one processor.
                 sim.record_uniform_level(0, 1, model.state_overhead_ops)
                 continue
-            counts = kernel.update(table, flats, count_applicable=per_state)
-            if per_state:
-                sim.record_level(
-                    level, [model.state_cost(int(c)) for c in counts]
-                )
-            else:
-                sim.record_uniform_level(level, len(flats), cost_per_state)
+            with ctx.span("level", level=level, states=len(flats)):
+                counts = kernel.update(table, flats, count_applicable=per_state)
+                if per_state:
+                    sim.record_level(
+                        level, [model.state_cost(int(c)) for c in counts]
+                    )
+                else:
+                    sim.record_uniform_level(level, len(flats), cost_per_state)
+            ctx.count("levels")
         return table
 
     # serial / thread: executor-driven chunks over the one shared table.
@@ -263,8 +287,12 @@ def compute_table(
         kernel.update(table, flats)
 
     try:
-        for flats in level_index.levels[1:]:
-            ex.map_chunks(worker, round_robin_partition(flats, ex.num_workers))
+        for level, flats in enumerate(level_index.levels[1:], start=1):
+            with ctx.span("level", level=level, states=len(flats)):
+                ex.map_chunks(
+                    worker, round_robin_partition(flats, ex.num_workers)
+                )
+            ctx.count("levels")
     finally:
         if owns:
             ex.close()
@@ -287,6 +315,7 @@ def parallel_dp(
     cost_model: CostModel | None = None,
     cost_fidelity: str = "uniform",
     executor: Executor | None = None,
+    ctx: SolveContext | None = None,
 ) -> DPResult:
     """Fill the DP table with the wavefront schedule of Alg. 3.
 
@@ -316,7 +345,12 @@ def parallel_dp(
         backends.  The bisection driver passes one persistent
         (reusable-pool) executor to every probe so pool startup is paid
         once per solve; ``parallel_dp`` never closes an executor it did
-        not create.
+        not create.  When omitted, ``ctx.executor`` is adopted instead.
+    ctx:
+        :class:`~repro.core.context.SolveContext` carrying the tracer
+        (``dp`` span around the table fill, one ``level`` span per
+        anti-diagonal, ``enumerate`` / ``backtrack`` spans around the
+        respective phases) and optionally the shared executor.
 
     Returns
     -------
@@ -332,6 +366,7 @@ def parallel_dp(
         raise ValueError(
             f"unknown cost_fidelity {cost_fidelity!r}; expected uniform/per_state"
         )
+    ctx = ctx if ctx is not None else DEFAULT_CONTEXT
     if not problem.counts:
         stats = (
             DPStats(
@@ -349,21 +384,29 @@ def parallel_dp(
             machine.record_sequential(0.0)
         return DPResult(opt=0, engine=f"parallel-{backend}", stats=stats)
 
-    configs = problem.configurations()
+    configs = _enumerate_traced(problem, ctx)
     kernel = LevelKernel.for_problem(problem, configs)
     sigma = problem.table_size
-    table = compute_table(
-        problem,
-        num_workers,
-        backend,
-        executor=executor,
-        kernel=kernel,
-        machine=machine,
-        cost_model=cost_model,
-        cost_fidelity=cost_fidelity,
-    )
-
-    opt = table_opt(table, sigma - 1)
+    with ctx.span(
+        "dp",
+        engine=f"parallel-{backend}",
+        sigma=sigma,
+        backend=backend,
+        workers=num_workers,
+    ) as dp_span:
+        table = compute_table(
+            problem,
+            num_workers,
+            backend,
+            executor=executor,
+            kernel=kernel,
+            machine=machine,
+            cost_model=cost_model,
+            cost_fidelity=cost_fidelity,
+            ctx=ctx,
+        )
+        opt = table_opt(table, sigma - 1)
+        dp_span.set(opt=opt)
     if opt is None:  # pragma: no cover - singleton configs guarantee feasibility
         raise AssertionError("parallel DP ended infeasible")
     stats = None
@@ -383,9 +426,10 @@ def parallel_dp(
         return DPResult(opt=None, engine=f"parallel-{backend}", stats=stats)
     machine_configs: tuple[tuple[int, ...], ...] = ()
     if track_schedule:
-        machine_configs = backtrack_schedule(
-            lambda i: table_opt(table, i), problem, configs
-        )
+        with ctx.span("backtrack", engine=f"parallel-{backend}"):
+            machine_configs = backtrack_schedule(
+                lambda i: table_opt(table, i), problem, configs
+            )
     return DPResult(
         opt=opt,
         machine_configs=machine_configs,

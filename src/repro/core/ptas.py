@@ -19,8 +19,9 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.bisection import BisectionOutcome, bisect_target_makespan
+from repro.core.context import SolveContext, resolve_context
 from repro.core.dp import DPProblem, DPResult, solve
-from repro.core.parallel_dp import BACKENDS, parallel_dp
+from repro.core.parallel_dp import BACKENDS, EXECUTOR_BACKENDS, parallel_dp
 from repro.core.rounding import accuracy_parameter
 from repro.model.instance import Instance
 from repro.model.schedule import Schedule
@@ -89,7 +90,8 @@ def ptas(
     engine: str = "dominance",
     collect_stats: bool = False,
     guarantee_fix: bool = True,
-    warm_start: bool = True,
+    ctx: SolveContext | None = None,
+    warm_start: bool | None = None,
     check_deadline: Callable[[], None] | None = None,
 ) -> PTASResult:
     """Sequential Hochbaum–Shmoys PTAS (Algorithm 1).
@@ -112,18 +114,19 @@ def ptas(
         restores the proof without excluding any true schedule.  Pass
         ``False`` for the verbatim printed behaviour (what
         :func:`repro.core.reference.algorithm1` implements).
-    check_deadline:
-        Optional zero-argument callback invoked before every bisection
-        probe; it cancels the solve by raising (e.g.
-        :class:`repro.service.requests.DeadlineExceeded`).  Lets a
-        deadline-bound caller abandon the solve between probes instead of
-        only at completion.
-    warm_start:
-        Seed the bisection's upper bound with the LPT makespan and reuse
-        roundings across probes sharing a rounding bucket (default; see
-        :mod:`repro.core.bisection`).  The certified target and schedule
-        are identical either way — pass ``False`` for the paper-faithful
-        probe sequence.
+    ctx:
+        :class:`~repro.core.context.SolveContext` bundling the
+        cross-cutting concerns: deadline hook (checked before every
+        bisection probe), warm-start policy (LPT-seeded upper bound +
+        rounding reuse, on by default; the certified target and schedule
+        are identical either way), tracer (the run is wrapped in a
+        ``solve`` span; probes, DP phases and wavefront levels nest
+        beneath it) and metrics.  Defaults to
+        :data:`~repro.core.context.DEFAULT_CONTEXT`.
+    warm_start, check_deadline:
+        Deprecated kwarg shims — each emits a :class:`DeprecationWarning`
+        and overrides the corresponding ``ctx`` field.  Pass ``ctx=`` in
+        new code.
 
     Examples
     --------
@@ -132,6 +135,9 @@ def ptas(
     >>> result.schedule.makespan <= 1.3 * 14
     True
     """
+    ctx = resolve_context(
+        ctx, warm_start=warm_start, check_deadline=check_deadline, caller="ptas"
+    )
     k = accuracy_parameter(eps)
 
     def solver(problem: DPProblem, m: int) -> DPResult:
@@ -141,19 +147,30 @@ def ptas(
             limit=m,
             track_schedule=True,
             collect_stats=collect_stats,
+            ctx=ctx,
         )
 
-    outcome = bisect_target_makespan(
-        instance,
-        k,
-        solver,
-        job_cap=_effective_job_cap(k, guarantee_fix),
-        warm_start=warm_start,
-        check_deadline=check_deadline,
-    )
-    schedule = build_schedule(
-        instance, outcome.rounded, outcome.dp_result.machine_configs
-    )
+    with ctx.span(
+        "solve",
+        algorithm="ptas",
+        engine=engine,
+        n=instance.num_jobs,
+        m=instance.num_machines,
+        eps=eps,
+        k=k,
+    ) as sp:
+        outcome = bisect_target_makespan(
+            instance,
+            k,
+            solver,
+            job_cap=_effective_job_cap(k, guarantee_fix),
+            ctx=ctx,
+        )
+        with ctx.span("reconstruct"):
+            schedule = build_schedule(
+                instance, outcome.rounded, outcome.dp_result.machine_configs
+            )
+        sp.set(makespan=schedule.makespan, final_target=outcome.final_target)
     return PTASResult(
         schedule=schedule,
         eps=eps,
@@ -174,7 +191,8 @@ def parallel_ptas(
     cost_model: CostModel | None = None,
     collect_stats: bool = False,
     guarantee_fix: bool = True,
-    warm_start: bool = True,
+    ctx: SolveContext | None = None,
+    warm_start: bool | None = None,
     check_deadline: Callable[[], None] | None = None,
 ) -> PTASResult:
     """Parallel approximation algorithm (paper §III): Algorithm 1 with the
@@ -190,9 +208,14 @@ def parallel_ptas(
         kernel; scales on multicore), ``"process"`` (shared-memory worker
         processes), or ``"simulated"`` (deterministic multicore model
         used by the speedup experiments — see DESIGN.md §6).
-    warm_start:
-        LPT-seeded bisection upper bound + rounding reuse (default; same
-        certified target and schedule — see :func:`ptas`).
+    ctx:
+        :class:`~repro.core.context.SolveContext` carrying deadline hook,
+        warm-start policy, tracer and (optionally) an externally owned
+        executor for the pooled backends — see :func:`ptas`.  When
+        ``ctx.executor`` is set the driver runs every probe on it and
+        never closes it.
+    warm_start, check_deadline:
+        Deprecated kwarg shims (``DeprecationWarning``); pass ``ctx=``.
 
     For the thread and process backends the driver owns one persistent
     reusable worker pool (``make_executor(..., reuse=True)``) that every
@@ -205,16 +228,22 @@ def parallel_ptas(
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    ctx = resolve_context(
+        ctx,
+        warm_start=warm_start,
+        check_deadline=check_deadline,
+        caller="parallel_ptas",
+    )
     k = accuracy_parameter(eps)
     machine = (
         SimulatedMachine(num_workers, cost_model or CostModel())
         if backend == "simulated"
         else None
     )
+    external = ctx.executor if backend in EXECUTOR_BACKENDS else None
+    owns_executor = external is None and backend in _POOLED_BACKENDS
     executor = (
-        make_executor(backend, num_workers, reuse=True)
-        if backend in _POOLED_BACKENDS
-        else None
+        make_executor(backend, num_workers, reuse=True) if owns_executor else external
     )
 
     def solver(problem: DPProblem, m: int) -> DPResult:
@@ -228,23 +257,36 @@ def parallel_ptas(
             machine=machine,
             cost_model=cost_model,
             executor=executor,
+            ctx=ctx,
         )
 
     try:
-        outcome = bisect_target_makespan(
-            instance,
-            k,
-            solver,
-            job_cap=_effective_job_cap(k, guarantee_fix),
-            warm_start=warm_start,
-            check_deadline=check_deadline,
-        )
+        with ctx.span(
+            "solve",
+            algorithm="parallel-ptas",
+            engine=f"parallel-{backend}",
+            backend=backend,
+            workers=num_workers,
+            n=instance.num_jobs,
+            m=instance.num_machines,
+            eps=eps,
+            k=k,
+        ) as sp:
+            outcome = bisect_target_makespan(
+                instance,
+                k,
+                solver,
+                job_cap=_effective_job_cap(k, guarantee_fix),
+                ctx=ctx,
+            )
+            with ctx.span("reconstruct"):
+                schedule = build_schedule(
+                    instance, outcome.rounded, outcome.dp_result.machine_configs
+                )
+            sp.set(makespan=schedule.makespan, final_target=outcome.final_target)
     finally:
-        if executor is not None:
+        if owns_executor and executor is not None:
             executor.close()
-    schedule = build_schedule(
-        instance, outcome.rounded, outcome.dp_result.machine_configs
-    )
     return PTASResult(
         schedule=schedule,
         eps=eps,

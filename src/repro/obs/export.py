@@ -1,0 +1,158 @@
+"""Trace (de)serialization: Chrome ``chrome://tracing`` event format.
+
+One solve's trace exports to a single JSON file in the Trace Event
+Format (the ``traceEvents`` array of complete ``"ph": "X"`` events that
+``chrome://tracing`` and Perfetto's legacy importer open directly).
+Timestamps are microseconds relative to the earliest span, durations are
+microseconds, and every event's ``args`` carries the span kind, a
+preorder span id, the parent id (``0`` for roots), and the span's tagged
+attributes — enough to round-trip the tree exactly, which
+:func:`load_trace` does.
+
+The file layout is pinned by the checked-in schema
+(``trace_schema.json``); :mod:`repro.obs.schema` validates files against
+it and CI runs that validation on a freshly traced solve.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.obs.trace import Span, Tracer
+
+#: Version tag of the trace file layout (bump on breaking changes).
+TRACE_SCHEMA_NAME = "repro-trace-v1"
+
+#: Reserved ``args`` keys the exporter owns; span attributes may not
+#: shadow them.
+_RESERVED_ARGS = ("kind", "id", "parent")
+
+
+def _json_safe(value: Any) -> Any:
+    """Clamp an attribute value to something JSON can carry."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return str(value)
+
+
+@dataclass
+class TraceData:
+    """A loaded trace: the span forest plus the tracer's counters."""
+
+    spans: list[Span] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def walk(self):
+        """Yield every span depth-first across all roots."""
+        for root in self.spans:
+            yield from root.walk()
+
+    def find(self, kind: str) -> list[Span]:
+        """All spans of the given kind."""
+        return [s for s in self.walk() if s.kind == kind]
+
+
+def trace_to_payload(tracer: Tracer | TraceData) -> dict:
+    """Render a tracer (or loaded trace) as the JSON-safe file payload."""
+    roots = tracer.roots if isinstance(tracer, Tracer) else tracer.spans
+    counters = tracer.counters
+    origin = min((s.start for r in roots for s in r.walk()), default=0.0)
+    events: list[dict] = []
+    next_id = 1
+
+    def emit(span: Span, parent_id: int) -> None:
+        nonlocal next_id
+        span_id = next_id
+        next_id += 1
+        end = span.end if span.end is not None else span.start
+        args: dict[str, Any] = {
+            "kind": span.kind,
+            "id": span_id,
+            "parent": parent_id,
+        }
+        for key, value in span.attrs.items():
+            if key in _RESERVED_ARGS:
+                continue
+            args[str(key)] = _json_safe(value)
+        events.append(
+            {
+                "name": span.kind,
+                "cat": "repro",
+                "ph": "X",
+                "ts": round((span.start - origin) * 1e6, 3),
+                "dur": round((end - span.start) * 1e6, 3),
+                "pid": 1,
+                "tid": 1,
+                "args": args,
+            }
+        )
+        for child in span.children:
+            emit(child, span_id)
+
+    for root in roots:
+        emit(root, 0)
+    return {
+        "schema": TRACE_SCHEMA_NAME,
+        "displayTimeUnit": "ms",
+        "traceEvents": events,
+        "otherData": {"counters": {k: int(v) for k, v in sorted(counters.items())}},
+    }
+
+
+def save_trace(tracer: Tracer | TraceData, path: str | Path) -> Path:
+    """Write the trace as one JSON file and return its path.
+
+    The file opens directly in ``chrome://tracing`` ("Load" button) or
+    Perfetto's legacy trace importer; see ``docs/observability.md``.
+    """
+    out = Path(path)
+    out.write_text(json.dumps(trace_to_payload(tracer), indent=1) + "\n")
+    return out
+
+
+def payload_to_trace(payload: dict) -> TraceData:
+    """Rebuild the span forest from a file payload (inverse of
+    :func:`trace_to_payload`; timestamps come back as relative seconds)."""
+    spans: dict[int, Span] = {}
+    children_of: dict[int, list[int]] = {}
+    order: list[int] = []
+    for event in payload.get("traceEvents", ()):
+        args = dict(event.get("args", {}))
+        span_id = int(args.pop("id"))
+        parent_id = int(args.pop("parent"))
+        kind = str(args.pop("kind"))
+        start = float(event["ts"]) / 1e6
+        span = Span(kind, args, start)
+        span.end = start + float(event["dur"]) / 1e6
+        spans[span_id] = span
+        children_of.setdefault(parent_id, []).append(span_id)
+        order.append(span_id)
+    for parent_id, child_ids in children_of.items():
+        if parent_id == 0:
+            continue
+        if parent_id not in spans:
+            raise ValueError(f"trace event references unknown parent id {parent_id}")
+        spans[parent_id].children = [spans[c] for c in child_ids]
+    roots = [spans[i] for i in children_of.get(0, [])]
+    counters = {
+        str(k): int(v)
+        for k, v in payload.get("otherData", {}).get("counters", {}).items()
+    }
+    return TraceData(spans=roots, counters=counters)
+
+
+def load_trace(path: str | Path) -> TraceData:
+    """Read a trace file written by :func:`save_trace`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != TRACE_SCHEMA_NAME:
+        raise ValueError(
+            f"not a {TRACE_SCHEMA_NAME} file: schema={payload.get('schema')!r}"
+        )
+    return payload_to_trace(payload)

@@ -1,0 +1,126 @@
+"""Sampling profiler hook for slow probes.
+
+A :class:`SamplingProfiler` attached to a
+:class:`~repro.obs.trace.Tracer` samples the solving thread's Python
+stack (via :data:`sys._current_frames`) from a small daemon thread while
+any span of a profiled kind (default: ``probe``) is open.  When the span
+closes, the samples are kept only if the span overran the profiler's
+``threshold`` — slow probes get their hottest collapsed stacks attached
+as the ``profile`` attribute (and therefore exported with the trace);
+fast probes pay one thread handoff and nothing else.
+
+This is deliberately a *statistical* profiler: no sys.settrace, no
+interpreter slow-down of the measured code — the sampled thread runs at
+full speed, which keeps the per-level timings in the same trace honest.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+def _collapse(frame) -> str:
+    """Render a frame stack as one semicolon-joined ``file:func:line``
+    string, innermost frame last (the flamegraph "collapsed" format)."""
+    parts: list[str] = []
+    while frame is not None:
+        code = frame.f_code
+        parts.append(f"{code.co_filename.rsplit('/', 1)[-1]}:{code.co_name}:{frame.f_lineno}")
+        frame = frame.f_back
+    return ";".join(reversed(parts))
+
+
+@dataclass
+class _Session:
+    """One live sampling run: target thread, stop signal, samples."""
+
+    target_ident: int
+    stop: threading.Event = field(default_factory=threading.Event)
+    samples: Counter = field(default_factory=Counter)
+    thread: threading.Thread | None = None
+    started_at: float = 0.0
+
+
+class SamplingProfiler:
+    """Samples the solving thread while profiled spans are open.
+
+    Parameters
+    ----------
+    interval:
+        Seconds between stack samples (default 5 ms).
+    threshold:
+        Minimum span duration (seconds) for its samples to be kept and
+        attached; shorter spans discard their samples.
+    top:
+        How many distinct stacks to attach per slow span.
+    kinds:
+        Span kinds that trigger sampling (default: only ``probe`` — the
+        bisection's unit of expensive work).
+
+    Sessions are non-reentrant: if a profiled span opens while another
+    session is live (never the case for the solver taxonomy, where
+    probes do not nest), the inner span simply is not sampled.
+    """
+
+    def __init__(
+        self,
+        *,
+        interval: float = 0.005,
+        threshold: float = 0.05,
+        top: int = 5,
+        kinds: tuple[str, ...] = ("probe",),
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if threshold < 0:
+            raise ValueError("threshold must be >= 0")
+        self.interval = interval
+        self.threshold = threshold
+        self.top = top
+        self.kinds = tuple(kinds)
+        self._active: _Session | None = None
+
+    def begin(self) -> _Session | None:
+        """Start sampling the calling thread; returns the session handle
+        (or ``None`` if a session is already live)."""
+        if self._active is not None:
+            return None
+        session = _Session(target_ident=threading.get_ident())
+        sampler = threading.Thread(
+            target=self._run, args=(session,), name="repro-obs-sampler", daemon=True
+        )
+        session.thread = sampler
+        self._active = session
+        sampler.start()
+        return session
+
+    def finish(self, session: _Session | None, span) -> None:
+        """Stop the session and, if *span* overran the threshold, attach
+        its top collapsed stacks as the span's ``profile`` attribute."""
+        if session is None:
+            return
+        session.stop.set()
+        if session.thread is not None:
+            session.thread.join(timeout=1.0)
+        if self._active is session:
+            self._active = None
+        if span.duration < self.threshold or not session.samples:
+            return
+        span.set(
+            profile=[
+                {"stack": stack, "count": count}
+                for stack, count in session.samples.most_common(self.top)
+            ],
+            profile_samples=sum(session.samples.values()),
+        )
+
+    def _run(self, session: _Session) -> None:
+        """Sampler loop (daemon thread): snapshot the target thread's
+        frame every ``interval`` seconds until stopped."""
+        while not session.stop.wait(self.interval):
+            frame = sys._current_frames().get(session.target_ident)
+            if frame is not None:
+                session.samples[_collapse(frame)] += 1

@@ -1,0 +1,159 @@
+"""Trace-file validation against the checked-in JSON schema.
+
+The schema (``trace_schema.json``, shipped inside the package) pins the
+trace file layout and the closed span-kind taxonomy; validation *fails
+on unknown span kinds* so a new kind cannot ship without updating the
+schema, the docs, and the consumers together.
+
+The validator is hand-rolled over the JSON-Schema subset the schema file
+uses (``type`` / ``required`` / ``properties`` / ``items`` / ``enum`` /
+``const`` / ``minimum``) so the library stays zero-dependency; when the
+optional ``jsonschema`` package is importable it is used instead for
+full-fidelity draft-07 validation.  On top of the structural schema,
+:func:`validate_trace` checks referential integrity: every event's
+``args.parent`` must be ``0`` or a previously seen span id, and ids must
+be unique.
+
+CI usage (see ``.github/workflows/ci.yml``)::
+
+    PYTHONPATH=src python -m repro.obs.schema trace.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+SCHEMA_PATH = Path(__file__).with_name("trace_schema.json")
+
+
+class TraceSchemaError(ValueError):
+    """A trace file that does not conform to the checked-in schema; the
+    message lists every violation found."""
+
+
+def load_schema() -> dict:
+    """Load the checked-in trace schema document."""
+    return json.loads(SCHEMA_PATH.read_text())
+
+
+# ---------------------------------------------------------------------------
+# Hand-rolled validator for the subset of JSON Schema the file uses
+# ---------------------------------------------------------------------------
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+}
+
+
+def _check(value: Any, schema: dict, path: str, errors: list[str]) -> None:
+    """Recursive subset-of-JSON-Schema check; appends violations."""
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not one of {schema['enum']!r}")
+        return
+    expected = schema.get("type")
+    if expected is not None and not _TYPE_CHECKS[expected](value):
+        errors.append(f"{path}: expected {expected}, got {type(value).__name__}")
+        return
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        minimum = schema.get("minimum")
+        if minimum is not None and value < minimum:
+            errors.append(f"{path}: {value!r} below minimum {minimum}")
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                _check(value[key], sub, f"{path}.{key}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            _check(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def _structural_errors(payload: Any, schema: dict) -> list[str]:
+    """Schema-conformance errors (via ``jsonschema`` when available)."""
+    try:
+        import jsonschema
+    except ImportError:
+        errors: list[str] = []
+        _check(payload, schema, "$", errors)
+        return errors
+    validator = jsonschema.Draft7Validator(schema)
+    return [
+        f"${''.join(f'[{p!r}]' for p in err.absolute_path)}: {err.message}"
+        for err in validator.iter_errors(payload)
+    ]
+
+
+def validate_trace(payload: Any, schema: dict | None = None) -> list[str]:
+    """Validate a decoded trace payload; returns the list of violations
+    (empty when valid).
+
+    Checks the checked-in schema (span kinds are a closed enum — unknown
+    kinds are violations) plus referential integrity of the span tree
+    (unique ids, parents resolve to earlier events or 0).
+    """
+    errors = _structural_errors(payload, schema if schema is not None else load_schema())
+    if errors:
+        return errors
+    seen: set[int] = set()
+    for i, event in enumerate(payload.get("traceEvents", [])):
+        args = event.get("args", {})
+        span_id, parent = args.get("id"), args.get("parent")
+        if span_id in seen:
+            errors.append(f"$.traceEvents[{i}]: duplicate span id {span_id}")
+        if parent != 0 and parent not in seen:
+            errors.append(
+                f"$.traceEvents[{i}]: parent {parent} does not reference an earlier span"
+            )
+        seen.add(span_id)
+    return errors
+
+
+def validate_trace_file(path: str | Path, schema: dict | None = None) -> None:
+    """Validate one trace file, raising :class:`TraceSchemaError` with
+    every violation on failure."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise TraceSchemaError(f"{path}: not valid JSON: {exc}") from None
+    errors = validate_trace(payload, schema)
+    if errors:
+        raise TraceSchemaError(
+            f"{path}: {len(errors)} schema violation(s):\n  "
+            + "\n  ".join(errors)
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: validate each file argument; exit 1 on failure."""
+    paths = sys.argv[1:] if argv is None else argv
+    if not paths:
+        print("usage: python -m repro.obs.schema TRACE.json [...]", file=sys.stderr)
+        return 2
+    status = 0
+    for path in paths:
+        try:
+            validate_trace_file(path)
+        except TraceSchemaError as exc:
+            print(f"INVALID: {exc}", file=sys.stderr)
+            status = 1
+        else:
+            events = len(json.loads(Path(path).read_text())["traceEvents"])
+            print(f"OK: {path} ({events} events)")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

@@ -8,10 +8,14 @@ can they be cancelled mid-flight" lives in exactly one place.  Each
 * ``guarantee(request)`` — the a-priori approximation factor of the
   engine for that request (``1 + eps`` for the PTAS family, Graham's
   bounds for the list heuristics, ``1.0`` for exact methods);
-* ``supports_deadline`` — whether the engine honours a ``check_deadline``
-  callback between units of work (the PTAS bisection probes);
+* ``supports_deadline`` — whether the engine honours the context's
+  deadline hook between units of work (the PTAS bisection probes);
 * ``parallelizable`` — whether the engine fans out onto worker pools;
-* ``solve(instance, request, check_deadline)`` — the actual callable.
+* ``solve(instance, request, ctx)`` — the actual callable, where ``ctx``
+  is a :class:`repro.core.context.SolveContext` (or ``None`` for plain
+  defaults).  :func:`build_solve_context` is the one place that turns a
+  request plus service plumbing (deadline, tracer, metrics) into that
+  context.
 
 Unknown names raise :class:`UnknownEngineError` (a ``ValueError``) whose
 message lists the valid names — the CLI turns it into a clean non-zero
@@ -22,8 +26,10 @@ response.  Dashes and underscores are interchangeable in names
 
 from __future__ import annotations
 
+import time
+import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.algorithms.list_scheduling import (
     list_scheduling,
@@ -31,17 +37,59 @@ from repro.algorithms.list_scheduling import (
 )
 from repro.algorithms.lpt import lpt, lpt_worst_case_ratio
 from repro.algorithms.multifit import multifit
+from repro.core.context import SolveContext
 from repro.core.dp import SEQUENTIAL_ENGINES
 from repro.core.parallel_dp import BACKENDS
 from repro.core.ptas import parallel_ptas, ptas
 from repro.model.instance import Instance
 from repro.model.schedule import Schedule
+from repro.service.requests import deadline_checker
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service.requests import SolveRequest
 
 CheckDeadline = Callable[[], None]
-SolverFn = Callable[[Instance, "SolveRequest", CheckDeadline | None], Schedule]
+SolverFn = Callable[[Instance, "SolveRequest", "SolveContext | None"], Schedule]
+
+
+def build_solve_context(
+    request: "SolveRequest",
+    *,
+    deadline_at: float | None = None,
+    clock: Callable[[], float] = time.monotonic,
+    tracer: Any = None,
+    metrics: Any = None,
+) -> SolveContext:
+    """Construct the per-request :class:`SolveContext` the service hands
+    to an engine.
+
+    ``deadline_at`` (absolute, on ``clock``'s timeline) becomes a
+    :func:`repro.service.requests.deadline_checker` hook; ``tracer`` and
+    ``metrics`` are stored as-is (``tracer=None`` means untraced).  This
+    is the single place the service assembles cross-cutting concerns —
+    engines never see raw deadlines or registries.
+    """
+    check = (
+        deadline_checker(deadline_at, clock) if deadline_at is not None else None
+    )
+    kwargs: dict[str, Any] = {"check_deadline": check, "metrics": metrics}
+    if tracer is not None:
+        kwargs["tracer"] = tracer
+    return SolveContext(**kwargs)
+
+
+def _coerce_ctx(ctx: "SolveContext | CheckDeadline | None") -> SolveContext | None:
+    """Accept the legacy bare ``check_deadline`` callable in the third
+    adapter slot, warning and wrapping it into a context."""
+    if ctx is None or isinstance(ctx, SolveContext):
+        return ctx
+    warnings.warn(
+        "passing a bare check_deadline callable to an engine adapter is "
+        "deprecated; pass a SolveContext (see build_solve_context)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return SolveContext(check_deadline=ctx)
 
 
 class UnknownEngineError(ValueError):
@@ -63,11 +111,13 @@ class EngineSpec:
 
 
 # ---------------------------------------------------------------------------
-# Engine adapters: (instance, request, check_deadline) -> Schedule
+# Engine adapters: (instance, request, ctx) -> Schedule
 # ---------------------------------------------------------------------------
 
 def _solve_ptas(
-    instance: Instance, request: "SolveRequest", check_deadline: CheckDeadline | None
+    instance: Instance,
+    request: "SolveRequest",
+    ctx: "SolveContext | CheckDeadline | None",
 ) -> Schedule:
     if request.dp_engine not in SEQUENTIAL_ENGINES:
         raise UnknownEngineError(
@@ -78,12 +128,14 @@ def _solve_ptas(
         instance,
         request.eps,
         engine=request.dp_engine,
-        check_deadline=check_deadline,
+        ctx=_coerce_ctx(ctx),
     ).schedule
 
 
 def _solve_parallel_ptas(
-    instance: Instance, request: "SolveRequest", check_deadline: CheckDeadline | None
+    instance: Instance,
+    request: "SolveRequest",
+    ctx: "SolveContext | CheckDeadline | None",
 ) -> Schedule:
     if request.backend not in BACKENDS:
         raise UnknownEngineError(
@@ -95,7 +147,7 @@ def _solve_parallel_ptas(
         request.eps,
         num_workers=request.workers,
         backend=request.backend,
-        check_deadline=check_deadline,
+        ctx=_coerce_ctx(ctx),
     ).schedule
 
 
@@ -103,7 +155,7 @@ def _solve_exact(method: str) -> SolverFn:
     def run(
         instance: Instance,
         request: "SolveRequest",
-        check_deadline: CheckDeadline | None,
+        ctx: "SolveContext | CheckDeadline | None",
     ) -> Schedule:
         from repro.exact.api import solve_exact
 
@@ -118,7 +170,7 @@ def _solve_baseline(fn: Callable[[Instance], Schedule]) -> SolverFn:
     def run(
         instance: Instance,
         request: "SolveRequest",
-        check_deadline: CheckDeadline | None,
+        ctx: "SolveContext | CheckDeadline | None",
     ) -> Schedule:
         return fn(instance)
 

@@ -22,13 +22,20 @@ jobs) queued within ``batch_window`` seconds are shipped to one worker
 as a single batch, amortizing executor round-trips under high request
 rates; heavy solves dispatch individually.
 
-Graceful degradation: a request with a ``deadline`` gets a
-``check_deadline`` callback threaded into the PTAS bisection (probes
-abort mid-solve); when the deadline fires, the service returns the LPT
-schedule for the same instance tagged ``degraded=true`` with Graham's
-``4/3 - 1/(3m)`` guarantee — a worse bound, never a timeout.  Engines
-that cannot be cancelled (the exact solvers) are abandoned in their
-worker thread and degraded from the event loop.
+Graceful degradation: a request with a ``deadline`` gets a deadline hook
+threaded into the PTAS bisection through its per-request
+:class:`~repro.core.context.SolveContext` (probes abort mid-solve); when
+the deadline fires, the service returns the LPT schedule for the same
+instance tagged ``degraded=true`` with Graham's ``4/3 - 1/(3m)``
+guarantee — a worse bound, never a timeout.  Engines that cannot be
+cancelled (the exact solvers) are abandoned in their worker thread and
+degraded from the event loop.
+
+Observability: every deadline-capable solve runs under a fresh
+:class:`repro.obs.Tracer`; its per-phase summary (probe / dp / level /
+… wall time and counters) is folded into the metrics registry after each
+request, so ``{"op": "stats"}`` exposes ``trace.phase.<kind>.seconds``
+histograms alongside the service counters.
 """
 
 from __future__ import annotations
@@ -45,9 +52,11 @@ from repro.model.instance import Instance
 from repro.service.admission import AdmissionController
 from repro.service.cache import CacheKey, ResultCache, canonical_key
 from repro.service.metrics import MetricsRegistry, record_dp_cache
+from repro.obs import Tracer, publish_phase_summary
 from repro.service.registry import (
     EngineSpec,
     UnknownEngineError,
+    build_solve_context,
     canonical_engine_name,
     get_engine,
 )
@@ -58,7 +67,6 @@ from repro.service.requests import (
     DeadlineExceeded,
     SolveRequest,
     SolveResult,
-    deadline_checker,
 )
 
 #: Default TCP port (no registered meaning; "Cmax" on a phone keypad-ish).
@@ -332,15 +340,23 @@ class SolveService:
         request, spec = job.request, job.spec
         if job.deadline_at is not None and self._clock() > job.deadline_at:
             return self._degrade(job)
-        check = (
-            deadline_checker(job.deadline_at, self._clock)
-            if job.deadline_at is not None and spec.supports_deadline
-            else None
+        tracer = Tracer()
+        ctx = build_solve_context(
+            request,
+            deadline_at=(
+                job.deadline_at
+                if job.deadline_at is not None and spec.supports_deadline
+                else None
+            ),
+            clock=self._clock,
+            tracer=tracer,
+            metrics=self.metrics,
         )
         t0 = self._clock()
         try:
-            schedule = spec.solve(job.instance, request, check)
+            schedule = spec.solve(job.instance, request, ctx)
         except DeadlineExceeded:
+            publish_phase_summary(tracer, self.metrics)
             return self._degrade(job)
         except UnknownEngineError as exc:
             self.metrics.counter("requests_invalid").inc()
@@ -350,6 +366,7 @@ class SolveService:
                 engine=request.engine,
                 error=str(exc),
             )
+        publish_phase_summary(tracer, self.metrics)
         return SolveResult(
             request_id=request.request_id,
             status=STATUS_OK,

@@ -7,6 +7,7 @@ from hypothesis import given, settings
 
 from repro.algorithms.lpt import lpt
 from repro.core.bisection import _RoundingCache, bisect_target_makespan
+from repro.core.context import SolveContext
 from repro.core.bounds import makespan_bounds
 from repro.core.dp import DPProblem, DPResult, solve
 from repro.core.rounding import round_instance
@@ -100,7 +101,7 @@ class TestWarmStart:
     def test_same_final_target_on_fixture(self, small_instance):
         faithful = bisect_target_makespan(small_instance, 4, make_solver())
         warm = bisect_target_makespan(
-            small_instance, 4, make_solver(), warm_start=True
+            small_instance, 4, make_solver(), ctx=SolveContext(warm_start=True)
         )
         assert warm.final_target == faithful.final_target
         assert warm.dp_result.opt == faithful.dp_result.opt
@@ -108,7 +109,7 @@ class TestWarmStart:
     def test_lpt_seed_tightens_first_probe(self):
         inst = Instance([9, 8, 7, 6, 5, 5, 4, 3, 2, 1], num_machines=3)
         seed = min(makespan_bounds(inst).upper, lpt(inst).makespan)
-        warm = bisect_target_makespan(inst, 4, make_solver(), warm_start=True)
+        warm = bisect_target_makespan(inst, 4, make_solver(), ctx=SolveContext(warm_start=True))
         assert warm.iterations[0].upper == seed
         faithful = bisect_target_makespan(inst, 4, make_solver())
         assert warm.num_iterations <= faithful.num_iterations
@@ -151,7 +152,7 @@ class TestWarmStart:
         for k in (2, 3, 4):
             faithful = bisect_target_makespan(inst, k, make_solver())
             warm = bisect_target_makespan(
-                inst, k, make_solver(), warm_start=True
+                inst, k, make_solver(), ctx=SolveContext(warm_start=True)
             )
             for outcome in (faithful, warm):
                 assert bounds.lower <= outcome.final_target, k
@@ -196,7 +197,7 @@ class TestCheckDeadline:
             small_instance,
             3,
             make_solver(calls=calls),
-            check_deadline=lambda: ticks.append(1),
+            ctx=SolveContext(warm_start=False, check_deadline=lambda: ticks.append(1)),
         )
         assert len(ticks) >= len(calls) >= outcome.num_iterations
 
@@ -210,7 +211,10 @@ class TestCheckDeadline:
         calls: list[int] = []
         with pytest.raises(Boom):
             bisect_target_makespan(
-                small_instance, 3, make_solver(calls=calls), check_deadline=check
+                small_instance,
+                3,
+                make_solver(calls=calls),
+                ctx=SolveContext(warm_start=False, check_deadline=check),
             )
         # The hook fires before the first probe, so no DP ran.
         assert calls == []
@@ -218,7 +222,10 @@ class TestCheckDeadline:
     def test_none_is_default_and_harmless(self, small_instance):
         plain = bisect_target_makespan(small_instance, 3, make_solver())
         hooked = bisect_target_makespan(
-            small_instance, 3, make_solver(), check_deadline=lambda: None
+            small_instance,
+            3,
+            make_solver(),
+            ctx=SolveContext(warm_start=False, check_deadline=lambda: None),
         )
         assert hooked.final_target == plain.final_target
         assert hooked.num_iterations == plain.num_iterations

@@ -192,7 +192,52 @@ class TestUnknownEngine:
             )
             == 2
         )
-        assert "bogus" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "bogus" in err
+        # The message lists every valid sequential engine name.
+        from repro.core.dp import SEQUENTIAL_ENGINES
+
+        for name in SEQUENTIAL_ENGINES:
+            assert name in err
+
+    def test_unknown_dp_engine_alias_exits_nonzero(self, capsys):
+        assert (
+            main(
+                [
+                    "solve",
+                    "--times",
+                    "5,4,3",
+                    "-m",
+                    "2",
+                    "-a",
+                    "ptas",
+                    "--dp-engine",
+                    "bogus",
+                ]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "bogus" in err and "dominance" in err
+
+    def test_valid_dp_engine_alias_accepted(self, capsys):
+        assert (
+            main(
+                [
+                    "solve",
+                    "--times",
+                    "5,4,3,3,3",
+                    "-m",
+                    "2",
+                    "-a",
+                    "ptas",
+                    "--dp-engine",
+                    "table",
+                ]
+            )
+            == 0
+        )
+        assert "makespan" in capsys.readouterr().out
 
     def test_dash_alias_accepted(self, capsys):
         assert (
@@ -202,6 +247,44 @@ class TestUnknownEngine:
             == 0
         )
         assert "makespan" in capsys.readouterr().out
+
+
+class TestTraceOption:
+    def test_solve_trace_writes_valid_file(self, capsys, tmp_path):
+        from repro.obs import load_trace, validate_trace_file
+
+        path = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "solve",
+                    "--times",
+                    "9,8,7,6,5,4,3,3",
+                    "-m",
+                    "3",
+                    "-a",
+                    "parallel-ptas",
+                    "--backend",
+                    "numpy-serial",
+                    "--trace",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert f"trace    : {path}" in out
+        # The per-phase summary is printed alongside the result.
+        assert "solve" in out and "probe" in out
+        # ... and the file round-trips through the schema validator.
+        validate_trace_file(path)
+        loaded = load_trace(path)
+        assert loaded.spans and loaded.spans[0].kind == "solve"
+        assert loaded.counters["probes"] >= 1
+
+    def test_untraced_solve_prints_no_trace_line(self, capsys):
+        assert main(["solve", "--times", "5,4,3", "-m", "2", "-a", "ptas"]) == 0
+        assert "trace    :" not in capsys.readouterr().out
 
 
 class TestBenchDPCacheLine:

@@ -1,0 +1,216 @@
+"""Tests for :mod:`repro.core.context`: the unified SolveContext API,
+the deprecation shims that replace the legacy kwargs, and the service's
+context construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DEFAULT_CONTEXT, SolveContext, parallel_ptas, ptas, resolve_context
+from repro.core.bisection import bisect_target_makespan
+from repro.core.dp import solve
+from repro.model.instance import Instance
+from repro.obs import NULL_TRACER, Tracer
+from repro.service.registry import build_solve_context, get_engine
+from repro.service.requests import DeadlineExceeded, SolveRequest
+
+INSTANCE = Instance([7, 7, 6, 6, 5, 4, 4, 3, 9, 2], num_machines=3)
+
+
+def _standard_solver(problem, m):
+    return solve(problem, "dominance", limit=m, track_schedule=True)
+
+
+class TestSolveContext:
+    def test_defaults(self):
+        ctx = SolveContext()
+        assert ctx.check_deadline is None
+        assert ctx.warm_start is True
+        assert ctx.tracer is NULL_TRACER
+        assert ctx.metrics is None
+        assert ctx.executor is None
+
+    def test_check_without_deadline_is_noop(self):
+        SolveContext().check()  # must not raise
+
+    def test_check_invokes_hook(self):
+        calls = []
+        SolveContext(check_deadline=lambda: calls.append(1)).check()
+        assert calls == [1]
+
+    def test_check_propagates_exception(self):
+        def boom():
+            raise DeadlineExceeded("late")
+
+        with pytest.raises(DeadlineExceeded):
+            SolveContext(check_deadline=boom).check()
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            SolveContext().warm_start = False  # type: ignore[misc]
+
+    def test_span_and_count_delegate_to_tracer(self):
+        tracer = Tracer()
+        ctx = SolveContext(tracer=tracer)
+        with ctx.span("probe", target=1):
+            ctx.count("probes")
+        assert tracer.counters == {"probes": 1}
+        assert [s.kind for s in tracer.walk()] == ["probe"]
+
+
+class TestResolveContext:
+    def test_plain_defaults(self):
+        assert resolve_context() is DEFAULT_CONTEXT
+
+    def test_explicit_ctx_wins(self):
+        ctx = SolveContext(warm_start=False)
+        assert resolve_context(ctx) is ctx
+
+    def test_custom_default(self):
+        default = SolveContext(warm_start=False)
+        assert resolve_context(None, default=default) is default
+
+    def test_legacy_kwargs_warn_and_override(self):
+        hook = lambda: None  # noqa: E731
+        with pytest.warns(DeprecationWarning, match="warm_start"):
+            ctx = resolve_context(warm_start=False, caller="x")
+        assert ctx.warm_start is False
+        with pytest.warns(DeprecationWarning, match="check_deadline"):
+            ctx = resolve_context(check_deadline=hook, caller="x")
+        assert ctx.check_deadline is hook
+
+
+class TestDeprecationShims:
+    """Acceptance: the legacy kwargs only work via warning shims."""
+
+    def test_ptas_warm_start_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match=r"ptas\(warm_start"):
+            result = ptas(INSTANCE, 0.3, warm_start=False)
+        assert result.schedule.makespan >= 1
+
+    def test_ptas_check_deadline_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match=r"ptas\(check_deadline"):
+            ptas(INSTANCE, 0.3, check_deadline=lambda: None)
+
+    def test_parallel_ptas_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning, match=r"parallel_ptas\(warm_start"):
+            parallel_ptas(INSTANCE, 0.3, 2, backend="numpy-serial", warm_start=False)
+
+    def test_bisect_kwargs_warn(self):
+        with pytest.warns(
+            DeprecationWarning, match=r"bisect_target_makespan\(warm_start"
+        ):
+            bisect_target_makespan(INSTANCE, 4, _standard_solver, warm_start=True)
+
+    def test_ctx_only_calls_do_not_warn(self, recwarn):
+        ptas(INSTANCE, 0.3, ctx=SolveContext(warm_start=False))
+        parallel_ptas(
+            INSTANCE, 0.3, 2, backend="numpy-serial", ctx=SolveContext()
+        )
+        bisect_target_makespan(INSTANCE, 4, _standard_solver, ctx=SolveContext())
+        assert not [w for w in recwarn.list if w.category is DeprecationWarning]
+
+
+class TestContextEquivalence:
+    def test_ctx_matches_legacy_warm_start_results(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = ptas(INSTANCE, 0.3, warm_start=False)
+        via_ctx = ptas(INSTANCE, 0.3, ctx=SolveContext(warm_start=False))
+        assert via_ctx.final_target == legacy.final_target
+        assert via_ctx.schedule.makespan == legacy.schedule.makespan
+        assert (
+            via_ctx.outcome.num_iterations == legacy.outcome.num_iterations
+        )
+
+    def test_bisect_default_stays_faithful(self):
+        """The standalone bisection still defaults to the paper-faithful
+        (no warm start) search when no context is given."""
+        plain = bisect_target_makespan(INSTANCE, 4, _standard_solver)
+        faithful = bisect_target_makespan(
+            INSTANCE, 4, _standard_solver, ctx=SolveContext(warm_start=False)
+        )
+        assert plain.rounding_reuses == 0
+        assert [i.target for i in plain.iterations] == [
+            i.target for i in faithful.iterations
+        ]
+
+    def test_deadline_cancels_via_ctx(self):
+        calls = {"n": 0}
+
+        def hook():
+            calls["n"] += 1
+            raise DeadlineExceeded("over budget")
+
+        with pytest.raises(DeadlineExceeded):
+            ptas(INSTANCE, 0.1, ctx=SolveContext(check_deadline=hook))
+        assert calls["n"] == 1
+
+
+class TestBuildSolveContext:
+    def _request(self, **kw) -> SolveRequest:
+        return SolveRequest(
+            times=INSTANCE.processing_times,
+            machines=INSTANCE.num_machines,
+            engine=kw.pop("engine", "ptas"),
+            **kw,
+        )
+
+    def test_no_deadline(self):
+        ctx = build_solve_context(self._request())
+        assert ctx.check_deadline is None
+        assert ctx.tracer is NULL_TRACER
+        assert ctx.metrics is None
+
+    def test_deadline_checker_fires_on_fake_clock(self):
+        now = {"t": 0.0}
+        ctx = build_solve_context(
+            self._request(), deadline_at=10.0, clock=lambda: now["t"]
+        )
+        ctx.check()  # before the deadline: fine
+        now["t"] = 11.0
+        with pytest.raises(DeadlineExceeded):
+            ctx.check()
+
+    def test_tracer_and_metrics_are_carried(self):
+        tracer = Tracer()
+        metrics = object()
+        ctx = build_solve_context(self._request(), tracer=tracer, metrics=metrics)
+        assert ctx.tracer is tracer
+        assert ctx.metrics is metrics
+
+
+class TestAdapterCoercion:
+    def test_adapters_accept_context(self):
+        spec = get_engine("ptas")
+        request = SolveRequest(
+            times=INSTANCE.processing_times,
+            machines=INSTANCE.num_machines,
+            engine="ptas",
+        )
+        tracer = Tracer()
+        schedule = spec.solve(INSTANCE, request, SolveContext(tracer=tracer))
+        assert schedule.makespan >= 1
+        assert tracer.find("solve")
+
+    def test_adapters_accept_none(self, recwarn):
+        spec = get_engine("parallel_ptas")
+        request = SolveRequest(
+            times=INSTANCE.processing_times,
+            machines=INSTANCE.num_machines,
+            engine="parallel_ptas",
+            backend="numpy-serial",
+            workers=2,
+        )
+        assert spec.solve(INSTANCE, request, None).makespan >= 1
+        assert not [w for w in recwarn.list if w.category is DeprecationWarning]
+
+    def test_bare_callable_coerced_with_warning(self):
+        spec = get_engine("ptas")
+        request = SolveRequest(
+            times=INSTANCE.processing_times,
+            machines=INSTANCE.num_machines,
+            engine="ptas",
+        )
+        with pytest.warns(DeprecationWarning, match="bare check_deadline"):
+            schedule = spec.solve(INSTANCE, request, lambda: None)
+        assert schedule.makespan >= 1

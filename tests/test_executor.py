@@ -6,6 +6,7 @@ import threading
 
 import pytest
 
+from repro.core.context import SolveContext
 from repro.parallel.executor import (
     ProcessExecutor,
     ReusableExecutor,
@@ -217,7 +218,11 @@ class TestPtasPoolLifecycle:
         monkeypatch.setattr(ptas_mod, "parallel_dp", spying)
         inst = Instance([9, 8, 7, 6, 5, 5, 4, 3, 2, 1], num_machines=3)
         result = ptas_mod.parallel_ptas(
-            inst, 0.3, num_workers=2, backend="thread", warm_start=False
+            inst,
+            0.3,
+            num_workers=2,
+            backend="thread",
+            ctx=SolveContext(warm_start=False),
         )
         assert result.num_bisection_iterations == len(seen)
         assert len(seen) >= 2  # needs multiple probes to mean anything

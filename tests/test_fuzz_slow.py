@@ -16,6 +16,7 @@ from repro.algorithms.local_search import lpt_with_local_search
 from repro.algorithms.lpt import lpt
 from repro.algorithms.multifit import multifit
 from repro.core.bounds import makespan_bounds
+from repro.core.context import SolveContext
 from repro.core.dp import DPProblem, SEQUENTIAL_ENGINES, solve
 from repro.core.parallel_dp import parallel_dp
 from repro.core.ptas import parallel_ptas, ptas
@@ -62,9 +63,18 @@ def test_fuzz_full_stack_consistency(inst: Instance):
     assert par.schedule.assignment == seq.schedule.assignment
 
     # The literal transcription implements the *printed* algorithm
-    # (no job-cap guarantee fix), so compare against the uncapped run.
+    # (no job-cap guarantee fix, faithful bisection), so compare against
+    # the uncapped run with warm-start disabled: rounded-DP feasibility
+    # is non-monotone below OPT, so the warm search may certify a
+    # different (equally valid) target than the literal one.
     ref = algorithm1(inst, 0.3)
-    unfixed = ptas(inst, 0.3, engine="table", guarantee_fix=False)
+    unfixed = ptas(
+        inst,
+        0.3,
+        engine="table",
+        guarantee_fix=False,
+        ctx=SolveContext(warm_start=False),
+    )
     assert ref.makespan == unfixed.makespan
 
 

@@ -17,6 +17,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.algorithms.lpt import lpt
+from repro.core.context import SolveContext
 from repro.core.ptas import parallel_ptas, ptas
 from repro.exact.brute import brute_force
 from repro.model.instance import Instance
@@ -175,7 +176,9 @@ class TestCheckDeadline:
 
     def test_sequential_noop_hook_same_schedule(self, small_instance):
         plain = ptas(small_instance, eps=0.3)
-        hooked = ptas(small_instance, eps=0.3, check_deadline=lambda: None)
+        hooked = ptas(
+            small_instance, eps=0.3, ctx=SolveContext(check_deadline=lambda: None)
+        )
         assert hooked.schedule.makespan == plain.schedule.makespan
 
     def test_sequential_raising_hook_propagates(self, small_instance):
@@ -186,7 +189,7 @@ class TestCheckDeadline:
             raise Expired
 
         with pytest.raises(Expired):
-            ptas(small_instance, eps=0.3, check_deadline=check)
+            ptas(small_instance, eps=0.3, ctx=SolveContext(check_deadline=check))
 
     def test_parallel_raising_hook_propagates(self, small_instance):
         class Expired(Exception):
@@ -201,5 +204,5 @@ class TestCheckDeadline:
                 eps=0.05,
                 num_workers=2,
                 backend="serial",
-                check_deadline=check,
+                ctx=SolveContext(check_deadline=check),
             )

@@ -205,6 +205,24 @@ class TestHandle:
         assert "pool_utilization" in snap["gauges"]
         assert "request_latency_seconds" in snap["histograms"]
 
+    def test_stats_exposes_trace_phase_summary(self):
+        """Every solve runs under a per-request tracer whose per-phase
+        breakdown lands in the metrics snapshot (``op=stats``)."""
+
+        async def scenario():
+            svc = SolveService(batch_window=0.0)
+            try:
+                await svc.handle(_req([7, 7, 6, 6, 5, 4, 4, 3], engine="ptas"))
+                return svc.stats()
+            finally:
+                await _closed(svc)
+
+        snap = run(scenario())
+        assert snap["counters"]["trace.spans.solve"] == 1
+        assert snap["counters"]["trace.spans.probe"] >= 1
+        assert snap["counters"]["trace.counters.probes"] >= 1
+        assert snap["histograms"]["trace.phase.dp.seconds"]["count"] >= 1
+
 
 class TestProtocol:
     def test_ping_stats_malformed_and_shutdown(self):
