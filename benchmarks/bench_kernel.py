@@ -237,7 +237,11 @@ def main() -> int:
         },
         "trace": trace_stats,
     }
-    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    # Merge rather than overwrite: bench_store.py tracks its tiers in
+    # the same file under keys this benchmark does not own.
+    existing = json.loads(OUTPUT.read_text()) if OUTPUT.exists() else {}
+    existing.update(payload)
+    OUTPUT.write_text(json.dumps(existing, indent=2) + "\n")
     print(f"wrote {OUTPUT}")
 
     worst = min(ratios.values())

@@ -1,0 +1,130 @@
+"""Durable-store latency benchmark: cold solve vs disk hit vs memory hit.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_store.py
+
+Times the three tiers a request can be answered from once
+``repro-pcmax serve --store DIR`` is running:
+
+* **cold** — a full PTAS solve through the engine registry (what a
+  miss in both tiers costs);
+* **disk hit** — a fresh process/cache finding the canonical result in
+  the :class:`repro.store.ResultStore`: checksum-verified point read,
+  schedule re-verification, remap to the caller's job numbering, and
+  promotion into the memory tier;
+* **memory hit** — the in-memory canonical cache serving the same
+  request again.
+
+Every served result is verified against the instance before a timing is
+accepted.  Results are *merged* into ``BENCH_dp.json`` at the repo root
+(under the ``"store_latency"`` key, preserving the kernel benchmark's
+payload) so the perf trajectory is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.model.verify import verify_schedule
+from repro.service.cache import ResultCache, canonical_key, canonicalize_result
+from repro.service.registry import solve_to_result
+from repro.service.requests import SolveRequest
+from repro.store import ResultStore
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_dp.json"
+
+N, M, EPS, SEED = 30, 5, 0.15, 7
+REPS = 5
+
+
+def build_request() -> SolveRequest:
+    """A mid-size PTAS request: heavy enough that the tiers separate by
+    orders of magnitude, light enough for a CI smoke run."""
+    rng = random.Random(SEED)
+    times = tuple(rng.randint(20, 200) for _ in range(N))
+    return SolveRequest(times=times, machines=M, engine="ptas", eps=EPS)
+
+
+def best_of(fn, reps: int = REPS) -> tuple[float, object]:
+    """Best-of-``reps`` wall time and the last result."""
+    best, result = float("inf"), None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def main() -> int:
+    import tempfile
+
+    request = build_request()
+    inst = request.instance()
+
+    def check(result) -> None:
+        assert result is not None and result.ok, result
+        report = verify_schedule(result.schedule(inst), inst)
+        assert report.ok, report.violations
+
+    # Tier 3: cold solve (both tiers miss).
+    cold_s, cold = best_of(lambda: solve_to_result(request))
+    check(cold)
+
+    with tempfile.TemporaryDirectory(prefix="bench-store-") as tmp:
+        with ResultStore(tmp) as store:
+            store.put(canonical_key(request), canonicalize_result(request, cold))
+
+        # Tier 2: disk hit — a fresh cache per rep so memory never serves;
+        # includes checksum verification, schedule re-verification,
+        # remapping, and promotion (the full read path of a restart).
+        def disk_hit():
+            with ResultStore(tmp) as store:
+                cache = ResultCache(max_entries=16, store=store)
+                return cache.get(request)
+
+        disk_s, from_disk = best_of(disk_hit)
+        check(from_disk)
+        assert from_disk.cached and from_disk.makespan == cold.makespan
+
+        # Tier 1: memory hit on a warm cache.
+        with ResultStore(tmp) as store:
+            cache = ResultCache(max_entries=16, store=store)
+            cache.get(request)  # promote once
+            mem_s, from_mem = best_of(lambda: cache.get(request))
+        check(from_mem)
+        assert cache.stats()["hits"] >= REPS
+
+    stats = {
+        "instance": {"n": N, "m": M, "eps": EPS, "seed": SEED, "engine": "ptas"},
+        "cold_solve_ms": round(cold_s * 1e3, 3),
+        "disk_hit_ms": round(disk_s * 1e3, 3),
+        "memory_hit_ms": round(mem_s * 1e3, 3),
+        "disk_speedup_over_cold": round(cold_s / disk_s, 1),
+        "memory_speedup_over_cold": round(cold_s / mem_s, 1),
+    }
+    for tier in ("cold_solve_ms", "disk_hit_ms", "memory_hit_ms"):
+        print(f"{tier:>24}: {stats[tier]:10.3f}")
+    print(
+        f"speedup over cold solve: disk {stats['disk_speedup_over_cold']}x, "
+        f"memory {stats['memory_speedup_over_cold']}x"
+    )
+
+    # A disk hit must beat re-solving or the durable tier is pointless.
+    if disk_s >= cold_s:
+        print("FAIL: a disk hit is no faster than a cold solve")
+        return 1
+
+    existing = json.loads(OUTPUT.read_text()) if OUTPUT.exists() else {}
+    existing["store_latency"] = stats
+    OUTPUT.write_text(json.dumps(existing, indent=2) + "\n")
+    print(f"merged store_latency into {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,14 @@ Subcommands
     DESIGN.md §7) — handy for quick profiling.
 ``serve`` / ``submit``
     Run the asyncio scheduling service (``docs/service.md``) and submit
-    requests to it over the JSON-lines protocol.
+    requests to it over the JSON-lines protocol.  ``serve --store DIR``
+    adds the durable result store and write-ahead journal
+    (``docs/persistence.md``) with crash recovery on startup.
+``store``
+    Operate on a store directory offline: ``stats``, ``verify``
+    (checksum + schedule audit, quarantining corrupt segments),
+    ``compact``, and ``replay`` (drain the journal's uncommitted
+    entries without starting the server).
 """
 
 from __future__ import annotations
@@ -274,12 +281,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.cache import ResultCache
     from repro.service.server import SolveService, serve
 
+    store = journal = None
+    if args.store:
+        from repro.store import ResultStore, WriteAheadJournal, recover
+
+        store = ResultStore(args.store, ttl=args.store_ttl)
+        journal = WriteAheadJournal(args.store)
+        report = recover(store, journal)
+        if report.entries:
+            print(report.render(), flush=True)
+            for line in report.aborted:
+                print(f"  aborted: {line}", flush=True)
     service = SolveService(
         max_workers=args.workers,
         batch_window=args.batch_window,
         default_deadline=args.default_deadline,
-        cache=ResultCache(max_entries=args.cache_size, ttl=args.cache_ttl),
+        cache=ResultCache(
+            max_entries=args.cache_size, ttl=args.cache_ttl, store=store
+        ),
         admission=AdmissionController(max_queue_depth=args.queue_depth),
+        store=store,
+        journal=journal,
+        archive_traces=args.archive_traces,
     )
 
     def ready(host: str, port: int) -> None:
@@ -335,6 +358,73 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             load = sum(inst.processing_times[j] for j in grp)
             print(f"  machine {i:3d} (load {load:6d}): jobs {list(grp)}")
     return 0
+
+
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.store import ResultStore, WriteAheadJournal
+
+    store = ResultStore(args.dir)
+    payload = {"store": store.stats(), "journal": WriteAheadJournal(args.dir).stats()}
+    store.close()
+    print(_json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_store_verify(args: argparse.Namespace) -> int:
+    from repro.store import ResultStore
+
+    store = ResultStore(args.dir)
+    report = store.verify(deep=not args.shallow)
+    store.close()
+    print(
+        f"checked  : {report.segments_checked} segment(s), "
+        f"{report.records_checked} record(s)"
+    )
+    if not args.shallow:
+        print(f"verified : {report.schedules_verified} schedule(s)")
+    if report.torn_tails:
+        print(f"torn     : {report.torn_tails} crash-truncated tail(s) (tolerated)")
+    if report.ok:
+        print("OK: store is clean")
+        return 0
+    for name in report.quarantined:
+        print(f"QUARANTINED: {name}")
+    for violation in report.violations:
+        print(f"  - {violation}")
+    return 1
+
+
+def _cmd_store_compact(args: argparse.Namespace) -> int:
+    from repro.store import ResultStore
+
+    store = ResultStore(args.dir, ttl=args.ttl)
+    report = store.compact()
+    store.close()
+    print(
+        f"compacted: {report.segments_before} -> {report.segments_after} "
+        f"segment(s), {report.bytes_before} -> {report.bytes_after} bytes"
+    )
+    print(
+        f"records  : {report.records_kept} kept, {report.records_dropped} "
+        f"dropped ({report.expired_dropped} expired)"
+    )
+    return 0
+
+
+def _cmd_store_replay(args: argparse.Namespace) -> int:
+    from repro.store import ResultStore, WriteAheadJournal, recover
+
+    store = ResultStore(args.dir)
+    journal = WriteAheadJournal(args.dir)
+    report = recover(store, journal)
+    journal.close()
+    store.close()
+    print(report.render())
+    for line in report.aborted:
+        print(f"  aborted: {line}")
+    return 0 if report.ok else 1
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
@@ -499,6 +589,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="seconds between metrics heartbeat lines (0 disables)",
     )
+    srv.add_argument(
+        "--store",
+        metavar="DIR",
+        help="durable result store + write-ahead journal directory "
+        "(docs/persistence.md); uncommitted work is replayed on startup",
+    )
+    srv.add_argument(
+        "--store-ttl",
+        type=float,
+        default=None,
+        help="seconds a stored result stays servable from disk",
+    )
+    srv.add_argument(
+        "--archive-traces",
+        action="store_true",
+        help="with --store: archive each solve's trace into the store",
+    )
     srv.set_defaults(fn=_cmd_serve)
 
     sub_cmd = subs.add_parser(
@@ -529,6 +636,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="send a control op instead of a solve request",
     )
     sub_cmd.set_defaults(fn=_cmd_submit)
+
+    st = subs.add_parser(
+        "store",
+        help="inspect and maintain a durable result store directory "
+        "(docs/persistence.md)",
+    )
+    st_subs = st.add_subparsers(dest="store_command", required=True)
+    st_stats = st_subs.add_parser(
+        "stats", help="print store + journal statistics as JSON"
+    )
+    st_stats.add_argument("dir", help="store directory")
+    st_stats.set_defaults(fn=_cmd_store_stats)
+    st_verify = st_subs.add_parser(
+        "verify",
+        help="checksum every segment and re-verify every stored schedule; "
+        "corrupt segments are quarantined",
+    )
+    st_verify.add_argument("dir", help="store directory")
+    st_verify.add_argument(
+        "--shallow",
+        action="store_true",
+        help="checksums only; skip per-schedule re-verification",
+    )
+    st_verify.set_defaults(fn=_cmd_store_verify)
+    st_compact = st_subs.add_parser(
+        "compact",
+        help="rewrite live records into fresh segments, dropping "
+        "superseded and expired entries",
+    )
+    st_compact.add_argument("dir", help="store directory")
+    st_compact.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        help="drop results older than this many seconds while compacting",
+    )
+    st_compact.set_defaults(fn=_cmd_store_compact)
+    st_replay = st_subs.add_parser(
+        "replay",
+        help="re-solve the journal's uncommitted entries into the store "
+        "(what 'serve --store' does on startup, offline)",
+    )
+    st_replay.add_argument("dir", help="store directory")
+    st_replay.set_defaults(fn=_cmd_store_replay)
 
     rep = subs.add_parser(
         "reproduce", help="regenerate every paper artifact into a directory"

@@ -9,8 +9,11 @@ schedules that downstream systems can execute:
   (first line ``n m``, then one processing time per line).
 * :mod:`repro.io.schedules` — schedule export/import as JSON, including
   enough metadata (makespan, loads, algorithm) for audit trails.
+* :mod:`repro.io.atomic` — fsync'd appends and atomic file replacement,
+  the durability primitives under :mod:`repro.store`.
 """
 
+from repro.io.atomic import append_line, atomic_write, fsync_path
 from repro.io.instances import (
     instance_from_json,
     instance_to_json,
@@ -33,4 +36,7 @@ __all__ = [
     "write_schedule",
     "schedule_to_json",
     "schedule_from_json",
+    "append_line",
+    "atomic_write",
+    "fsync_path",
 ]

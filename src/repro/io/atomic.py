@@ -1,0 +1,76 @@
+"""Durable filesystem primitives shared by the persistence layer.
+
+Everything :mod:`repro.store` writes goes through these three idioms:
+
+* :func:`fsync_path` — flush a file *and* its directory entry, so a
+  record survives power loss once the call returns (the directory fsync
+  is what makes a freshly created file durable on POSIX).
+* :func:`append_line` — append one line to an open binary file and
+  optionally fsync it; the unit of the append-only JSONL formats.
+* :func:`atomic_write` — write-to-temp + fsync + :func:`os.replace`, the
+  only safe way to *rewrite* a file (compaction, quarantine metadata):
+  readers see either the old bytes or the new bytes, never a torn mix.
+
+They are deliberately tiny and stdlib-only; on filesystems without
+directory fsync (some CI sandboxes) the directory flush degrades to a
+no-op rather than failing.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import BinaryIO
+
+
+def fsync_dir(path: str | Path) -> None:
+    """Flush the directory entry at *path* (no-op where unsupported)."""
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - directories not fsyncable here
+        pass
+    finally:
+        os.close(fd)
+
+
+def fsync_path(path: str | Path) -> None:
+    """fsync the file at *path* and then its parent directory."""
+    p = Path(path)
+    fd = os.open(str(p), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    fsync_dir(p.parent)
+
+
+def append_line(fh: BinaryIO, line: str, *, sync: bool = True) -> int:
+    """Append ``line`` (newline added) to *fh*; return the start offset.
+
+    With ``sync=True`` the bytes are flushed and fsync'd before
+    returning — the write-ahead guarantee the journal relies on.
+    """
+    offset = fh.tell()
+    fh.write(line.encode("utf-8") + b"\n")
+    fh.flush()
+    if sync:
+        os.fsync(fh.fileno())
+    return offset
+
+
+def atomic_write(path: str | Path, data: bytes) -> Path:
+    """Replace *path* with *data* atomically (temp file + rename)."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    tmp = p.with_name(p.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, p)
+    fsync_dir(p.parent)
+    return p

@@ -15,7 +15,10 @@ The observability layer gives every solve a hierarchical trace::
 * :mod:`repro.obs.trace` — :class:`Tracer` / :class:`Span` /
   :data:`NULL_TRACER`, counters, per-phase summaries.
 * :mod:`repro.obs.export` — Chrome trace-event JSON export
-  (:func:`save_trace`) and round-trip loading (:func:`load_trace`).
+  (:func:`save_trace`) and round-trip loading (:func:`load_trace`);
+  :func:`trace_to_payload` / :func:`payload_to_trace` are the in-memory
+  halves, also used by :meth:`repro.store.ResultStore.archive_trace` to
+  persist traces next to the results they explain.
 * :mod:`repro.obs.schema` — validation against the checked-in schema
   (``trace_schema.json``); fails on unknown span kinds.
 * :mod:`repro.obs.profile` — :class:`SamplingProfiler`, the slow-probe
@@ -25,7 +28,13 @@ Spans are threaded through the solvers by
 :class:`repro.core.context.SolveContext`; see ``docs/observability.md``.
 """
 
-from repro.obs.export import TraceData, load_trace, save_trace, trace_to_payload
+from repro.obs.export import (
+    TraceData,
+    load_trace,
+    payload_to_trace,
+    save_trace,
+    trace_to_payload,
+)
 from repro.obs.profile import SamplingProfiler
 from repro.obs.schema import TraceSchemaError, validate_trace, validate_trace_file
 from repro.obs.trace import (
@@ -48,6 +57,7 @@ __all__ = [
     "save_trace",
     "load_trace",
     "trace_to_payload",
+    "payload_to_trace",
     "validate_trace",
     "validate_trace_file",
     "TraceSchemaError",

@@ -17,11 +17,21 @@ The subsystem turns the one-shot solvers into an asyncio service:
   micro-batching, executor dispatch, and deadline-triggered degradation
   to LPT.
 
+Durability is layered underneath by :mod:`repro.store` (opt-in via
+``repro-pcmax serve --store DIR``): the cache gains a disk tier, every
+admitted request is write-ahead journaled, and a crashed server replays
+its unanswered work on restart — see ``docs/persistence.md``.
+
 See ``docs/service.md`` for the architecture and protocol reference.
 """
 
 from repro.service.admission import AdmissionController, AdmissionDecision
-from repro.service.cache import ResultCache, canonical_key
+from repro.service.cache import (
+    ResultCache,
+    canonical_key,
+    canonicalize_result,
+    localize_result,
+)
 from repro.service.metrics import MetricsRegistry, dp_cache_stats
 from repro.service.registry import (
     EngineSpec,

@@ -21,6 +21,13 @@ Eviction is LRU bounded by ``max_entries`` plus an optional TTL; hits,
 misses, evictions and expirations are counted for
 :mod:`repro.service.metrics`.  The cache is lock-protected — the server
 touches it from the event loop but batch workers and tests may not.
+
+With a :class:`repro.store.ResultStore` attached the cache becomes
+two-tiered: memory hit → disk hit → miss.  ``put`` writes through to the
+store (canonical coordinates, so the store's address space is exactly
+this cache's key space) and a disk hit is promoted back into the memory
+tier.  Both tiers' hit/miss/eviction/expiry counters surface in
+:meth:`ResultCache.stats` — the disk tier's under a ``disk_`` prefix.
 """
 
 from __future__ import annotations
@@ -29,10 +36,13 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import replace
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.service.registry import canonical_engine_name
 from repro.service.requests import SolveRequest, SolveResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.store.resultstore import ResultStore
 
 CacheKey = tuple[tuple[int, ...], int, str, float]
 
@@ -77,6 +87,41 @@ def _from_canonical(
     return tuple(tuple(order[p] for p in grp) for grp in canonical)
 
 
+def canonicalize_result(request: SolveRequest, result: SolveResult) -> SolveResult:
+    """*result* stripped to its permutation-invariant canonical form.
+
+    The assignment is re-expressed over sorted positions and every
+    caller-specific field (request id, elapsed wall time, cached flag)
+    is zeroed — the representation both the memory tier and the durable
+    :class:`repro.store.ResultStore` persist, and the one whose
+    serialized bytes the crash-recovery test compares.
+    """
+    canonical = (
+        _to_canonical(request.times, result.assignment)
+        if result.assignment is not None
+        else None
+    )
+    return replace(
+        result, request_id="", assignment=canonical, cached=False, elapsed=0.0
+    )
+
+
+def localize_result(request: SolveRequest, stored: SolveResult) -> SolveResult:
+    """Translate a canonical *stored* result to *request*'s job numbering
+    (inverse of :func:`canonicalize_result`; tagged as a cache hit)."""
+    assignment = (
+        _from_canonical(request.times, stored.assignment)
+        if stored.assignment is not None
+        else None
+    )
+    return replace(
+        stored,
+        request_id=request.request_id,
+        assignment=assignment,
+        cached=True,
+    )
+
+
 class ResultCache:
     """LRU + TTL cache of solve results in canonical coordinates.
 
@@ -88,6 +133,9 @@ class ResultCache:
         Seconds an entry stays valid, or ``None`` for no expiry.
     clock:
         Injectable monotonic clock (tests freeze it).
+    store:
+        Optional durable tier (:class:`repro.store.ResultStore`): misses
+        fall through to disk, stores write through to disk.
     """
 
     def __init__(
@@ -95,6 +143,7 @@ class ResultCache:
         max_entries: int = 1024,
         ttl: float | None = None,
         clock: Callable[[], float] = time.monotonic,
+        store: "ResultStore | None" = None,
     ) -> None:
         if max_entries < 0:
             raise ValueError("max_entries must be >= 0")
@@ -102,6 +151,7 @@ class ResultCache:
             raise ValueError("ttl must be positive (or None)")
         self.max_entries = max_entries
         self.ttl = ttl
+        self.store = store
         self._clock = clock
         self._lock = threading.Lock()
         self._entries: OrderedDict[CacheKey, tuple[float, SolveResult]] = OrderedDict()
@@ -117,8 +167,9 @@ class ResultCache:
     def get(self, request: SolveRequest) -> SolveResult | None:
         """The cached result translated to *request*'s job numbering, or
         ``None``.  A hit is tagged ``cached=True`` and echoes the
-        request's own id."""
-        if self.max_entries == 0:
+        request's own id.  On a memory miss the durable tier (if any) is
+        consulted, and a disk hit is promoted back into memory."""
+        if self.max_entries == 0 and self.store is None:
             return None
         key = canonical_key(request)
         with self._lock:
@@ -127,49 +178,53 @@ class ResultCache:
                 del self._entries[key]
                 self.expirations += 1
                 entry = None
-            if entry is None:
-                self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            stored = entry[1]
-        assignment = (
-            _from_canonical(request.times, stored.assignment)
-            if stored.assignment is not None
-            else None
-        )
-        return replace(
-            stored,
-            request_id=request.request_id,
-            assignment=assignment,
-            cached=True,
-        )
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return localize_result(request, entry[1])
+            self.misses += 1
+        if self.store is None:
+            return None
+        stored = self.store.get(key)  # counts its own hit/miss
+        if stored is None:
+            return None
+        self._remember(key, stored)
+        return localize_result(request, stored)
 
     def put(self, request: SolveRequest, result: SolveResult) -> bool:
         """Store *result* for *request*'s canonical key.
 
         Only clean, full-fidelity answers are cached: degraded (deadline
         fallback) and non-``ok`` results are refused, since re-running
-        them may produce the real answer.  Returns whether it was stored.
+        them may produce the real answer.  With a durable tier attached
+        the canonical form is also written through to disk (an I/O error
+        there degrades to memory-only, it never fails the request).
+        Returns whether it was stored in at least one tier.
         """
-        if self.max_entries == 0 or not result.ok or result.degraded:
+        if (self.max_entries == 0 and self.store is None) or not result.ok:
             return False
-        canonical = (
-            _to_canonical(request.times, result.assignment)
-            if result.assignment is not None
-            else None
-        )
-        stored = replace(
-            result, request_id="", assignment=canonical, cached=False, elapsed=0.0
-        )
+        if result.degraded:
+            return False
+        stored = canonicalize_result(request, result)
         key = canonical_key(request)
+        self._remember(key, stored)
+        if self.store is not None:
+            try:
+                self.store.put(key, stored)
+            except OSError:
+                pass  # durable tier unavailable; memory tier still serves
+        return True
+
+    def _remember(self, key: CacheKey, stored: SolveResult) -> None:
+        """Insert a canonical result into the memory tier (LRU evicting)."""
+        if self.max_entries == 0:
+            return
         with self._lock:
             self._entries[key] = (self._clock(), stored)
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self.evictions += 1
-        return True
 
     def _expired(self, stored_at: float) -> bool:
         return self.ttl is not None and self._clock() - stored_at > self.ttl
@@ -180,9 +235,13 @@ class ResultCache:
             self._entries.clear()
 
     def stats(self) -> dict[str, int]:
-        """Hit/miss/eviction/expiration counters plus the current size."""
+        """Hit/miss/eviction/expiration counters plus the current size.
+
+        With a durable tier attached, its counters ride along under a
+        ``disk_`` prefix (``disk_hits``, ``disk_evictions``, …) so
+        ``op=stats`` exposes both tiers side by side."""
         with self._lock:
-            return {
+            out = {
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
@@ -190,3 +249,7 @@ class ResultCache:
                 "currsize": len(self._entries),
                 "maxsize": self.max_entries,
             }
+        if self.store is not None:
+            for key, value in self.store.stats().items():
+                out[f"disk_{key}"] = value
+        return out

@@ -204,3 +204,18 @@ def record_dp_cache(registry: MetricsRegistry) -> dict[str, int]:
     stats = dp_cache_stats()
     registry.set_many("dp_config_cache", {k: float(v) for k, v in stats.items()})
     return stats
+
+
+def record_stats_source(
+    registry: MetricsRegistry, prefix: str, source
+) -> dict:
+    """Publish any object exposing ``stats() -> dict[str, number]`` as
+    ``<prefix>.*`` gauges and return the raw stats.
+
+    Used by the service for the durable store (``store.*``) and the
+    write-ahead journal (``journal.*``) so their counters appear in
+    ``op=stats`` without this module importing :mod:`repro.store`.
+    """
+    stats = source.stats()
+    registry.set_many(prefix, {k: float(v) for k, v in stats.items()})
+    return stats

@@ -43,7 +43,7 @@ from repro.core.parallel_dp import BACKENDS
 from repro.core.ptas import parallel_ptas, ptas
 from repro.model.instance import Instance
 from repro.model.schedule import Schedule
-from repro.service.requests import deadline_checker
+from repro.service.requests import STATUS_OK, SolveResult, deadline_checker
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service.requests import SolveRequest
@@ -258,6 +258,36 @@ _register(
         exact=True,
     )
 )
+
+
+def solve_to_result(
+    request: "SolveRequest",
+    ctx: "SolveContext | None" = None,
+    *,
+    clock: Callable[[], float] = time.perf_counter,
+) -> SolveResult:
+    """Solve *request* synchronously through its registered engine.
+
+    The one blocking solve-to-wire-type path, shared by the service's
+    worker threads and the journal replay of
+    :mod:`repro.store.recovery`: resolve the engine, run it under *ctx*,
+    and wrap the schedule in an ``ok`` :class:`SolveResult` carrying the
+    engine's declared guarantee.  Engine errors propagate — callers own
+    the degrade/abort policy.
+    """
+    spec = get_engine(request.engine)
+    instance = request.instance()
+    t0 = clock()
+    schedule = spec.solve(instance, request, ctx)
+    return SolveResult(
+        request_id=request.request_id,
+        status=STATUS_OK,
+        engine=canonical_engine_name(request.engine),
+        makespan=schedule.makespan,
+        assignment=schedule.assignment,
+        guarantee=spec.guarantee(request),
+        elapsed=clock() - t0,
+    )
 
 
 def canonical_engine_name(name: str) -> str:

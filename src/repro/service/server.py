@@ -36,30 +36,47 @@ Observability: every deadline-capable solve runs under a fresh
 … wall time and counters) is folded into the metrics registry after each
 request, so ``{"op": "stats"}`` exposes ``trace.phase.<kind>.seconds``
 histograms alongside the service counters.
+
+Durability (opt-in, see ``docs/persistence.md``): with a
+:class:`repro.store.ResultStore` and :class:`repro.store.WriteAheadJournal`
+attached, the cache reads/writes through to disk, every admitted request
+is journaled before solving and committed after answering, SIGTERM /
+SIGINT shut down through the same graceful path as the ``shutdown`` op,
+and traces can be archived next to the results they explain.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import signal
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.algorithms.lpt import lpt, lpt_worst_case_ratio
 from repro.model.instance import Instance
 from repro.service.admission import AdmissionController
 from repro.service.cache import CacheKey, ResultCache, canonical_key
-from repro.service.metrics import MetricsRegistry, record_dp_cache
-from repro.obs import Tracer, publish_phase_summary
+from repro.service.metrics import (
+    MetricsRegistry,
+    record_dp_cache,
+    record_stats_source,
+)
+from repro.obs import Tracer, publish_phase_summary, trace_to_payload
 from repro.service.registry import (
     EngineSpec,
     UnknownEngineError,
     build_solve_context,
     canonical_engine_name,
     get_engine,
+    solve_to_result,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.store.journal import WriteAheadJournal
+    from repro.store.resultstore import ResultStore
 from repro.service.requests import (
     STATUS_ERROR,
     STATUS_OK,
@@ -110,6 +127,9 @@ class SolveService:
         batch_max_jobs: int = 64,
         default_deadline: float | None = None,
         clock: Callable[[], float] = time.monotonic,
+        store: "ResultStore | None" = None,
+        journal: "WriteAheadJournal | None" = None,
+        archive_traces: bool = False,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -118,6 +138,13 @@ class SolveService:
         if batch_max_size < 1:
             raise ValueError("batch_max_size must be >= 1")
         self.cache = cache if cache is not None else ResultCache()
+        self.store = store
+        self.journal = journal
+        self.archive_traces = archive_traces
+        if store is not None and self.cache.store is None:
+            # Wire the durable tier under the memory cache so hits flow
+            # memory → disk → solve without the caller doing it by hand.
+            self.cache.store = store
         self.admission = admission if admission is not None else AdmissionController()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.max_workers = max_workers
@@ -225,6 +252,11 @@ class SolveService:
             admitted_at=self._clock(),
             future=asyncio.get_running_loop().create_future(),
         )
+        # Write-ahead: an admitted request is journaled before its solve
+        # starts, and marked committed only after a response exists and
+        # any cacheable answer has reached the store — so a crash at any
+        # point in between is replayed on restart (docs/persistence.md).
+        entry = self.journal.begin(request) if self.journal is not None else None
         try:
             if self._is_batchable(job):
                 await self._enqueue_batch(job)
@@ -235,6 +267,8 @@ class SolveService:
             self.admission.release(decision)
         if result.ok and not result.degraded:
             self.cache.put(request, result)
+        if entry is not None:
+            self.journal.commit(entry)
         self.metrics.histogram("request_latency_seconds").observe(self._clock() - t0)
         return result
 
@@ -352,9 +386,8 @@ class SolveService:
             tracer=tracer,
             metrics=self.metrics,
         )
-        t0 = self._clock()
         try:
-            schedule = spec.solve(job.instance, request, ctx)
+            result = solve_to_result(request, ctx, clock=self._clock)
         except DeadlineExceeded:
             publish_phase_summary(tracer, self.metrics)
             return self._degrade(job)
@@ -367,15 +400,19 @@ class SolveService:
                 error=str(exc),
             )
         publish_phase_summary(tracer, self.metrics)
-        return SolveResult(
-            request_id=request.request_id,
-            status=STATUS_OK,
-            engine=canonical_engine_name(request.engine),
-            makespan=schedule.makespan,
-            assignment=schedule.assignment,
-            guarantee=spec.guarantee(request),
-            elapsed=self._clock() - t0,
-        )
+        self._archive_trace(request, tracer)
+        return result
+
+    def _archive_trace(self, request: SolveRequest, tracer: Tracer) -> None:
+        """Persist this solve's trace into the durable store (opt-in)."""
+        if self.store is None or not self.archive_traces:
+            return
+        name = request.request_id or canonical_key(request)
+        try:
+            self.store.archive_trace(str(name), trace_to_payload(tracer))
+            self.metrics.counter("traces_archived").inc()
+        except OSError:
+            pass  # archival is best-effort; never fail the solve
 
     def _degrade(self, job: _Job) -> SolveResult:
         """The anytime fallback: LPT in O(n log n), tagged ``degraded``."""
@@ -402,6 +439,10 @@ class SolveService:
         self.metrics.set_many(
             "admission", {k: float(v) for k, v in self.admission.stats().items()}
         )
+        if self.store is not None:
+            record_stats_source(self.metrics, "store", self.store)
+        if self.journal is not None:
+            record_stats_source(self.metrics, "journal", self.journal)
         record_dp_cache(self.metrics)
         self.metrics.gauge("pool_utilization").set(
             self._busy_workers / self.max_workers
@@ -414,7 +455,9 @@ class SolveService:
             self._shutdown_event.set()
 
     async def aclose(self) -> None:
-        """Stop the batcher and release the worker pool."""
+        """Stop the batcher, release the worker pool, and flush the
+        persistence layer — a clean exit leaves the journal empty and
+        every segment closed."""
         if self._batcher is not None:
             self._batcher.cancel()
             try:
@@ -424,6 +467,10 @@ class SolveService:
             self._batcher = None
             self._batch_queue = None
         self._executor.shutdown(wait=False, cancel_futures=True)
+        if self.journal is not None:
+            self.journal.close()
+        if self.store is not None:
+            self.store.close()
 
 
 # ---------------------------------------------------------------------------
@@ -536,14 +583,27 @@ async def serve(
     log_interval: float | None = None,
     on_ready: Callable[[str, int], None] | None = None,
 ) -> None:
-    """Run the service until a ``shutdown`` op (or cancellation).
+    """Run the service until a ``shutdown`` op, SIGTERM/SIGINT, or
+    cancellation.
 
     ``log_interval`` enables the periodic metrics heartbeat line;
     ``on_ready`` receives the bound ``(host, port)`` once listening.
+    SIGTERM and SIGINT trigger the same graceful path as the
+    ``shutdown`` op: stop accepting, then :meth:`SolveService.aclose`
+    flushes the journal and closes segments, so a signal-terminated
+    server leaves no uncommitted entries behind for work it answered.
     """
     svc = service if service is not None else SolveService()
     server = await start_server(svc, host, port)
     bound = server.sockets[0].getsockname()[:2] if server.sockets else (host, port)
+    loop = asyncio.get_running_loop()
+    handled_signals: list[signal.Signals] = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, svc.request_shutdown)
+            handled_signals.append(sig)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-POSIX loop; Ctrl-C still raises KeyboardInterrupt
     if on_ready is not None:
         on_ready(bound[0], bound[1])
 
@@ -565,6 +625,8 @@ async def serve(
     finally:
         if beat is not None:
             beat.cancel()
+        for sig in handled_signals:
+            loop.remove_signal_handler(sig)
         server.close()
         await server.wait_closed()
         await svc.aclose()

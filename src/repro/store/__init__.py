@@ -1,0 +1,49 @@
+"""repro.store — durable results, write-ahead journal, crash recovery.
+
+Everything the service computes can outlive the process that computed
+it: a zero-dependency persistence subsystem (``docs/persistence.md``)
+built from
+
+* :mod:`repro.store.records` — the checksummed JSONL line format (CRC-32
+  over a canonical serialization);
+* :mod:`repro.store.segment` — append-only segment files with fsync'd
+  appends, torn-tail tolerance, and quarantine of damaged files;
+* :mod:`repro.store.resultstore` — :class:`ResultStore`, a
+  content-addressed map from the service cache's canonical instance
+  keys to canonical solve results, with checksum- and
+  schedule-verified reads, TTL expiry, compaction, and trace archival;
+* :mod:`repro.store.journal` — :class:`WriteAheadJournal`, begin/commit
+  marks around every admitted request;
+* :mod:`repro.store.recovery` — :func:`recover`, the startup replay
+  that re-solves whatever a crash interrupted.
+
+The service wires these up when ``repro-pcmax serve --store DIR`` is
+given; ``repro-pcmax store {stats,verify,compact,replay}`` operates on
+a store directory offline.
+"""
+
+from repro.store.journal import JournalEntry, WriteAheadJournal
+from repro.store.records import RecordError, decode_record, encode_record
+from repro.store.recovery import RecoveryReport, recover
+from repro.store.resultstore import (
+    CompactionReport,
+    ResultStore,
+    StoreVerifyReport,
+    key_address,
+    result_fingerprint,
+)
+
+__all__ = [
+    "ResultStore",
+    "WriteAheadJournal",
+    "JournalEntry",
+    "RecoveryReport",
+    "recover",
+    "CompactionReport",
+    "StoreVerifyReport",
+    "RecordError",
+    "encode_record",
+    "decode_record",
+    "key_address",
+    "result_fingerprint",
+]

@@ -1,0 +1,93 @@
+"""The checksummed JSONL record format of :mod:`repro.store`.
+
+Every line the store writes — result-store segments and the write-ahead
+journal alike — is one JSON object of the shape::
+
+    {"kind": "<record kind>", ... payload fields ..., "crc": <crc32>}
+
+``crc`` is the CRC-32 of the record's *canonical body*: the object
+without the ``crc`` field, serialized with sorted keys and compact
+separators.  Canonical serialization makes the checksum (and therefore
+the content address of a result record) independent of field order, so
+two processes that store the same canonical result write byte-identical
+lines — the property the crash-recovery test pins down.
+
+:func:`decode_record` distinguishes three failure modes a reader cares
+about:
+
+* a *torn tail* (the line does not end in ``}`` / does not parse) —
+  expected after a crash mid-append; the last line of a segment may be
+  dropped silently,
+* a *checksum mismatch* (parses, ``crc`` disagrees) — bit rot or a
+  partial overwrite; never silently dropped,
+* a *malformed record* (parses, but has no ``crc``/``kind``) — a
+  foreign or corrupted file.
+
+All three raise :class:`RecordError` with ``torn`` marking the first
+case, so callers can tolerate exactly the failure crash-consistency
+allows and quarantine everything else.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import Any
+
+
+class RecordError(ValueError):
+    """A line that is not a valid store record.
+
+    ``torn`` is true when the damage is consistent with a crash during
+    an append (truncated tail); only then may a reader drop the record
+    without quarantining the file.
+    """
+
+    def __init__(self, message: str, *, torn: bool = False) -> None:
+        super().__init__(message)
+        self.torn = torn
+
+
+def canonical_json(body: dict[str, Any]) -> str:
+    """The canonical single-line serialization the checksum covers."""
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def record_crc(body: dict[str, Any]) -> int:
+    """CRC-32 of the canonical body (the ``crc`` field's value)."""
+    return zlib.crc32(canonical_json(body).encode("utf-8"))
+
+
+def encode_record(kind: str, body: dict[str, Any]) -> str:
+    """One store line: *body* plus ``kind`` and its checksum."""
+    full = dict(body)
+    full["kind"] = kind
+    full["crc"] = record_crc({k: v for k, v in full.items() if k != "crc"})
+    return canonical_json(full)
+
+
+def decode_record(line: str) -> dict[str, Any]:
+    """Parse and checksum-verify one line; inverse of :func:`encode_record`.
+
+    Raises
+    ------
+    RecordError
+        With ``torn=True`` for a truncated tail, ``torn=False`` for a
+        checksum mismatch or a structurally foreign record.
+    """
+    text = line.strip()
+    if not text:
+        raise RecordError("empty line", torn=True)
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise RecordError(f"unparseable record: {exc}", torn=True) from None
+    if not isinstance(data, dict):
+        raise RecordError(f"record is {type(data).__name__}, not an object")
+    if "crc" not in data or "kind" not in data:
+        raise RecordError("record lacks 'crc'/'kind' fields")
+    stated = data["crc"]
+    actual = record_crc({k: v for k, v in data.items() if k != "crc"})
+    if stated != actual:
+        raise RecordError(f"checksum mismatch: stored {stated}, computed {actual}")
+    return data

@@ -1,0 +1,92 @@
+"""Crash recovery: replay the write-ahead journal into the result store.
+
+:func:`recover` is what ``repro-pcmax serve --store DIR`` runs before it
+starts listening (and what ``repro-pcmax store replay`` runs offline):
+for every journal entry that was begun but never committed — a request
+the crashed process admitted but never answered —
+
+1. if the store already holds the canonical result (a permuted twin got
+   there first, or the crash hit between the store append and the
+   commit mark), just commit the entry;
+2. otherwise re-solve the request through the engine registry, persist
+   the canonicalized result, and commit;
+3. a replay that raises is *aborted* (journaled as poison) so one bad
+   request cannot crash-loop the service, and the failure is reported.
+
+Afterwards the journal is checkpointed, so a successful recovery leaves
+it empty.  Replayed results are canonical by construction — solved from
+the journaled request and canonicalized exactly the way the live write
+path does — which is why the e2e test can demand byte-equality between
+a recovered record and a fresh solve's canonical form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.service.cache import canonical_key, canonicalize_result
+from repro.service.registry import solve_to_result
+from repro.service.requests import SolveRequest, SolveResult
+from repro.store.journal import WriteAheadJournal
+from repro.store.resultstore import ResultStore
+
+
+@dataclass
+class RecoveryReport:
+    """What a recovery pass did, entry by entry."""
+
+    entries: int = 0
+    replayed: int = 0
+    already_stored: int = 0
+    aborted: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Clean iff nothing had to be abandoned as poison."""
+        return not self.aborted
+
+    def render(self) -> str:
+        """One human-readable summary line."""
+        return (
+            f"recovery: {self.entries} uncommitted entr"
+            f"{'y' if self.entries == 1 else 'ies'}, "
+            f"{self.replayed} replayed, {self.already_stored} already stored, "
+            f"{len(self.aborted)} aborted"
+        )
+
+
+def recover(
+    store: ResultStore,
+    journal: WriteAheadJournal,
+    *,
+    solve: Callable[[SolveRequest], SolveResult] | None = None,
+) -> RecoveryReport:
+    """Drain the journal's uncommitted backlog into *store*.
+
+    ``solve`` defaults to the registry's synchronous
+    :func:`~repro.service.registry.solve_to_result`; tests inject a stub
+    to exercise the bookkeeping without solving.
+    """
+    solver = solve if solve is not None else solve_to_result
+    report = RecoveryReport()
+    for entry in journal.uncommitted():
+        report.entries += 1
+        key = canonical_key(entry.request)
+        if store.get(key) is not None:
+            journal.commit(entry)
+            report.already_stored += 1
+            continue
+        try:
+            result = solver(entry.request)
+            if not result.ok:
+                raise RuntimeError(result.error or f"status={result.status}")
+            store.put(key, canonicalize_result(entry.request, result))
+        except Exception as exc:  # noqa: BLE001 - poison entries must not loop
+            journal.abort(entry)
+            report.aborted.append(f"{entry.entry_id}: {exc}")
+            continue
+        journal.commit(entry)
+        report.replayed += 1
+    journal.checkpoint()
+    return report

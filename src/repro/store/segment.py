@@ -1,0 +1,213 @@
+"""Append-only JSONL segments: the on-disk unit of the result store.
+
+A store directory holds numbered segment files::
+
+    <root>/segments/seg-00000001.jsonl
+    <root>/segments/seg-00000002.jsonl          ← active (appended)
+    <root>/segments/seg-00000001.jsonl.quarantined  ← failed verification
+
+Writes only ever append to the highest-numbered segment
+(:class:`SegmentWriter`); when it outgrows ``max_bytes`` the writer
+rolls to a fresh file.  Reads go through :func:`scan_segment`, which
+checksum-verifies every record and classifies damage:
+
+* a torn final line of a segment (crash mid-append) is reported but
+  tolerated — it is the one write the crash interrupted;
+* any other damage (bit flip, mid-file truncation, foreign content)
+  marks the segment corrupt, and :func:`quarantine_segment` renames it
+  aside (``.quarantined`` suffix) so the store never serves bytes it
+  cannot vouch for while preserving the evidence for forensics.
+
+Compaction (:func:`repro.store.resultstore.ResultStore.compact`)
+rewrites the live records into a fresh segment via an atomic replace
+and deletes the superseded files.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.io.atomic import append_line, fsync_dir
+from repro.store.records import RecordError, decode_record, encode_record
+
+#: Segment file name layout; the number orders segments by age.
+SEGMENT_PATTERN = re.compile(r"seg-(\d{8})\.jsonl$")
+
+#: Suffix a corrupt segment is renamed with.
+QUARANTINE_SUFFIX = ".quarantined"
+
+
+def segment_name(seq: int) -> str:
+    """File name of segment number *seq*."""
+    return f"seg-{seq:08d}.jsonl"
+
+
+def list_segments(segments_dir: Path) -> list[Path]:
+    """The live (non-quarantined) segment files, oldest first."""
+    if not segments_dir.is_dir():
+        return []
+    found = [
+        p
+        for p in segments_dir.iterdir()
+        if p.is_file() and SEGMENT_PATTERN.search(p.name)
+    ]
+    return sorted(found, key=lambda p: p.name)
+
+
+def segment_seq(path: Path) -> int:
+    """The sequence number encoded in a segment file name."""
+    match = SEGMENT_PATTERN.search(path.name)
+    if match is None:
+        raise ValueError(f"{path} is not a segment file")
+    return int(match.group(1))
+
+
+@dataclass
+class ScanResult:
+    """Outcome of checksumming one segment end to end.
+
+    ``records`` holds every valid ``(offset, record)`` pair in file
+    order; ``torn_tail`` flags a crash-truncated final line (tolerated);
+    ``errors`` lists non-tail damage (not tolerated — quarantine).
+    """
+
+    path: Path
+    records: list[tuple[int, dict[str, Any]]] = field(default_factory=list)
+    torn_tail: bool = False
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def corrupt(self) -> bool:
+        """True when the segment must not be trusted (non-tail damage)."""
+        return bool(self.errors)
+
+
+def scan_segment(path: Path) -> ScanResult:
+    """Read and verify every record of one segment file."""
+    result = ScanResult(path=path)
+    offset = 0
+    lines: list[tuple[int, bytes]] = []
+    with open(path, "rb") as fh:
+        for raw in fh:
+            lines.append((offset, raw))
+            offset += len(raw)
+    for i, (start, raw) in enumerate(lines):
+        last = i == len(lines) - 1
+        try:
+            record = decode_record(raw.decode("utf-8", errors="replace"))
+        except RecordError as exc:
+            if last and exc.torn:
+                result.torn_tail = True
+            else:
+                result.errors.append(f"{path.name}@{start}: {exc}")
+            continue
+        if last and not raw.endswith(b"\n"):
+            # A record that parses but was never newline-terminated is
+            # still a torn append: the fsync covering it never returned.
+            result.torn_tail = True
+            continue
+        result.records.append((start, record))
+    return result
+
+
+def quarantine_segment(path: Path, reason: str) -> Path:
+    """Move a corrupt segment aside and drop a note explaining why.
+
+    The data file is renamed ``<name>.quarantined`` (never deleted) and
+    a sibling ``<name>.quarantined.reason`` records the violations, so
+    ``repro-pcmax store verify`` output survives for forensics.
+    """
+    target = path.with_name(path.name + QUARANTINE_SUFFIX)
+    os.replace(path, target)
+    target.with_name(target.name + ".reason").write_text(reason + "\n")
+    fsync_dir(path.parent)
+    return target
+
+
+def read_record_at(path: Path, offset: int) -> dict[str, Any]:
+    """Checksum-verified point read of the record starting at *offset*."""
+    with open(path, "rb") as fh:
+        fh.seek(offset)
+        line = fh.readline()
+    return decode_record(line.decode("utf-8", errors="replace"))
+
+
+class SegmentWriter:
+    """Appends records to the active segment, rolling on size.
+
+    Every append is flushed and fsync'd before the new ``(path,
+    offset)`` is returned, so an acknowledged write is durable.  The
+    writer owns only the *active* file; older segments are immutable.
+    """
+
+    def __init__(self, segments_dir: Path, *, max_bytes: int = 4 << 20) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.segments_dir = segments_dir
+        self.max_bytes = max_bytes
+        self.segments_dir.mkdir(parents=True, exist_ok=True)
+        existing = list_segments(self.segments_dir)
+        self._seq = segment_seq(existing[-1]) if existing else 0
+        self._fh = None  # opened lazily on first append
+
+    @property
+    def active_path(self) -> Path:
+        """The file the next append lands in."""
+        return self.segments_dir / segment_name(max(self._seq, 1))
+
+    def _ensure_open(self):
+        if self._fh is None:
+            if self._seq == 0:
+                self._seq = 1
+            self._fh = open(self.segments_dir / segment_name(self._seq), "ab")
+            self._fh.seek(0, os.SEEK_END)  # 'a' mode tell() is platform-defined
+            fsync_dir(self.segments_dir)
+        return self._fh
+
+    def _roll(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        self._seq += 1
+
+    def append(self, kind: str, body: dict[str, Any]) -> tuple[Path, int]:
+        """Durably append one record; returns its ``(path, offset)``."""
+        fh = self._ensure_open()
+        if fh.tell() >= self.max_bytes:
+            self._roll()
+            fh = self._ensure_open()
+        path = self.segments_dir / segment_name(self._seq)
+        offset = append_line(fh, encode_record(kind, body))
+        return path, offset
+
+    def close(self) -> None:
+        """Flush and close the active segment file."""
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SegmentWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def iter_live_records(
+    segments_dir: Path,
+) -> Iterator[tuple[Path, int, dict[str, Any]]]:
+    """Yield ``(path, offset, record)`` across all live segments, oldest
+    first — corrupt segments raise via :class:`ScanResult` semantics in
+    the caller; this helper simply skips them after counting."""
+    for path in list_segments(segments_dir):
+        scan = scan_segment(path)
+        if scan.corrupt:
+            continue
+        for offset, record in scan.records:
+            yield path, offset, record
