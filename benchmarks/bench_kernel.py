@@ -2,7 +2,8 @@
 
 Run from the repository root::
 
-    PYTHONPATH=src python benchmarks/bench_kernel.py
+    PYTHONPATH=src python benchmarks/bench_kernel.py                   # full
+    PYTHONPATH=src python benchmarks/bench_kernel.py --check-baseline  # CI gate
 
 Solves one Figure-3-scale DP probe — the ``u_10n`` family at ``m=10,
 n=50`` (seed 0), target at the Eq. 1 lower bound (the hardest probe of
@@ -14,25 +15,42 @@ rather than by pool startup — and times:
   ``_compute_states`` worker, preserved verbatim below as the baseline)
   on the thread backend;
 * the vectorized :class:`~repro.core.kernels.LevelKernel` on every
-  backend (numpy-serial, serial, thread, process).
+  backend (numpy-serial, serial, thread, process), tile-diagonal
+  ``runs`` schedule where the backend supports it;
+* the **modeled** tile-diagonal schedule on the calibrated
+  :class:`~repro.simcore.machine.SimulatedMachine` at 1/2/4 workers.
 
 Every timed run is checked bit-identical to the reference table and
 asserted to reach the same OPT as :func:`repro.core.dp.solve_table`.
-The kernel thread backend must be at least 3x the legacy thread backend
-at every worker count; results land in ``BENCH_dp.json`` at the repo
-root so the perf trajectory is tracked across PRs.
 
-A final traced run (``repro.obs.Tracer`` through a
-:class:`~repro.core.context.SolveContext`) records the per-level span
-breakdown of one numpy-serial table fill and reports what share of the
-``dp`` span the ``level`` spans account for — the observability layer's
-coverage figure, also asserted (loosely) here so a regression that stops
-instrumenting levels fails the benchmark.
+Gates (hard — non-zero exit on failure):
+
+* kernel thread backend ≥ 3x the legacy thread backend at every worker
+  count (the vectorization win must not regress);
+* **modeled speedup at 4 workers ≥ 2x** and modeled throughput monotone
+  non-decreasing across 1 → 2 → 4 workers.  The paper's own Figure 3 is
+  produced on this simulator; this container exposes a single usable
+  CPU, so the simulator — calibrated against the *measured* numpy-serial
+  wall time — is the honest substrate for the multi-worker claim.  When
+  the host actually has ≥ 4 usable CPUs the measured gate activates too:
+  thread @ 4 workers must beat numpy-serial by ≥ 2x wall clock.
+* ``--check-baseline`` recomputes the (deterministic) modeled speedups
+  and fails if any fell below the recorded ``BENCH_dp.json`` baseline by
+  more than the tolerance — the CI regression tripwire for the planner
+  and the cost model.
+
+Results land under the ``"wavefront"`` section of ``BENCH_dp.json`` at
+the repo root, each run stamped with the instance fingerprint and its
+backend configuration (:mod:`repro.io.benchjson`), so stale entries from
+another instance or backend matrix cannot masquerade as current.
+
+A final traced run records the per-level span breakdown of one
+numpy-serial table fill and asserts the ``level`` spans cover ≥ 80% of
+the ``dp`` span — the observability layer's coverage figure.
 """
 
 from __future__ import annotations
 
-import json
 import sys
 import time
 from pathlib import Path
@@ -45,18 +63,31 @@ from repro.core.dp import DPProblem, solve_table
 from repro.core.kernels import LevelKernel, build_level_arrays, table_to_optional
 from repro.core.parallel_dp import compute_table, parallel_dp
 from repro.core.rounding import round_instance
+from repro.io.benchjson import instance_fingerprint, load_bench, merge_runs, update_section
 from repro.obs import Tracer
+from repro.parallel.cpus import usable_cpus
 from repro.parallel.executor import ThreadExecutor, make_executor, shutdown_pools
 from repro.parallel.partition import round_robin_partition
+from repro.simcore.machine import SimulatedMachine
 from repro.workloads.generator import make_instance
 
 FAMILY, M, N, SEED = "u_10n", 10, 50, 0
 K = 5
 THREAD_WORKERS = (1, 2, 4)
 PROCESS_WORKERS = (2,)
+MODEL_WORKERS = (1, 2, 4)
 REPS = 2
+#: Kernel-vs-legacy floor (vectorization win).
 MIN_SPEEDUP = 3.0
+#: Modeled parallel-vs-serial floor at the widest worker count.
+MODEL_MIN_SPEEDUP = 2.0
+#: ``--check-baseline``: fresh modeled speedup must be ≥ baseline × this.
+BASELINE_TOLERANCE = 0.9
+SECTION = "wavefront"
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_dp.json"
+
+#: Fields identifying one run configuration within the section.
+RUN_KEY = ("backend", "workers", "schedule")
 
 
 def build_problem() -> DPProblem:
@@ -67,6 +98,20 @@ def build_problem() -> DPProblem:
     return DPProblem(
         rounded.class_sizes, rounded.class_counts, target, job_cap=K - 1
     )
+
+
+def instance_descriptor(problem: DPProblem) -> dict:
+    """What the fingerprint covers: everything that shapes the probe."""
+    return {
+        "family": FAMILY,
+        "m": M,
+        "n": N,
+        "seed": SEED,
+        "k": K,
+        "target": problem.target,
+        "sigma": problem.table_size,
+        "num_configs": len(problem.configurations()),
+    }
 
 
 def legacy_thread_sweep(problem: DPProblem, num_workers: int):
@@ -116,13 +161,91 @@ def timed(fn, reps: int = REPS):
     return best, result
 
 
+def modeled_speedups(problem: DPProblem, reference: np.ndarray) -> dict[int, float]:
+    """Deterministic modeled speedups of the tile-diagonal schedule at
+    each worker count (default plan: 2×workers blocks, static cost
+    model).  The table is re-checked bit-identical on every run — the
+    simulator executes the real kernel, it only *accounts* differently."""
+    speedups: dict[int, float] = {}
+    for w in MODEL_WORKERS:
+        machine = SimulatedMachine(w)
+        table = compute_table(
+            problem, w, "simulated", machine=machine, schedule="runs"
+        )
+        assert np.array_equal(table, reference), ("simulated", w)
+        speedups[w] = machine.speedup
+    return speedups
+
+
+def check_model_gate(speedups: dict[int, float]) -> list[str]:
+    """The modeled-speedup gate: ≥ 2x at the widest count, monotone."""
+    failures = []
+    widest = max(MODEL_WORKERS)
+    if speedups[widest] < MODEL_MIN_SPEEDUP:
+        failures.append(
+            f"modeled speedup at {widest} workers is {speedups[widest]:.2f}x "
+            f"(required >= {MODEL_MIN_SPEEDUP}x)"
+        )
+    ordered = [speedups[w] for w in sorted(speedups)]
+    if any(b < a - 1e-9 for a, b in zip(ordered, ordered[1:])):
+        failures.append(
+            f"modeled throughput is not monotone across workers: "
+            f"{[round(s, 3) for s in ordered]}"
+        )
+    return failures
+
+
+def check_baseline() -> int:
+    """CI mode: recompute modeled speedups, compare against the recorded
+    baseline (no measured runs — fully deterministic, seconds to run)."""
+    problem = build_problem()
+    reference = compute_table(problem, 1, "numpy-serial")
+    fingerprint = instance_fingerprint(instance_descriptor(problem))
+    speedups = modeled_speedups(problem, reference)
+    for w in sorted(speedups):
+        print(f"modeled speedup @ w={w}: {speedups[w]:.3f}x")
+
+    failures = check_model_gate(speedups)
+
+    section = load_bench(OUTPUT).get(SECTION)
+    if section is None:
+        failures.append(f"no {SECTION!r} section in {OUTPUT} — run the full benchmark first")
+    elif section.get("fingerprint") != fingerprint:
+        failures.append(
+            f"baseline fingerprint {section.get('fingerprint')!r} does not match "
+            f"current instance {fingerprint!r} — re-record the baseline"
+        )
+    else:
+        baseline = section.get("modeled_speedups", {})
+        for w in sorted(speedups):
+            base = baseline.get(str(w))
+            if base is None:
+                failures.append(f"baseline has no modeled speedup for {w} workers")
+                continue
+            floor = base * BASELINE_TOLERANCE
+            if speedups[w] < floor:
+                failures.append(
+                    f"modeled speedup @ w={w} regressed: {speedups[w]:.3f}x < "
+                    f"{floor:.3f}x (baseline {base:.3f}x × tolerance {BASELINE_TOLERANCE})"
+                )
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print(f"OK: modeled speedups hold the {OUTPUT.name} baseline")
+    return 0
+
+
 def main() -> int:
     problem = build_problem()
     sigma = problem.table_size
+    descriptor = instance_descriptor(problem)
+    fingerprint = instance_fingerprint(descriptor)
     print(
         f"instance {FAMILY} m={M} n={N} seed={SEED} k={K}: "
-        f"sigma={sigma} configs={len(problem.configurations())} "
-        f"levels={len(build_level_arrays(problem.dims))}"
+        f"sigma={sigma} configs={descriptor['num_configs']} "
+        f"levels={len(build_level_arrays(problem.dims))} "
+        f"fingerprint={fingerprint}"
     )
 
     seq = solve_table(problem)
@@ -132,17 +255,22 @@ def main() -> int:
 
     runs: list[dict] = []
 
-    def record(backend: str, workers: int, elapsed: float, table) -> None:
+    def record(
+        backend: str, workers: int, elapsed: float, table, *,
+        schedule: str = "runs", **extra,
+    ) -> None:
         if isinstance(table, np.ndarray):
             assert np.array_equal(table, reference), (backend, workers)
-        else:
+        elif table is not None:
             assert table == table_to_optional(reference), (backend, workers)
         runs.append(
             {
                 "backend": backend,
                 "workers": workers,
+                "schedule": schedule,
                 "seconds": round(elapsed, 6),
                 "states_per_sec": round((sigma - 1) / elapsed, 1),
+                **extra,
             }
         )
         print(
@@ -152,10 +280,10 @@ def main() -> int:
 
     for w in THREAD_WORKERS:
         elapsed, table = timed(lambda w=w: legacy_thread_sweep(problem, w))
-        record("legacy-thread", w, elapsed, table)
+        record("legacy-thread", w, elapsed, table, schedule="levels")
 
-    elapsed, table = timed(lambda: compute_table(problem, 1, "numpy-serial"))
-    record("numpy-serial", 1, elapsed, table)
+    serial_elapsed, table = timed(lambda: compute_table(problem, 1, "numpy-serial"))
+    record("numpy-serial", 1, serial_elapsed, table, schedule="levels")
     elapsed, table = timed(lambda: compute_table(problem, 1, "serial"))
     record("serial", 1, elapsed, table)
 
@@ -181,6 +309,22 @@ def main() -> int:
             shutdown_pools()
         record("process", w, elapsed, table)
 
+    # Modeled runs: the simulator re-executes the real kernel under the
+    # tile-diagonal schedule and accounts ops; calibration against the
+    # measured numpy-serial wall time converts them to seconds.
+    speedups: dict[int, float] = {}
+    for w in MODEL_WORKERS:
+        machine = SimulatedMachine(w)
+        table = compute_table(
+            problem, w, "simulated", machine=machine, schedule="runs"
+        )
+        speedups[w] = machine.speedup
+        calibrated = machine.calibrate(serial_elapsed)
+        record(
+            "simulated", w, calibrated.parallel_seconds, table,
+            modeled=True, speedup=round(machine.speedup, 3),
+        )
+
     by_key = {(r["backend"], r["workers"]): r["states_per_sec"] for r in runs}
     ratios = {
         w: by_key[("thread", w)] / by_key[("legacy-thread", w)]
@@ -188,6 +332,42 @@ def main() -> int:
     }
     for w, ratio in ratios.items():
         print(f"kernel/legacy thread speedup @ w={w}: {ratio:.1f}x")
+    for w in MODEL_WORKERS:
+        print(f"modeled tile-diagonal speedup @ w={w}: {speedups[w]:.3f}x")
+
+    failures: list[str] = []
+    worst = min(ratios.values())
+    if worst < MIN_SPEEDUP:
+        failures.append(
+            f"kernel thread backend only {worst:.2f}x the legacy "
+            f"pure-Python thread backend (required >= {MIN_SPEEDUP}x)"
+        )
+    failures.extend(check_model_gate(speedups))
+
+    # Measured gate — only meaningful when the host can actually run 4
+    # workers; this container exposes one usable CPU, where wall-clock
+    # parity is the ceiling and the calibrated model carries the claim.
+    cpus = usable_cpus()
+    measured_gate_active = cpus >= max(THREAD_WORKERS)
+    if measured_gate_active:
+        measured_ratio = (
+            by_key[("thread", max(THREAD_WORKERS))] / by_key[("numpy-serial", 1)]
+        )
+        print(
+            f"measured thread @ w={max(THREAD_WORKERS)} vs numpy-serial: "
+            f"{measured_ratio:.2f}x ({cpus} usable CPUs)"
+        )
+        if measured_ratio < MODEL_MIN_SPEEDUP:
+            failures.append(
+                f"measured thread speedup at {max(THREAD_WORKERS)} workers is "
+                f"{measured_ratio:.2f}x (required >= {MODEL_MIN_SPEEDUP}x "
+                f"on a {cpus}-CPU host)"
+            )
+    else:
+        print(
+            f"measured multi-worker gate inactive: {cpus} usable CPU(s) "
+            f"< {max(THREAD_WORKERS)} workers (modeled gate carries the claim)"
+        )
 
     # Traced numpy-serial fill: how much of the DP wall time the
     # per-level spans account for (observability coverage figure).
@@ -213,47 +393,48 @@ def main() -> int:
         f"traced numpy-serial: level spans cover {level_share:.1%} of the "
         f"dp span across {trace_stats['num_levels']} levels"
     )
-    assert level_share >= 0.8, (
-        f"level spans cover only {level_share:.1%} of dp time — "
-        "wavefront instrumentation regressed"
-    )
+    if level_share < 0.8:
+        failures.append(
+            f"level spans cover only {level_share:.1%} of dp time — "
+            "wavefront instrumentation regressed"
+        )
 
+    previous = load_bench(OUTPUT).get(SECTION, {})
     payload = {
         "benchmark": "wavefront kernel states/sec",
-        "instance": {
-            "family": FAMILY,
-            "m": M,
-            "n": N,
-            "seed": SEED,
-            "k": K,
-            "target": problem.target,
-            "sigma": sigma,
-            "num_configs": len(problem.configurations()),
-            "opt": opt_ref,
-        },
-        "runs": runs,
+        "fingerprint": fingerprint,
+        "instance": {**descriptor, "opt": opt_ref},
+        "runs": merge_runs(
+            previous.get("runs"), runs, fingerprint, key_fields=RUN_KEY
+        ),
+        "modeled_speedups": {str(w): round(s, 3) for w, s in speedups.items()},
         "thread_kernel_over_legacy": {
             str(w): round(r, 2) for w, r in ratios.items()
         },
+        "gate": {
+            "model_min_speedup": MODEL_MIN_SPEEDUP,
+            "measured_gate_active": measured_gate_active,
+            "usable_cpus": cpus,
+            "baseline_tolerance": BASELINE_TOLERANCE,
+        },
         "trace": trace_stats,
     }
-    # Merge rather than overwrite: bench_store.py tracks its tiers in
-    # the same file under keys this benchmark does not own.
-    existing = json.loads(OUTPUT.read_text()) if OUTPUT.exists() else {}
-    existing.update(payload)
-    OUTPUT.write_text(json.dumps(existing, indent=2) + "\n")
-    print(f"wrote {OUTPUT}")
+    # One section of the shared file: bench_store.py owns its own.
+    update_section(OUTPUT, SECTION, payload)
+    print(f"wrote {SECTION!r} section of {OUTPUT}")
 
-    worst = min(ratios.values())
-    if worst < MIN_SPEEDUP:
-        print(
-            f"FAIL: kernel thread backend only {worst:.2f}x the legacy "
-            f"pure-Python thread backend (required >= {MIN_SPEEDUP}x)"
-        )
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
         return 1
-    print(f"OK: kernel >= {MIN_SPEEDUP}x legacy on the thread backend")
+    print(
+        f"OK: kernel >= {MIN_SPEEDUP}x legacy, modeled tile-diagonal "
+        f">= {MODEL_MIN_SPEEDUP}x serial at {max(MODEL_WORKERS)} workers"
+    )
     return 0
 
 
 if __name__ == "__main__":
+    if "--check-baseline" in sys.argv[1:]:
+        sys.exit(check_baseline())
     sys.exit(main())

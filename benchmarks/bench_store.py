@@ -24,12 +24,12 @@ payload) so the perf trajectory is tracked across PRs.
 
 from __future__ import annotations
 
-import json
 import random
 import sys
 import time
 from pathlib import Path
 
+from repro.io.benchjson import update_section
 from repro.model.verify import verify_schedule
 from repro.service.cache import ResultCache, canonical_key, canonicalize_result
 from repro.service.registry import solve_to_result
@@ -119,9 +119,7 @@ def main() -> int:
         print("FAIL: a disk hit is no faster than a cold solve")
         return 1
 
-    existing = json.loads(OUTPUT.read_text()) if OUTPUT.exists() else {}
-    existing["store_latency"] = stats
-    OUTPUT.write_text(json.dumps(existing, indent=2) + "\n")
+    update_section(OUTPUT, "store_latency", stats)
     print(f"merged store_latency into {OUTPUT}")
     return 0
 

@@ -36,7 +36,9 @@ import time
 from typing import Sequence
 
 from repro.core.dp import SEQUENTIAL_ENGINES
+from repro.core.ptas import MODES
 from repro.model.instance import Instance
+from repro.parallel.cpus import resolve_workers
 from repro.service.registry import (
     UnknownEngineError,
     available_engines,
@@ -79,6 +81,22 @@ def _add_instance_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--seed", type=int, default=0)
 
 
+def _workers_arg(value: str) -> int | str:
+    """argparse type for ``--workers``: a positive int or ``auto``
+    (cgroup-aware CPU detection, :mod:`repro.parallel.cpus`)."""
+    if value.strip().lower() == "auto":
+        return "auto"
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        ) from None
+    if workers < 1:
+        raise argparse.ArgumentTypeError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
 def _solve_request_from_args(args: argparse.Namespace, inst: Instance) -> SolveRequest:
     return SolveRequest(
         times=inst.processing_times,
@@ -88,6 +106,7 @@ def _solve_request_from_args(args: argparse.Namespace, inst: Instance) -> SolveR
         dp_engine=args.engine,
         workers=args.workers,
         backend=args.backend,
+        mode=getattr(args, "mode", "wavefront"),
         time_limit=args.time_limit,
         deadline=getattr(args, "deadline", None),
     )
@@ -293,7 +312,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             for line in report.aborted:
                 print(f"  aborted: {line}", flush=True)
     service = SolveService(
-        max_workers=args.workers,
+        max_workers=resolve_workers(args.workers),
         batch_window=args.batch_window,
         default_deadline=args.default_deadline,
         cache=ResultCache(
@@ -500,8 +519,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="sequential DP engine for the PTAS bisection (one of: "
         f"{', '.join(sorted(SEQUENTIAL_ENGINES))})",
     )
-    solve.add_argument("--workers", type=int, default=4)
+    solve.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default="auto",
+        help="worker count for parallel engines, or 'auto' (default) for "
+        "cgroup-aware CPU detection",
+    )
     solve.add_argument("--backend", default="serial")
+    solve.add_argument(
+        "--mode",
+        choices=MODES,
+        default="wavefront",
+        help="parallel-ptas bisection mode: wavefront (all workers inside "
+        "each DP), speculative (concurrent probe targets), or auto",
+    )
     solve.add_argument("--time-limit", type=float, default=None)
     solve.add_argument(
         "--trace",
@@ -567,7 +599,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     srv.add_argument("--host", default="127.0.0.1")
     srv.add_argument("--port", type=int, default=8357)
-    srv.add_argument("--workers", type=int, default=4)
+    srv.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default="auto",
+        help="solver worker threads, or 'auto' (default) for cgroup-aware "
+        "CPU detection",
+    )
     srv.add_argument(
         "--batch-window",
         type=float,
@@ -619,8 +657,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub_cmd.add_argument("--eps", type=float, default=0.3)
     sub_cmd.add_argument("--engine", default="dominance")
-    sub_cmd.add_argument("--workers", type=int, default=4)
+    sub_cmd.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default="auto",
+        help="worker count or 'auto' (resolved server-side)",
+    )
     sub_cmd.add_argument("--backend", default="thread")
+    sub_cmd.add_argument(
+        "--mode",
+        choices=MODES,
+        default="wavefront",
+        help="parallel-ptas bisection mode (see 'solve')",
+    )
     sub_cmd.add_argument("--time-limit", type=float, default=None)
     sub_cmd.add_argument(
         "--deadline",

@@ -84,6 +84,17 @@ class SolveContext:
         """Bump a tracer counter (no-op when untraced)."""
         self.tracer.count(name, n)
 
+    def record_metric(self, name: str, n: int = 1) -> None:
+        """Bump a counter on *both* sinks: the tracer (so traced runs
+        carry it into the Chrome-trace export's ``otherData.counters``)
+        and the metrics registry, when one is attached (so untraced
+        service requests still surface it through ``op=stats``).  Used
+        for the operational counters of the parallel machinery —
+        per-worker utilization, speculative-probe wins/waste."""
+        self.tracer.count(name, n)
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(n)
+
 
 #: Shared all-defaults context (warm start on, no deadline, no tracing)
 #: used wherever a ``ctx=None`` argument needs resolving.

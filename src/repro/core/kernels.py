@@ -125,6 +125,10 @@ class LevelKernel:
             self.cfg_matrix = np.zeros((0, d), dtype=np.int64)
         #: Flat-index offset of each configuration: ``dot(s, strides)``.
         self.offsets = self.cfg_matrix @ self.strides
+        #: Component sum of each configuration — a config can only apply
+        #: to states of an anti-diagonal at or above that level, which
+        #: lets level-aware callers skip whole passes (see :meth:`update`).
+        self.cfg_level_sums = self.cfg_matrix.sum(axis=1)
 
     @classmethod
     def for_problem(
@@ -155,11 +159,17 @@ class LevelKernel:
         table[:] = KERNEL_INFEASIBLE
         table[0] = 0
 
+    def applicable_configs(self, level: int) -> int:
+        """``|C_l|`` — configurations whose component sum fits within
+        anti-diagonal ``level`` (the passes a level-aware update runs)."""
+        return int(np.count_nonzero(self.cfg_level_sums <= level))
+
     def update(
         self,
         table: np.ndarray,
         flats: np.ndarray,
         *,
+        level: int | None = None,
         count_applicable: bool = False,
     ) -> np.ndarray | None:
         """Compute one chunk of one anti-diagonal, in place.
@@ -168,6 +178,12 @@ class LevelKernel:
         anti-diagonals) are already final; chunks of the same level are
         disjoint, so concurrent calls need no locking — the argument that
         makes the paper's OpenMP loop race-free.
+
+        ``level`` (the chunk's anti-diagonal index, when the caller knows
+        it) prunes configuration passes: a configuration with component
+        sum above the level cannot be ``<=`` any of its states, so its
+        pass is skipped wholesale.  The result is bit-identical — the
+        skipped passes contribute nothing.
 
         With ``count_applicable`` the per-state ``|C_v|`` (configurations
         passing the componentwise bound — what Alg. 3's per-state
@@ -178,10 +194,14 @@ class LevelKernel:
         counts = np.zeros(len(flats), dtype=np.int64) if count_applicable else None
         if len(flats) == 0:
             return counts
+        if level is None:
+            config_ids = range(len(self.offsets))
+        else:
+            config_ids = np.nonzero(self.cfg_level_sums <= level)[0]
         # Unrank the whole chunk at once: (q, d) matrix of count vectors.
         vmat = (flats[:, None] // self.strides[None, :]) % self.dims[None, :]
         best = np.full(len(flats), KERNEL_INFEASIBLE, dtype=np.int64)
-        for ci in range(len(self.offsets)):
+        for ci in config_ids:
             mask = vmat >= self.cfg_matrix[ci]
             mask = mask.all(axis=1)
             if not mask.any():
@@ -205,6 +225,7 @@ class LevelKernel:
         self, table: np.ndarray, levels: Sequence[np.ndarray]
     ) -> None:
         """Serial whole-table fill: one :meth:`update` per anti-diagonal
-        (levels after the zeroth, whose single state the allocation set)."""
-        for flats in levels[1:]:
-            self.update(table, flats)
+        (levels after the zeroth, whose single state the allocation set),
+        with level-pruned configuration passes."""
+        for level, flats in enumerate(levels[1:], start=1):
+            self.update(table, flats, level=level)

@@ -8,19 +8,36 @@ The key structural facts (paper §III):
   anti-diagonal, because subtracting a non-zero configuration strictly
   decreases the component sum.
 
-So the table is filled level by level (``l = 0 .. n'``); within a level
-the states are assigned to ``P`` processors round-robin and computed in
-parallel, with a barrier between levels.  Every backend runs the same
-compute core — the vectorized :class:`~repro.core.kernels.LevelKernel` —
-against one ``int64`` table, so the recurrence is implemented exactly
-once and all backends are bit-identical by construction.
+Every backend runs the same compute core — the vectorized
+:class:`~repro.core.kernels.LevelKernel` — against one ``int64`` table,
+so the recurrence is implemented exactly once and all backends are
+bit-identical by construction.
+
+Schedules
+---------
+``levels``
+    The paper's literal schedule: one barrier per anti-diagonal, each
+    level's states round-robin across ``P`` workers.  Faithful, but at
+    realistic probe sizes the per-level dispatch + barrier overhead
+    swamps the work (the benchmarked reason the parallel backends used
+    to lose to the fused serial sweep).
+``runs`` (default for the real backends)
+    The batched tile schedule of :mod:`repro.parallel.runs`: contiguous
+    flat-index *blocks* with persistent per-worker ownership ×
+    contiguous *runs* of levels, executed along tile diagonals with one
+    barrier per diagonal (``B + R - 1`` barriers instead of ``n'``).
+    Race-free because a predecessor state is always in the same-or-lower
+    block *and* the same-or-earlier run (see the dependency argument in
+    ``repro/parallel/runs.py``); within a tile the worker sweeps its
+    levels in order.  Run length adapts to a measured per-level cost
+    model, and the block count never exceeds the CPUs the process can
+    actually use — oversubscription is pure barrier overhead.
 
 Backends
 --------
 ``serial``
     The wavefront order executed by one worker through the executor
-    machinery (still partitions into ``P`` chunks) — the reference every
-    other backend is diffed against.
+    machinery — the reference every other backend is diffed against.
 ``numpy-serial``
     Direct kernel sweep, one vectorized pass per anti-diagonal with no
     executor or partitioning overhead — the fastest single-worker path
@@ -31,15 +48,18 @@ Backends
     threads scale on multicore hosts instead of serializing.
 ``process``
     Worker processes attached to one ``multiprocessing.shared_memory``
-    block holding the table; each level ships only the flat indices of
-    its chunk.  Pool workers cache the probe's kernel and table mapping
-    on first touch, so a persistent pool (see
+    block holding the table; each dispatch ships only the flat indices
+    of its tile.  Pool workers cache the probe's kernel and table
+    mapping on first touch, so a persistent pool (see
     :func:`repro.parallel.executor.make_executor`) pays attachment once
-    per probe, not per level.
+    per probe, not per dispatch.
 ``simulated``
     Serial execution plus deterministic cost accounting on a
     :class:`~repro.simcore.machine.SimulatedMachine` — the testbed
-    substitute used by the speedup experiments (DESIGN.md §6).
+    substitute used by the speedup experiments (DESIGN.md §6).  Both
+    schedules are supported: ``levels`` reproduces the paper's model,
+    ``runs`` models the batched schedule (one barrier per tile
+    diagonal) for the same table.
 
 All backends produce exactly the same table, hence the same ``OPT(N)``
 and the same reconstructed machine configurations.
@@ -48,8 +68,8 @@ and the same reconstructed machine configurations.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 
@@ -66,8 +86,10 @@ from repro.core.kernels import (
     build_level_arrays,
     table_opt,
 )
+from repro.parallel.cpus import usable_cpus
 from repro.parallel.executor import Executor, make_executor
 from repro.parallel.partition import round_robin_partition
+from repro.parallel.runs import KernelCostModel, TilePlan, build_tiles, plan_tiles
 from repro.simcore.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.simcore.machine import SimulatedMachine
 
@@ -76,6 +98,27 @@ BACKENDS = ("serial", "numpy-serial", "thread", "process", "simulated")
 #: Backends that execute through an :class:`~repro.parallel.executor.Executor`
 #: and therefore accept an externally owned (persistent) one.
 EXECUTOR_BACKENDS = ("serial", "thread", "process")
+
+#: Wavefront schedules (see module docstring).
+SCHEDULES = ("levels", "runs")
+
+#: Tables below this size skip the timed cost-model measurement when
+#: planning tiles — the defaults are accurate enough and the probe is
+#: too small for the measurement to amortize.
+_MEASURE_THRESHOLD = 4096
+
+#: Default block over-decomposition: plan ``2 x workers`` contiguous
+#: flat-index blocks and fold them onto workers as ``block % workers``.
+#: Per-diagonal step time is the *maximum* busy block, and level states
+#: are spread unevenly across equal flat-index ranges — two blocks per
+#: worker smooth that imbalance (modeled speedup on the Figure-3
+#: instance at 4 workers: 1.96x with B=4, 2.85x with B=8) at the cost
+#: of a few extra ramp diagonals.
+_OVERDECOMPOSE = 2
+
+#: Measured per-kernel-shape cost models, keyed by
+#: ``(num_configs, num_dims)`` — probes of one bisection share shapes.
+_COST_CACHE: dict[tuple[int, int], KernelCostModel] = {}
 
 
 @dataclass(frozen=True, eq=False)
@@ -108,6 +151,40 @@ def build_level_index(problem: DPProblem) -> LevelIndex:
     return LevelIndex(build_level_arrays(problem.dims))
 
 
+def _plan_for(
+    problem: DPProblem,
+    kernel: LevelKernel,
+    level_index: LevelIndex,
+    num_blocks: int,
+    *,
+    measured: bool = True,
+) -> TilePlan:
+    """Default tile plan: measured cost model (cached per kernel shape)
+    on big tables, static defaults on small ones.  ``measured=False``
+    skips the host timing probe entirely — the simulated backend plans
+    from the static defaults so its geometry is deterministic (the
+    simulator's currency is ops, not host seconds)."""
+    cost: KernelCostModel | None = None
+    if (
+        measured
+        and problem.table_size >= _MEASURE_THRESHOLD
+        and level_index.num_levels > 1
+    ):
+        key = (kernel.num_configs, len(problem.dims))
+        cost = _COST_CACHE.get(key)
+        if cost is None:
+            biggest = max(level_index.levels[1:], key=len)
+            cost = KernelCostModel.measure(kernel, biggest, problem.table_size)
+            _COST_CACHE[key] = cost
+    return plan_tiles(
+        level_index.sizes,
+        problem.table_size,
+        num_blocks,
+        num_configs=kernel.num_configs,
+        cost=cost,
+    )
+
+
 # ---------------------------------------------------------------------------
 # Process backend: shared-memory numpy table, kernel-running pool workers
 # ---------------------------------------------------------------------------
@@ -116,22 +193,13 @@ def build_level_index(problem: DPProblem) -> LevelIndex:
 _WORKER_STATE: dict[object, tuple] = {}
 
 #: Driver-side probe tokens — unique per shared-memory table so pool
-#: workers can cache their attachment across the levels of one probe and
-#: evict it when the next probe (same persistent pool) begins.
+#: workers can cache their attachment across the dispatches of one probe
+#: and evict it when the next probe (same persistent pool) begins.
 _PROBE_TOKENS = itertools.count()
 
 
-def _process_worker_run(payload: tuple) -> None:  # pragma: no cover - workers
-    """Run one chunk of one level inside a pool worker.
-
-    ``payload`` is ``(token, shm_name, sigma, kernel, flats)``.  On the
-    first chunk of a new probe the worker drops stale attachments, maps
-    the probe's shared-memory table and caches it with the shipped
-    kernel under ``token``; subsequent chunks of the same probe reuse the
-    cache, so a persistent pool pays per-probe setup exactly once per
-    worker.
-    """
-    token, shm_name, sigma, kernel, flats = payload
+def _attach_worker(token, shm_name, sigma, kernel):  # pragma: no cover - workers
+    """Worker-side shared-memory attachment, cached per probe token."""
     state = _WORKER_STATE.get(token)
     if state is None:
         from multiprocessing import shared_memory
@@ -142,8 +210,32 @@ def _process_worker_run(payload: tuple) -> None:  # pragma: no cover - workers
         table = np.ndarray((sigma,), dtype=np.int64, buffer=shm.buf)
         state = (shm, table, kernel)
         _WORKER_STATE[token] = state
-    _, table, kernel = state
-    kernel.update(table, np.asarray(flats, dtype=np.int64))
+    return state
+
+
+def _process_worker_run(payload: tuple) -> None:  # pragma: no cover - workers
+    """Run one chunk of one level inside a pool worker (``levels``
+    schedule).  ``payload`` is ``(token, shm_name, sigma, kernel, level,
+    flats)``."""
+    token, shm_name, sigma, kernel, level, flats = payload
+    _, table, kernel = _attach_worker(token, shm_name, sigma, kernel)
+    kernel.update(table, np.asarray(flats, dtype=np.int64), level=level)
+
+
+def _process_tile_run(payload: tuple):  # pragma: no cover - workers
+    """Run one tile (one block × one run of levels) inside a pool worker
+    (``runs`` schedule).  ``payload`` is ``(token, shm_name, sigma,
+    kernel, start_level, chunks)``; returns ``(states, seconds)`` for
+    the driver's utilization counters."""
+    token, shm_name, sigma, kernel, start_level, chunks = payload
+    _, table, kernel = _attach_worker(token, shm_name, sigma, kernel)
+    t0 = time.perf_counter()
+    states = 0
+    for i, flats in enumerate(chunks):
+        if len(flats):
+            kernel.update(table, flats, level=start_level + i)
+            states += len(flats)
+    return states, time.perf_counter() - t0
 
 
 def _run_process_backend(
@@ -153,6 +245,8 @@ def _run_process_backend(
     num_workers: int,
     executor: Executor | None,
     ctx: SolveContext,
+    schedule: str,
+    plan: TilePlan | None,
 ) -> np.ndarray:
     """Fill the table in shared memory with pool workers; returns a copy."""
     from multiprocessing import shared_memory
@@ -168,17 +262,27 @@ def _run_process_backend(
         )
         token = next(_PROBE_TOKENS)
         try:
-            for level, flats in enumerate(level_index.levels[1:], start=1):
-                with ctx.span("level", level=level, states=len(flats)):
-                    chunks = round_robin_partition(flats, ex.num_workers)
-                    payloads = [
-                        (token, shm.name, sigma, kernel, np.ascontiguousarray(c))
-                        if len(c)
-                        else ()
-                        for c in chunks
-                    ]
-                    ex.map_chunks(_process_worker_run, payloads)
-                ctx.count("levels")
+            if schedule == "runs":
+                def make_payload(start_level: int, chunks: list) -> tuple:
+                    return (token, shm.name, sigma, kernel, start_level, chunks)
+
+                _drive_tiles(
+                    problem, kernel, level_index, ex, ctx, plan,
+                    _process_tile_run, make_payload,
+                )
+            else:
+                for level, flats in enumerate(level_index.levels[1:], start=1):
+                    with ctx.span("level", level=level, states=len(flats)):
+                        chunks = round_robin_partition(flats, ex.num_workers)
+                        payloads = [
+                            (token, shm.name, sigma, kernel, level,
+                             np.ascontiguousarray(c))
+                            if len(c)
+                            else ()
+                            for c in chunks
+                        ]
+                        ex.map_chunks(_process_worker_run, payloads)
+                    ctx.count("levels")
         finally:
             if owns:
                 ex.close()
@@ -186,6 +290,150 @@ def _run_process_backend(
     finally:
         shm.close()
         shm.unlink()
+
+
+# ---------------------------------------------------------------------------
+# Batched (tiled) wavefront driver
+# ---------------------------------------------------------------------------
+
+def _drive_tiles(
+    problem: DPProblem,
+    kernel: LevelKernel,
+    level_index: LevelIndex,
+    ex: Executor,
+    ctx: SolveContext,
+    plan: TilePlan | None,
+    tile_fn,
+    make_payload,
+) -> TilePlan:
+    """Execute the tile-diagonal schedule on *ex*: one ``map_chunks``
+    call (= one barrier) per diagonal, block ``b`` always on chunk slot
+    ``b`` so pooled workers keep touching the same table region.  By
+    default blocks over-decompose the table ``2 x workers`` wide
+    (:data:`_OVERDECOMPOSE`) and fold back as ``block % workers``, which
+    smooths the per-diagonal load imbalance of contiguous flat ranges.
+
+    ``tile_fn(payload)`` must return ``(states, seconds)``;
+    ``make_payload(start_level, chunks)`` builds the per-tile payload
+    (the thread path closes over the shared table, the process path
+    ships shared-memory coordinates).  Emits one ``run`` span per
+    diagonal and per-worker utilization counters at the end.
+    """
+    if plan is None:
+        workers = max(1, min(ex.num_workers, usable_cpus()))
+        blocks = workers if workers == 1 else _OVERDECOMPOSE * workers
+        plan = _plan_for(problem, kernel, level_index, blocks)
+    tiles = build_tiles(level_index.levels, plan)
+    tile_states = [
+        [sum(len(c) for c in chunks) for chunks in per_block]
+        for per_block in tiles
+    ]
+    num_worker_slots = max(1, min(ex.num_workers, plan.num_blocks))
+    busy_us = [0] * num_worker_slots
+    states_done = [0] * num_worker_slots
+    for t in range(plan.num_diagonals):
+        active = plan.tiles_on_diagonal(t)
+        payloads: list = [()] * plan.num_blocks
+        span_states = 0
+        for b, r in active:
+            if tile_states[r][b]:
+                payloads[b] = make_payload(plan.runs[r][0], tiles[r][b])
+                span_states += tile_states[r][b]
+        with ctx.span(
+            "run", diagonal=t, tiles=len(active), states=span_states
+        ):
+            results = ex.map_chunks(tile_fn, payloads)
+        ctx.count("runs")
+        for b, res in enumerate(results):
+            if res is not None:
+                states_done[b % num_worker_slots] += res[0]
+                busy_us[b % num_worker_slots] += int(res[1] * 1e6)
+    for b in range(num_worker_slots):
+        if states_done[b]:
+            ctx.record_metric(f"wavefront.worker.{b}.states", states_done[b])
+            ctx.record_metric(f"wavefront.worker.{b}.busy_us", busy_us[b])
+    ctx.record_metric("wavefront.diagonals", max(plan.num_diagonals, 0))
+    return plan
+
+
+def _run_simulated(
+    problem: DPProblem,
+    kernel: LevelKernel,
+    level_index: LevelIndex,
+    table: np.ndarray,
+    num_workers: int,
+    machine: SimulatedMachine | None,
+    cost_model: CostModel | None,
+    cost_fidelity: str,
+    schedule: str,
+    plan: TilePlan | None,
+    ctx: SolveContext,
+) -> np.ndarray:
+    """Serial fill + deterministic cost accounting, either per level
+    (the paper's schedule) or per tile diagonal (the batched one)."""
+    sigma = problem.table_size
+    model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+    sim = machine if machine is not None else SimulatedMachine(
+        num_workers, model
+    )
+    # Alg. 3 lines 4-8: the parallel computation of the D array.
+    sim.record_parallel_for(sigma, cost_per_item=float(len(problem.dims)))
+    cost_per_state = model.state_cost(kernel.num_configs)
+    per_state = cost_fidelity == "per_state"
+
+    if schedule == "runs":
+        p = sim.num_processors
+        if plan is None:
+            blocks = p if p == 1 else _OVERDECOMPOSE * p
+            plan = _plan_for(
+                problem, kernel, level_index, blocks, measured=False
+            )
+        # Initialization of OPT(0,...,0) by one processor.
+        sim.record_uniform_level(0, 1, model.state_overhead_ops)
+        tiles = build_tiles(level_index.levels, plan)
+        for t in range(plan.num_diagonals):
+            active = plan.tiles_on_diagonal(t)
+            busy = [0.0] * p
+            span_states = 0
+            with ctx.span("run", diagonal=t, tiles=len(active)) as sp:
+                for b, r in active:
+                    lo = plan.runs[r][0]
+                    for i, flats in enumerate(tiles[r][b]):
+                        if not len(flats):
+                            continue
+                        counts = kernel.update(
+                            table, flats, level=lo + i,
+                            count_applicable=per_state,
+                        )
+                        if per_state:
+                            busy[b % p] += sum(
+                                model.state_cost(int(c)) for c in counts
+                            )
+                        else:
+                            busy[b % p] += len(flats) * cost_per_state
+                        span_states += len(flats)
+                sp.set(states=span_states)
+            sim.record_parallel_step(t, busy, num_items=span_states)
+            ctx.count("runs")
+        return table
+
+    for level, flats in enumerate(level_index.levels):
+        if level == 0:
+            # Initialization of OPT(0,...,0) by one processor.
+            sim.record_uniform_level(0, 1, model.state_overhead_ops)
+            continue
+        with ctx.span("level", level=level, states=len(flats)):
+            counts = kernel.update(
+                table, flats, level=level, count_applicable=per_state
+            )
+            if per_state:
+                sim.record_level(
+                    level, [model.state_cost(int(c)) for c in counts]
+                )
+            else:
+                sim.record_uniform_level(level, len(flats), cost_per_state)
+        ctx.count("levels")
+    return table
 
 
 # ---------------------------------------------------------------------------
@@ -202,22 +450,32 @@ def compute_table(
     machine: SimulatedMachine | None = None,
     cost_model: CostModel | None = None,
     cost_fidelity: str = "uniform",
+    schedule: str | None = None,
+    plan: TilePlan | None = None,
     ctx: SolveContext | None = None,
 ) -> np.ndarray:
     """Fill and return the raw wavefront DP table for ``problem``.
 
     The returned ``int64`` array uses the
     :data:`~repro.core.kernels.KERNEL_INFEASIBLE` sentinel; all backends
-    return bit-identical tables.  ``executor`` lets a caller own a
-    persistent pool across many probes (serial/thread/process backends);
-    when omitted, ``ctx.executor`` is adopted (never closed) if set and
-    compatible, else a fresh executor is created and closed per call.
+    and both schedules return bit-identical tables.  ``executor`` lets a
+    caller own a persistent pool across many probes (serial/thread/
+    process backends); when omitted, ``ctx.executor`` is adopted (never
+    closed) if set and compatible, else a fresh executor is created and
+    closed per call.
 
-    When ``ctx`` carries a live tracer, every anti-diagonal batch is
-    wrapped in a ``level`` span (tagged with the level index and its
-    state count) and bumps the ``levels`` counter; the untraced
-    ``numpy-serial`` path keeps the fused :meth:`LevelKernel.sweep` fast
-    path.
+    ``schedule`` selects the wavefront granularity (:data:`SCHEDULES`):
+    ``"runs"`` (default for the executor backends) is the batched tile
+    schedule, ``"levels"`` the paper's per-anti-diagonal fan-out (and the
+    default for the simulated backend, whose existing accounting
+    consumers expect per-level traces).  ``plan`` overrides the adaptive
+    :class:`~repro.parallel.runs.TilePlan` (tests and benchmarks pin
+    block/run geometry with it).
+
+    When ``ctx`` carries a live tracer, each barrier interval is wrapped
+    in a span (``level`` or ``run``) tagged with its state count; the
+    untraced ``numpy-serial`` path keeps the fused
+    :meth:`LevelKernel.sweep` fast path.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
@@ -226,6 +484,10 @@ def compute_table(
     if cost_fidelity not in ("uniform", "per_state"):
         raise ValueError(
             f"unknown cost_fidelity {cost_fidelity!r}; expected uniform/per_state"
+        )
+    if schedule is not None and schedule not in SCHEDULES:
+        raise ValueError(
+            f"unknown schedule {schedule!r}; expected one of {SCHEDULES}"
         )
     if executor is not None and backend not in EXECUTOR_BACKENDS:
         raise ValueError(
@@ -238,10 +500,13 @@ def compute_table(
         kernel = LevelKernel.for_problem(problem)
     level_index = build_level_index(problem)
     sigma = problem.table_size
+    if schedule is None:
+        schedule = "runs" if backend in EXECUTOR_BACKENDS else "levels"
 
     if backend == "process":
         return _run_process_backend(
-            problem, kernel, level_index, num_workers, executor, ctx
+            problem, kernel, level_index, num_workers, executor, ctx,
+            schedule, plan,
         )
 
     table = kernel.allocate_table(sigma)
@@ -251,48 +516,47 @@ def compute_table(
             return table
         for level, flats in enumerate(level_index.levels[1:], start=1):
             with ctx.span("level", level=level, states=len(flats)):
-                kernel.update(table, flats)
+                kernel.update(table, flats, level=level)
             ctx.count("levels")
         return table
     if backend == "simulated":
-        model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
-        sim = machine if machine is not None else SimulatedMachine(
-            num_workers, model
+        return _run_simulated(
+            problem, kernel, level_index, table, num_workers, machine,
+            cost_model, cost_fidelity, schedule, plan, ctx,
         )
-        # Alg. 3 lines 4-8: the parallel computation of the D array.
-        sim.record_parallel_for(sigma, cost_per_item=float(len(problem.dims)))
-        cost_per_state = model.state_cost(kernel.num_configs)
-        per_state = cost_fidelity == "per_state"
-        for level, flats in enumerate(level_index.levels):
-            if level == 0:
-                # Initialization of OPT(0,...,0) by one processor.
-                sim.record_uniform_level(0, 1, model.state_overhead_ops)
-                continue
-            with ctx.span("level", level=level, states=len(flats)):
-                counts = kernel.update(table, flats, count_applicable=per_state)
-                if per_state:
-                    sim.record_level(
-                        level, [model.state_cost(int(c)) for c in counts]
-                    )
-                else:
-                    sim.record_uniform_level(level, len(flats), cost_per_state)
-            ctx.count("levels")
-        return table
 
     # serial / thread: executor-driven chunks over the one shared table.
     owns = executor is None
     ex = executor if executor is not None else make_executor(backend, num_workers)
-
-    def worker(flats: Sequence[int]) -> None:
-        kernel.update(table, flats)
-
     try:
-        for level, flats in enumerate(level_index.levels[1:], start=1):
-            with ctx.span("level", level=level, states=len(flats)):
-                ex.map_chunks(
-                    worker, round_robin_partition(flats, ex.num_workers)
-                )
-            ctx.count("levels")
+        if schedule == "runs":
+            def tile_worker(payload):
+                start_level, chunks = payload
+                t0 = time.perf_counter()
+                states = 0
+                for i, flats in enumerate(chunks):
+                    if len(flats):
+                        kernel.update(table, flats, level=start_level + i)
+                        states += len(flats)
+                return states, time.perf_counter() - t0
+
+            _drive_tiles(
+                problem, kernel, level_index, ex, ctx, plan,
+                tile_worker, lambda lo, chunks: (lo, chunks),
+            )
+        else:
+            def worker(item):
+                level, flats = item
+                kernel.update(table, flats, level=level)
+
+            for level, flats in enumerate(level_index.levels[1:], start=1):
+                with ctx.span("level", level=level, states=len(flats)):
+                    chunks = round_robin_partition(flats, ex.num_workers)
+                    ex.map_chunks(
+                        worker,
+                        [(level, c) if len(c) else () for c in chunks],
+                    )
+                ctx.count("levels")
     finally:
         if owns:
             ex.close()
@@ -314,6 +578,8 @@ def parallel_dp(
     machine: SimulatedMachine | None = None,
     cost_model: CostModel | None = None,
     cost_fidelity: str = "uniform",
+    schedule: str | None = None,
+    plan: TilePlan | None = None,
     executor: Executor | None = None,
     ctx: SolveContext | None = None,
 ) -> DPResult:
@@ -340,6 +606,10 @@ def parallel_dp(
         accounting); ``"per_state"`` charges the measured ``|C_v|`` of
         each state, which varies across a level and lets assignment
         policies (round-robin vs dynamic) be compared meaningfully.
+    schedule / plan:
+        Wavefront granularity (:data:`SCHEDULES`) and an optional
+        explicit :class:`~repro.parallel.runs.TilePlan` — see
+        :func:`compute_table`.
     executor:
         Externally owned executor for the serial/thread/process
         backends.  The bisection driver passes one persistent
@@ -348,9 +618,9 @@ def parallel_dp(
         not create.  When omitted, ``ctx.executor`` is adopted instead.
     ctx:
         :class:`~repro.core.context.SolveContext` carrying the tracer
-        (``dp`` span around the table fill, one ``level`` span per
-        anti-diagonal, ``enumerate`` / ``backtrack`` spans around the
-        respective phases) and optionally the shared executor.
+        (``dp`` span around the table fill, one ``level``/``run`` span
+        per barrier interval, ``enumerate`` / ``backtrack`` spans around
+        the respective phases) and optionally the shared executor.
 
     Returns
     -------
@@ -403,6 +673,8 @@ def parallel_dp(
             machine=machine,
             cost_model=cost_model,
             cost_fidelity=cost_fidelity,
+            schedule=schedule,
+            plan=plan,
             ctx=ctx,
         )
         opt = table_opt(table, sigma - 1)

@@ -19,20 +19,45 @@ This module is engine-agnostic — probes are issued through the same
 ``repro.experiments`` ablation benchmark charges concurrent probes the
 cost of the *most expensive* one, which is what a g-way parallel machine
 would pay.
+
+Execution modes of :func:`speculative_bisect`
+---------------------------------------------
+Without an executor the probes of a round run sequentially (the original
+study semantics).  With an ``executor`` the round's probes are dispatched
+concurrently — one :meth:`~repro.parallel.executor.Executor.map_chunks`
+call per round — and with a separate ``decision_solver`` the expensive
+certification (the schedule-carrying solve of each new best target) is
+*pipelined*: submitted asynchronously so it overlaps the next round's DP
+sweeps, and awaited only when the interval closes.  Tracer note: probe
+work runs off-thread, so per-probe spans are recorded on the driver
+after the round's barrier (zero-duration, attributes carry the measured
+seconds); the tracer itself is never shared with workers.
 """
 
 from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
 
 from repro.core.bisection import (
     BisectionIteration,
     BisectionOutcome,
     DecisionSolver,
+    _initial_upper_bound,
     bisect_target_makespan,
 )
 from repro.core.bounds import makespan_bounds
-from repro.core.dp import DPProblem
-from repro.core.rounding import round_instance
+from repro.core.context import SolveContext
+from repro.core.dp import DPProblem, DPResult
+from repro.core.rounding import RoundedInstance, round_instance
 from repro.model.instance import Instance
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel.executor import Executor
+
+#: Standalone default mirrors :func:`bisect_target_makespan`: the
+#: paper-faithful search (no warm start).
+_FAITHFUL_CONTEXT = SolveContext(warm_start=False)
 
 
 def probe_targets(lower: int, upper: int, branching: int) -> list[int]:
@@ -64,61 +89,152 @@ def speculative_bisect(
     solver: DecisionSolver,
     branching: int = 3,
     job_cap: int | None = None,
+    *,
+    ctx: SolveContext | None = None,
+    executor: "Executor | None" = None,
+    decision_solver: DecisionSolver | None = None,
 ) -> BisectionOutcome:
     """Multi-probe bisection: ``branching`` concurrent targets per round.
 
     Semantics match :func:`repro.core.bisection.bisect_target_makespan`
     exactly — same final target, same certification — only the probe
     schedule differs.  ``branching=1`` degenerates to standard bisection.
+
+    Parameters
+    ----------
+    solver:
+        The *certifying* solver: its :class:`DPResult` must carry machine
+        configurations, because the outcome's packing comes from it.
+    decision_solver:
+        Optional cheaper solver for the interval-narrowing probes (no
+        schedule tracking).  When given, every probe runs it, and the
+        certification of each new best feasible target runs ``solver``
+        *pipelined* on the executor — overlapping the next round's DP
+        sweeps — or inline at the end when no executor is available.
+    executor:
+        Runs each round's probes concurrently (and hosts the pipelined
+        certification).  ``None`` keeps the sequential probe loop.
+        Probe closures execute off-thread, so the tracer only ever runs
+        on the calling thread: per-probe spans are recorded post-barrier.
+    ctx:
+        Standalone default is the paper-faithful search (no warm start),
+        matching :func:`bisect_target_makespan`; ``ctx.warm_start`` seeds
+        the upper bound from LPT, ``ctx.check_deadline`` is honoured once
+        per round, and the tracer receives one ``spec_round`` span per
+        round with the probes nested beneath.  Win/waste accounting goes
+        through :meth:`~repro.core.context.SolveContext.record_metric`
+        (``speculative.probe_wins`` — probes that moved a bound —
+        vs ``speculative.probe_waste``).
     """
+    ctx = ctx if ctx is not None else _FAITHFUL_CONTEXT
+    dsolver = decision_solver if decision_solver is not None else solver
     m = instance.num_machines
-    bounds = makespan_bounds(instance)
-    lb, ub = bounds.lower, bounds.upper
-    best: tuple | None = None
+    lb = makespan_bounds(instance).lower
+    ub = _initial_upper_bound(instance, ctx.warm_start)
+    best: tuple[RoundedInstance, DPResult] | None = None
     trace: list[BisectionIteration] = []
-    while lb < ub:
-        targets = probe_targets(lb, ub, branching)
-        results = []
-        for target in targets:
-            rounded = round_instance(instance, target, k)
-            problem = DPProblem(
-                rounded.class_sizes, rounded.class_counts, target, job_cap=job_cap
-            )
-            result = solver(problem, m)
-            feasible = result.opt is not None and result.opt <= m
-            results.append((target, rounded, result, feasible))
-            trace.append(
-                BisectionIteration(
-                    target=target,
-                    lower=lb,
-                    upper=ub,
-                    feasible=feasible,
-                    opt=result.opt,
-                    table_size=problem.table_size,
-                    num_long_jobs=rounded.num_long_jobs,
-                    num_classes=rounded.num_classes,
-                )
-            )
-        # Monotonicity: feasibility flips at most once along the sorted
-        # probes.  New interval: (largest infeasible, smallest feasible].
-        feasible_probes = [r for r in results if r[3]]
-        infeasible_probes = [r for r in results if not r[3]]
-        if feasible_probes:
-            target, rounded, result, _ = min(feasible_probes, key=lambda r: r[0])
-            ub = target
-            best = (rounded, result)
-        if infeasible_probes:
-            lb = max(r[0] for r in infeasible_probes) + 1
-    if best is None or best[0].target != ub:
-        rounded = round_instance(instance, ub, k)
+    certify_future = None
+    certify_target: int | None = None
+
+    def run_probe(target: int):
+        """One decision probe (runs off-thread when an executor is set)."""
+        t0 = time.perf_counter()
+        rounded = round_instance(instance, target, k)
         problem = DPProblem(
-            rounded.class_sizes, rounded.class_counts, ub, job_cap=job_cap
+            rounded.class_sizes, rounded.class_counts, target, job_cap=job_cap
         )
-        result = solver(problem, m)
-        if result.opt is None or result.opt > m:  # pragma: no cover - guard
-            raise AssertionError(
-                f"DP infeasible at the guaranteed-feasible target {ub}"
-            )
+        result = dsolver(problem, m)
+        feasible = result.opt is not None and result.opt <= m
+        return target, rounded, problem, result, feasible, time.perf_counter() - t0
+
+    def certify(target: int) -> tuple[RoundedInstance, DPResult]:
+        """Schedule-carrying solve of a feasible target (the packing the
+        outcome returns)."""
+        rounded = round_instance(instance, target, k)
+        problem = DPProblem(
+            rounded.class_sizes, rounded.class_counts, target, job_cap=job_cap
+        )
+        return rounded, solver(problem, m)
+
+    while lb < ub:
+        ctx.check()
+        targets = probe_targets(lb, ub, branching)
+        with ctx.span(
+            "spec_round", lower=lb, upper=ub, probes=len(targets)
+        ) as round_span:
+            if executor is not None:
+                results = executor.map_chunks(run_probe, targets)
+            else:
+                results = [run_probe(t) for t in targets]
+            for target, rounded, problem, result, feasible, seconds in results:
+                with ctx.span("probe", target=target, lower=lb, upper=ub) as sp:
+                    sp.set(
+                        feasible=feasible,
+                        opt=result.opt,
+                        table_size=problem.table_size,
+                        num_long_jobs=rounded.num_long_jobs,
+                        num_classes=rounded.num_classes,
+                        seconds=round(seconds, 6),
+                    )
+                trace.append(
+                    BisectionIteration(
+                        target=target,
+                        lower=lb,
+                        upper=ub,
+                        feasible=feasible,
+                        opt=result.opt,
+                        table_size=problem.table_size,
+                        num_long_jobs=rounded.num_long_jobs,
+                        num_classes=rounded.num_classes,
+                    )
+                )
+            # Monotonicity: feasibility flips at most once along the
+            # sorted probes.  New interval:
+            # (largest infeasible, smallest feasible].
+            feasible_probes = [r for r in results if r[4]]
+            infeasible_probes = [r for r in results if not r[4]]
+            wins = 0
+            if feasible_probes:
+                wins += 1
+                target, rounded, _problem, result, _, _ = min(
+                    feasible_probes, key=lambda r: r[0]
+                )
+                ub = target
+                best = (rounded, result)
+                if decision_solver is not None and executor is not None:
+                    # Pipeline: certify the new best target while the
+                    # next round's probes sweep their DP tables.
+                    certify_future = executor.submit(certify, target)
+                    certify_target = target
+                    ctx.record_metric("speculative.certify_submitted")
+            if infeasible_probes:
+                wins += 1
+                lb = max(r[0] for r in infeasible_probes) + 1
+            round_span.set(new_lower=lb, new_upper=ub, wins=wins)
+        ctx.count("probes", len(targets))
+        ctx.record_metric("speculative.rounds")
+        ctx.record_metric("speculative.probes", len(targets))
+        ctx.record_metric("speculative.probe_wins", wins)
+        ctx.record_metric("speculative.probe_waste", len(targets) - wins)
+
+    needs_iteration = best is None or best[0].target != ub
+    if decision_solver is not None:
+        # The decision probes carried no schedule; adopt the pipelined
+        # certification if it matches the final target, else solve now.
+        if certify_future is not None and certify_target == ub:
+            rounded, result = certify_future.result()
+        else:
+            rounded, result = certify(ub)
+        best = (rounded, result)
+    elif needs_iteration:
+        rounded, result = certify(ub)
+        best = (rounded, result)
+    rounded, result = best
+    if result.opt is None or result.opt > m:  # pragma: no cover - guard
+        raise AssertionError(
+            f"DP infeasible at the guaranteed-feasible target {ub}"
+        )
+    if needs_iteration:
         trace.append(
             BisectionIteration(
                 target=ub,
@@ -126,13 +242,13 @@ def speculative_bisect(
                 upper=ub,
                 feasible=True,
                 opt=result.opt,
-                table_size=problem.table_size,
+                table_size=DPProblem(
+                    rounded.class_sizes, rounded.class_counts, ub, job_cap=job_cap
+                ).table_size,
                 num_long_jobs=rounded.num_long_jobs,
                 num_classes=rounded.num_classes,
             )
         )
-        best = (rounded, result)
-    rounded, result = best
     return BisectionOutcome(
         final_target=rounded.target,
         rounded=rounded,

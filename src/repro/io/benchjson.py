@@ -1,0 +1,111 @@
+"""BENCH_dp.json bookkeeping: fingerprinted, deduplicated benchmark runs.
+
+``BENCH_dp.json`` at the repository root is shared by several benchmarks
+(the wavefront kernel sweep, the durable-store latency tiers), each
+owning a top-level *section*.  Historically each benchmark merged with a
+blind ``dict.update``, which had two failure modes:
+
+* runs measured against *different instances* (a changed generator, a
+  different ``k``) accumulated side by side and were indistinguishable;
+* re-running a benchmark with a different backend matrix left stale
+  entries from the previous matrix in place.
+
+This module fixes both.  Every run list is stamped with the *instance
+fingerprint* — a short SHA-256 over the canonical JSON of the instance
+description — and :func:`merge_runs` deduplicates by configuration key
+(backend, workers, schedule, …) while dropping entries whose fingerprint
+no longer matches the instance being measured.  :func:`update_section`
+is the one write path: read-modify-write of a single section, leaving
+every other benchmark's section untouched.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+#: Default fields identifying one run configuration within a section.
+DEFAULT_RUN_KEY = ("backend", "workers")
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON text: sorted keys, compact separators."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def instance_fingerprint(instance: Mapping[str, Any]) -> str:
+    """Short stable fingerprint of an instance description.
+
+    >>> instance_fingerprint({"family": "u_10n", "m": 10, "n": 50})
+    '32266210dfb2'
+    >>> instance_fingerprint({"n": 50, "m": 10, "family": "u_10n"})
+    '32266210dfb2'
+    """
+    digest = hashlib.sha256(canonical_json(dict(instance)).encode()).hexdigest()
+    return digest[:12]
+
+
+def stamp_runs(
+    runs: Iterable[Mapping[str, Any]], fingerprint: str
+) -> list[dict[str, Any]]:
+    """Copies of *runs* each carrying ``fingerprint`` (existing stamps
+    are overwritten — a run belongs to the instance it was measured on)."""
+    return [{**dict(r), "fingerprint": fingerprint} for r in runs]
+
+
+def merge_runs(
+    existing: Iterable[Mapping[str, Any]] | None,
+    new: Iterable[Mapping[str, Any]],
+    fingerprint: str,
+    *,
+    key_fields: Sequence[str] = DEFAULT_RUN_KEY,
+) -> list[dict[str, Any]]:
+    """Merge *new* runs over *existing* ones, deduplicated and de-staled.
+
+    A new run replaces any existing run with the same configuration key
+    (the tuple of ``key_fields`` values); existing runs whose
+    ``fingerprint`` differs from the current one are dropped entirely —
+    they were measured against a different instance and would silently
+    poison trend comparisons.  Survivors keep their relative order,
+    followed by the new runs in their given order.
+
+    >>> old = [{"backend": "thread", "workers": 2, "fingerprint": "aaa"},
+    ...        {"backend": "serial", "workers": 1, "fingerprint": "bbb"}]
+    >>> new = [{"backend": "thread", "workers": 2, "seconds": 1.0}]
+    >>> merged = merge_runs(old, new, "aaa")
+    >>> [(r["backend"], r.get("seconds")) for r in merged]
+    [('thread', 1.0)]
+    """
+    stamped_new = stamp_runs(new, fingerprint)
+    new_keys = {
+        tuple(r.get(f) for f in key_fields) for r in stamped_new
+    }
+    kept = [
+        dict(r)
+        for r in (existing or [])
+        if r.get("fingerprint") == fingerprint
+        and tuple(r.get(f) for f in key_fields) not in new_keys
+    ]
+    return kept + stamped_new
+
+
+def load_bench(path: str | Path) -> dict[str, Any]:
+    """The whole benchmark file as a dict (``{}`` when absent)."""
+    path = Path(path)
+    if not path.exists():
+        return {}
+    return json.loads(path.read_text())
+
+
+def update_section(
+    path: str | Path, section: str, payload: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Replace one top-level *section* of the benchmark file, preserving
+    every other section, and return the full written document."""
+    path = Path(path)
+    existing = load_bench(path)
+    existing[section] = dict(payload)
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+    return existing

@@ -3,12 +3,14 @@
 The observability layer gives every solve a hierarchical trace::
 
     solve
+    ├── spec_round (speculative mode: one multi-probe round)
+    │   └── probe ...
     ├── probe (one per bisection iteration)
     │   ├── round        rounding of the probe's target
     │   ├── enumerate    machine-configuration enumeration (Eq. 3)
     │   └── dp           the decision DP
-    │       ├── level    one wavefront anti-diagonal batch
-    │       ├── level    ...
+    │       ├── level    one wavefront anti-diagonal batch, or
+    │       ├── run      one tile diagonal of the batched wavefront
     │       └── backtrack
     └── reconstruct      un-rounding + LPT fill
 

@@ -43,6 +43,10 @@ from typing import Any, Callable, Iterator
 #: * ``enumerate`` — machine-configuration enumeration (Eq. 3);
 #: * ``dp`` — one DP table fill / decision solve;
 #: * ``level`` — one wavefront anti-diagonal batch (Alg. 3 inner loop);
+#: * ``run`` — one tile diagonal of the *batched* wavefront (a barrier's
+#:   worth of block×level-run tiles; see ``repro.parallel.runs``);
+#: * ``spec_round`` — one speculative-bisection round (its concurrent
+#:   probes nest beneath it);
 #: * ``backtrack`` — machine-configuration recovery from a filled table;
 #: * ``reconstruct`` — un-rounding + LPT fill into the final schedule.
 SPAN_KINDS = (
@@ -52,6 +56,8 @@ SPAN_KINDS = (
     "enumerate",
     "dp",
     "level",
+    "run",
+    "spec_round",
     "backtrack",
     "reconstruct",
 )

@@ -1,0 +1,130 @@
+"""Usable-CPU detection for ``--workers auto``.
+
+"How many workers should a parallel solve use?" has three different
+answers on a modern Linux host, and picking the wrong one silently
+oversubscribes the machine:
+
+* ``os.cpu_count()`` reports the *installed* CPUs, ignoring both the
+  process affinity mask and any cgroup CPU quota — inside a container
+  limited to one core it happily answers 32;
+* ``os.sched_getaffinity(0)`` respects the affinity mask (and is what
+  ``os.process_cpu_count()`` returns on Python >= 3.13) but still
+  ignores cgroup *bandwidth* quotas (``cpu.max`` / ``cfs_quota_us``),
+  the mechanism container runtimes actually use for ``--cpus=2``;
+* the cgroup quota bounds how much CPU time the kernel will grant per
+  period regardless of how many cores are visible.
+
+:func:`usable_cpus` takes the minimum of all available signals — the
+honest amount of parallelism the process can really get — and
+:func:`resolve_workers` turns the CLI/bench spelling ``"auto"`` into
+that number.  Oversubscribing past this value is exactly the failure
+mode the batched wavefront avoids (more blocks than cores is pure
+barrier overhead), so the tile planner coarsens to it as well.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+#: cgroup v2 unified hierarchy mount point.
+_CGROUP_V2_CPU_MAX = Path("/sys/fs/cgroup/cpu.max")
+#: cgroup v1 CFS bandwidth files.
+_CGROUP_V1_QUOTA = Path("/sys/fs/cgroup/cpu/cpu.cfs_quota_us")
+_CGROUP_V1_PERIOD = Path("/sys/fs/cgroup/cpu/cpu.cfs_period_us")
+
+
+def _read_first_line(path: Path) -> str | None:
+    try:
+        return path.read_text().splitlines()[0].strip()
+    except (OSError, IndexError):
+        return None
+
+
+def cgroup_cpu_quota(
+    cpu_max: Path = _CGROUP_V2_CPU_MAX,
+    quota_us: Path = _CGROUP_V1_QUOTA,
+    period_us: Path = _CGROUP_V1_PERIOD,
+) -> int | None:
+    """CPU limit imposed by the cgroup the process runs in, in whole
+    CPUs (rounded up), or ``None`` when unlimited / undetectable.
+
+    Reads the cgroup v2 ``cpu.max`` file (``"<quota> <period>"`` in
+    microseconds, or ``"max <period>"`` for no limit) and falls back to
+    the v1 ``cpu.cfs_quota_us`` / ``cpu.cfs_period_us`` pair (quota
+    ``-1`` means no limit).  The paths are injectable for tests.
+    """
+    line = _read_first_line(cpu_max)
+    if line is not None:
+        parts = line.split()
+        if len(parts) == 2 and parts[0] != "max":
+            try:
+                quota, period = int(parts[0]), int(parts[1])
+            except ValueError:
+                return None
+            if quota > 0 and period > 0:
+                return max(1, -(-quota // period))
+        return None
+    quota_line = _read_first_line(quota_us)
+    period_line = _read_first_line(period_us)
+    if quota_line is None or period_line is None:
+        return None
+    try:
+        quota, period = int(quota_line), int(period_line)
+    except ValueError:
+        return None
+    if quota <= 0 or period <= 0:
+        return None
+    return max(1, -(-quota // period))
+
+
+def usable_cpus() -> int:
+    """The number of CPUs this process can actually use: the minimum of
+    the affinity mask (``os.process_cpu_count()`` where available,
+    ``sched_getaffinity`` otherwise), the cgroup CPU quota, and the
+    installed count.  Always at least 1.
+    """
+    candidates: list[int] = []
+    process_count = getattr(os, "process_cpu_count", None)
+    if process_count is not None:  # pragma: no cover - Python >= 3.13
+        counted = process_count()
+        if counted:
+            candidates.append(counted)
+    elif hasattr(os, "sched_getaffinity"):
+        try:
+            candidates.append(len(os.sched_getaffinity(0)))
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    installed = os.cpu_count()
+    if installed:
+        candidates.append(installed)
+    quota = cgroup_cpu_quota()
+    if quota is not None:
+        candidates.append(quota)
+    return max(1, min(candidates)) if candidates else 1
+
+
+def resolve_workers(spec: int | str | None, *, default: int | None = None) -> int:
+    """Turn a worker specification into a concrete positive count.
+
+    ``"auto"`` (case-insensitive) and ``None`` resolve to
+    :func:`usable_cpus` — unless *default* is given, which then wins for
+    ``None`` only.  Integer strings and ints pass through after
+    validation.  This is the single interpretation point for the CLI's
+    ``--workers`` flag and the benchmarks.
+    """
+    if spec is None:
+        return default if default is not None else usable_cpus()
+    if isinstance(spec, str):
+        text = spec.strip().lower()
+        if text == "auto":
+            return usable_cpus()
+        try:
+            spec = int(text)
+        except ValueError:
+            raise ValueError(
+                f"workers must be a positive integer or 'auto', got {spec!r}"
+            ) from None
+    if spec < 1:
+        raise ValueError(f"workers must be >= 1, got {spec}")
+    return int(spec)

@@ -40,8 +40,9 @@ from repro.algorithms.multifit import multifit
 from repro.core.context import SolveContext
 from repro.core.dp import SEQUENTIAL_ENGINES
 from repro.core.parallel_dp import BACKENDS
-from repro.core.ptas import parallel_ptas, ptas
+from repro.core.ptas import MODES, parallel_ptas, ptas
 from repro.model.instance import Instance
+from repro.parallel.cpus import resolve_workers
 from repro.model.schedule import Schedule
 from repro.service.requests import STATUS_OK, SolveResult, deadline_checker
 
@@ -142,11 +143,17 @@ def _solve_parallel_ptas(
             f"unknown wavefront backend {request.backend!r}; available: "
             f"{sorted(BACKENDS)}"
         )
+    if request.mode not in MODES:
+        raise UnknownEngineError(
+            f"unknown bisection mode {request.mode!r}; available: "
+            f"{sorted(MODES)}"
+        )
     return parallel_ptas(
         instance,
         request.eps,
-        num_workers=request.workers,
+        num_workers=resolve_workers(request.workers),
         backend=request.backend,
+        mode=request.mode,
         ctx=_coerce_ctx(ctx),
     ).schedule
 

@@ -60,8 +60,13 @@ class SolveRequest:
     dp_engine:
         Sequential DP engine for ``ptas`` (see
         :data:`repro.core.dp.SEQUENTIAL_ENGINES`).
-    workers / backend:
-        Worker count and wavefront backend for ``parallel_ptas``.
+    workers / backend / mode:
+        Worker count, wavefront backend, and bisection mode for
+        ``parallel_ptas``.  ``workers`` may be the string ``"auto"`` —
+        resolved server-side to the CPUs the process can actually use
+        (:func:`repro.parallel.cpus.resolve_workers`).  ``mode`` is one
+        of :data:`repro.core.ptas.MODES` (``wavefront`` / ``speculative``
+        / ``auto``).
     time_limit:
         Budget forwarded to the exact ``ilp`` solver.
     request_id:
@@ -74,8 +79,9 @@ class SolveRequest:
     eps: float = 0.3
     deadline: float | None = None
     dp_engine: str = "dominance"
-    workers: int = 4
+    workers: int | str = 4
     backend: str = "thread"
+    mode: str = "wavefront"
     time_limit: float | None = None
     request_id: str = ""
 
@@ -85,6 +91,13 @@ class SolveRequest:
             raise ValueError(f"deadline must be >= 0, got {self.deadline}")
         if self.eps <= 0:
             raise ValueError(f"eps must be positive, got {self.eps}")
+        if isinstance(self.workers, str):
+            if self.workers != "auto":
+                raise ValueError(
+                    f"workers must be a positive int or 'auto', got {self.workers!r}"
+                )
+        elif self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
 
     @property
     def num_jobs(self) -> int:

@@ -146,6 +146,45 @@ class SimulatedMachine:
                 )
             )
 
+    def record_parallel_step(
+        self,
+        step: int,
+        processor_busy_ops: Sequence[float],
+        *,
+        num_items: int | None = None,
+    ) -> None:
+        """Charge one synchronous step whose per-processor work is given
+        directly — the accounting unit of the *batched* wavefront, where
+        a step is one tile diagonal (each worker executes its whole tile
+        between barriers) rather than one DP level.
+
+        ``processor_busy_ops`` must have one entry per processor (zero
+        for processors with no tile on this diagonal).  The step lasts as
+        long as its busiest processor plus the fixed cost of one barrier
+        and the dispatch of the active tiles; the serial total gets the
+        plain sum, as always.
+        """
+        busy = [float(b) for b in processor_busy_ops]
+        if len(busy) != self.num_processors:
+            raise ValueError(
+                f"expected {self.num_processors} busy entries, got {len(busy)}"
+            )
+        p = self.num_processors
+        active = sum(1 for b in busy if b > 0)
+        fixed = self.cost_model.level_fixed_cost(active, parallel=p > 1)
+        step_time = max(busy, default=0.0) + fixed
+        self.parallel_ops += step_time
+        self.serial_ops += sum(busy)
+        if self.record_traces:
+            self.traces.append(
+                LevelTrace(
+                    level=step,
+                    num_items=active if num_items is None else num_items,
+                    processor_busy_ops=tuple(busy),
+                    level_time_ops=step_time,
+                )
+            )
+
     def record_parallel_for(self, num_items: int, cost_per_item: float) -> None:
         """A standalone ``parallel for`` outside the level loop (Alg. 3
         lines 4–8, the ``D``-array computation)."""

@@ -380,3 +380,56 @@ class TestServeSubmit:
             capsys.readouterr()
             thread.join(timeout=20)
         assert not thread.is_alive()
+
+
+class TestWorkersAndMode:
+    def test_workers_default_is_auto(self):
+        args = build_parser().parse_args(["solve", "--times", "1,2,3"])
+        assert args.workers == "auto"
+
+    def test_workers_auto_accepted(self):
+        args = build_parser().parse_args(
+            ["solve", "--times", "1,2,3", "--workers", "auto"]
+        )
+        assert args.workers == "auto"
+
+    def test_workers_integer_parsed(self):
+        args = build_parser().parse_args(
+            ["solve", "--times", "1,2,3", "--workers", "4"]
+        )
+        assert args.workers == 4
+
+    def test_workers_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["solve", "--times", "1,2,3", "--workers", "lots"]
+            )
+
+    def test_mode_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["solve", "--times", "1,2,3", "--mode", "bogus"]
+            )
+
+    def test_solve_with_auto_workers_and_speculative_mode(self, capsys):
+        assert (
+            main(
+                [
+                    "solve",
+                    "--times",
+                    "9,8,7,6,5,5,4,3,2,1",
+                    "-m",
+                    "3",
+                    "-a",
+                    "parallel-ptas",
+                    "--backend",
+                    "serial",
+                    "--workers",
+                    "auto",
+                    "--mode",
+                    "speculative",
+                ]
+            )
+            == 0
+        )
+        assert "makespan" in capsys.readouterr().out

@@ -1,0 +1,118 @@
+"""Tests for usable-CPU detection (:mod:`repro.parallel.cpus`)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.parallel.cpus import cgroup_cpu_quota, resolve_workers, usable_cpus
+
+
+def _write(tmp_path: Path, name: str, text: str) -> Path:
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestCgroupQuota:
+    def test_v2_limited(self, tmp_path):
+        cpu_max = _write(tmp_path, "cpu.max", "200000 100000\n")
+        assert cgroup_cpu_quota(cpu_max=cpu_max) == 2
+
+    def test_v2_rounds_fractional_quota_up(self, tmp_path):
+        cpu_max = _write(tmp_path, "cpu.max", "150000 100000\n")
+        assert cgroup_cpu_quota(cpu_max=cpu_max) == 2
+
+    def test_v2_unlimited(self, tmp_path):
+        cpu_max = _write(tmp_path, "cpu.max", "max 100000\n")
+        assert cgroup_cpu_quota(cpu_max=cpu_max) is None
+
+    def test_v2_garbage_is_no_limit(self, tmp_path):
+        cpu_max = _write(tmp_path, "cpu.max", "banana split\n")
+        assert cgroup_cpu_quota(cpu_max=cpu_max) is None
+
+    def test_v2_present_wins_over_v1(self, tmp_path):
+        cpu_max = _write(tmp_path, "cpu.max", "100000 100000\n")
+        quota = _write(tmp_path, "cpu.cfs_quota_us", "400000\n")
+        period = _write(tmp_path, "cpu.cfs_period_us", "100000\n")
+        assert (
+            cgroup_cpu_quota(cpu_max=cpu_max, quota_us=quota, period_us=period)
+            == 1
+        )
+
+    def test_v1_fallback(self, tmp_path):
+        missing = tmp_path / "absent"
+        quota = _write(tmp_path, "cpu.cfs_quota_us", "300000\n")
+        period = _write(tmp_path, "cpu.cfs_period_us", "100000\n")
+        assert (
+            cgroup_cpu_quota(cpu_max=missing, quota_us=quota, period_us=period)
+            == 3
+        )
+
+    def test_v1_unlimited(self, tmp_path):
+        missing = tmp_path / "absent"
+        quota = _write(tmp_path, "cpu.cfs_quota_us", "-1\n")
+        period = _write(tmp_path, "cpu.cfs_period_us", "100000\n")
+        assert (
+            cgroup_cpu_quota(cpu_max=missing, quota_us=quota, period_us=period)
+            is None
+        )
+
+    def test_nothing_readable(self, tmp_path):
+        missing = tmp_path / "absent"
+        assert (
+            cgroup_cpu_quota(
+                cpu_max=missing, quota_us=missing, period_us=missing
+            )
+            is None
+        )
+
+    def test_quota_always_at_least_one(self, tmp_path):
+        cpu_max = _write(tmp_path, "cpu.max", "10000 100000\n")
+        assert cgroup_cpu_quota(cpu_max=cpu_max) == 1
+
+
+class TestUsableCpus:
+    def test_at_least_one(self):
+        assert usable_cpus() >= 1
+
+    def test_no_more_than_installed(self):
+        import os
+
+        installed = os.cpu_count()
+        if installed:
+            assert usable_cpus() <= installed
+
+
+class TestResolveWorkers:
+    def test_auto_resolves_to_usable(self):
+        assert resolve_workers("auto") == usable_cpus()
+
+    def test_auto_is_case_insensitive(self):
+        assert resolve_workers("  AUTO ") == usable_cpus()
+
+    def test_none_defaults_to_usable(self):
+        assert resolve_workers(None) == usable_cpus()
+
+    def test_none_with_explicit_default(self):
+        assert resolve_workers(None, default=7) == 7
+
+    def test_auto_ignores_default(self):
+        assert resolve_workers("auto", default=7) == usable_cpus()
+
+    def test_int_passthrough(self):
+        assert resolve_workers(3) == 3
+
+    def test_integer_string(self):
+        assert resolve_workers("5") == 5
+
+    @pytest.mark.parametrize("bad", ["many", "", "2.5"])
+    def test_rejects_non_integer_strings(self, bad):
+        with pytest.raises(ValueError, match="auto"):
+            resolve_workers(bad)
+
+    @pytest.mark.parametrize("bad", [0, -1, "0"])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError, match=">= 1"):
+            resolve_workers(bad)

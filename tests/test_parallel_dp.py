@@ -175,3 +175,133 @@ class TestStats:
         assert res.stats.sigma == 12
         assert res.stats.level_sizes == (1, 2, 3, 3, 2, 1)
         assert res.stats.num_configs == 7
+
+
+class TestTiledSchedule:
+    """The batched (runs) schedule: bit-identical tables, one barrier per
+    tile diagonal, per-worker utilization counters."""
+
+    def wide_problem(self) -> DPProblem:
+        return DPProblem((3, 5, 7), (3, 3, 2), 40)
+
+    def explicit_plan(self, problem: DPProblem, blocks: int) -> "TilePlan":
+        from repro.core.kernels import LevelKernel
+        from repro.parallel.runs import KernelCostModel, plan_tiles
+
+        index = build_level_index(problem)
+        return plan_tiles(
+            index.sizes,
+            problem.table_size,
+            blocks,
+            num_configs=LevelKernel.for_problem(problem).num_configs,
+            cost=KernelCostModel(alpha_seconds=1e-3, beta_seconds=1e-4),
+        )
+
+    @pytest.mark.parametrize("backend", ("serial", "thread"))
+    @pytest.mark.parametrize("blocks", (2, 3, 4))
+    def test_multi_block_plan_bit_identical(self, backend, blocks):
+        from repro.core.parallel_dp import compute_table
+
+        problem = self.wide_problem()
+        plan = self.explicit_plan(problem, blocks)
+        assert plan.num_blocks == blocks  # the heavy cost model keeps B
+        reference = compute_table(problem, 1, "numpy-serial")
+        table = compute_table(
+            problem, blocks, backend, schedule="runs", plan=plan
+        )
+        assert (table == reference).all()
+
+    def test_runs_schedule_is_default_for_executor_backends(self):
+        from repro.core.context import SolveContext
+        from repro.core.parallel_dp import compute_table
+        from repro.obs import Tracer
+
+        problem = self.wide_problem()
+        tracer = Tracer()
+        compute_table(
+            problem, 2, "serial", ctx=SolveContext(tracer=tracer),
+            plan=self.explicit_plan(problem, 2),
+        )
+        assert tracer.find("run")
+        assert not tracer.find("level")
+
+    def test_one_run_span_per_diagonal(self):
+        from repro.core.context import SolveContext
+        from repro.core.parallel_dp import compute_table
+        from repro.obs import Tracer
+
+        problem = self.wide_problem()
+        plan = self.explicit_plan(problem, 3)
+        tracer = Tracer()
+        compute_table(
+            problem, 3, "serial", schedule="runs", plan=plan,
+            ctx=SolveContext(tracer=tracer),
+        )
+        assert len(tracer.find("run")) == plan.num_diagonals
+        assert tracer.counters["runs"] == plan.num_diagonals
+
+    def test_worker_utilization_counters(self):
+        from repro.core.context import SolveContext
+        from repro.core.parallel_dp import compute_table
+        from repro.service.metrics import MetricsRegistry
+
+        problem = self.wide_problem()
+        plan = self.explicit_plan(problem, 2)
+        registry = MetricsRegistry()
+        compute_table(
+            problem, 2, "serial", schedule="runs", plan=plan,
+            ctx=SolveContext(metrics=registry),
+        )
+        counters = registry.snapshot()["counters"]
+        per_worker = [
+            counters[f"wavefront.worker.{b}.states"]
+            for b in range(plan.num_blocks)
+        ]
+        # Every non-origin state is attributed to exactly one worker.
+        assert sum(per_worker) == problem.table_size - 1
+        assert all(s > 0 for s in per_worker)
+        assert counters["wavefront.diagonals"] == plan.num_diagonals
+
+    def test_overdecomposed_plan_folds_onto_workers(self):
+        from repro.core.context import SolveContext
+        from repro.core.parallel_dp import compute_table
+        from repro.service.metrics import MetricsRegistry
+
+        problem = self.wide_problem()
+        plan = self.explicit_plan(problem, 4)  # 4 blocks on 2 workers
+        registry = MetricsRegistry()
+        reference = compute_table(problem, 1, "numpy-serial")
+        table = compute_table(
+            problem, 2, "serial", schedule="runs", plan=plan,
+            ctx=SolveContext(metrics=registry),
+        )
+        assert (table == reference).all()
+        counters = registry.snapshot()["counters"]
+        assert "wavefront.worker.0.states" in counters
+        assert "wavefront.worker.2.states" not in counters  # folded % 2
+        total = sum(
+            counters[f"wavefront.worker.{b}.states"] for b in range(2)
+        )
+        assert total == problem.table_size - 1
+
+    def test_rejects_unknown_schedule(self):
+        from repro.core.parallel_dp import compute_table
+
+        with pytest.raises(ValueError, match="schedule"):
+            compute_table(self.wide_problem(), 2, "serial", schedule="zigzag")
+
+    def test_simulated_runs_speedup_monotone(self):
+        from repro.core.parallel_dp import compute_table
+
+        # Big enough that the planner never collapses to a serial tile
+        # (tiny tables legitimately model no parallel win at any width).
+        problem = DPProblem((2, 3, 5, 7), (4, 4, 3, 2), 60)
+        previous = 0.0
+        for workers in (1, 2, 4):
+            machine = SimulatedMachine(workers)
+            compute_table(
+                problem, workers, "simulated", machine=machine,
+                schedule="runs",
+            )
+            assert machine.speedup >= previous - 1e-9
+            previous = machine.speedup

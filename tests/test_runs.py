@@ -1,0 +1,198 @@
+"""Tests for tile planning (:mod:`repro.parallel.runs`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.kernels import build_level_arrays
+from repro.parallel.runs import (
+    KernelCostModel,
+    TilePlan,
+    build_tiles,
+    level_sizes_from_dims,
+    plan_tiles,
+)
+
+
+class TestCostModel:
+    def test_zero_states_cost_nothing(self):
+        assert KernelCostModel().level_seconds(0, 90) == 0.0
+
+    def test_affine_in_states(self):
+        model = KernelCostModel(alpha_seconds=1.0, beta_seconds=0.5)
+        assert model.level_seconds(10, 2) == pytest.approx(2 * (1.0 + 5.0))
+
+    def test_at_least_one_pass(self):
+        model = KernelCostModel(alpha_seconds=1.0, beta_seconds=0.0)
+        assert model.level_seconds(5, 0) == pytest.approx(1.0)
+
+
+class TestLevelSizes:
+    def test_matches_materialized_levels(self):
+        dims = (3, 4, 2)
+        sizes = level_sizes_from_dims(dims)
+        levels = build_level_arrays(dims)
+        assert sizes.tolist() == [len(lv) for lv in levels]
+
+    def test_empty_dims(self):
+        assert level_sizes_from_dims([]).tolist() == [1]
+
+    def test_total_is_table_size(self):
+        dims = (5, 3, 3, 2)
+        assert int(level_sizes_from_dims(dims).sum()) == 5 * 3 * 3 * 2
+
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ValueError):
+            level_sizes_from_dims([2, 0])
+
+    @given(st.lists(st.integers(min_value=1, max_value=5), max_size=5))
+    def test_property_symmetric_and_positive(self, dims):
+        sizes = level_sizes_from_dims(dims)
+        assert (sizes > 0).all()
+        assert sizes.tolist() == sizes.tolist()[::-1]  # palindromic widths
+
+
+class TestTilePlan:
+    def test_diagonal_enumeration(self):
+        plan = TilePlan(block_bounds=(0, 5, 10), runs=((1, 3), (3, 5), (5, 6)))
+        assert plan.num_blocks == 2
+        assert plan.num_runs == 3
+        assert plan.num_diagonals == 4
+        assert plan.tiles_on_diagonal(0) == [(0, 0)]
+        assert plan.tiles_on_diagonal(1) == [(0, 1), (1, 0)]
+        assert plan.tiles_on_diagonal(3) == [(1, 2)]
+
+    def test_every_tile_appears_exactly_once(self):
+        plan = TilePlan(
+            block_bounds=(0, 3, 6, 9), runs=((1, 2), (2, 4), (4, 5), (5, 7))
+        )
+        seen = [
+            tile
+            for t in range(plan.num_diagonals)
+            for tile in plan.tiles_on_diagonal(t)
+        ]
+        assert sorted(seen) == [
+            (b, r) for b in range(3) for r in range(4)
+        ]
+
+    def test_empty_plan_has_no_diagonals(self):
+        assert TilePlan(block_bounds=(0, 1), runs=()).num_diagonals == 0
+
+
+class TestPlanTiles:
+    # A cost model heavy enough that multi-block plans never collapse.
+    HEAVY = KernelCostModel(alpha_seconds=1e-3, beta_seconds=1e-4)
+
+    def test_runs_cover_all_levels_contiguously(self):
+        sizes = level_sizes_from_dims((4, 4, 3)).tolist()
+        plan = plan_tiles(sizes, 48, 4, num_configs=8, cost=self.HEAVY)
+        assert plan.runs[0][0] == 1
+        assert plan.runs[-1][1] == len(sizes)
+        for (_, end), (start, _) in zip(plan.runs, plan.runs[1:]):
+            assert end == start
+
+    def test_blocks_capped_by_widest_level(self):
+        # Single-state levels everywhere: no parallelism to be had.
+        sizes = [1, 1, 1, 1]
+        plan = plan_tiles(sizes, 4, 8, cost=self.HEAVY)
+        assert plan.num_blocks == 1
+
+    def test_blocks_capped_by_table_size(self):
+        plan = plan_tiles([1, 2], 3, 8, cost=self.HEAVY)
+        assert plan.num_blocks <= 3
+
+    def test_no_levels_yields_empty_plan(self):
+        plan = plan_tiles([1], 1, 4)
+        assert plan.runs == ()
+        assert plan.num_diagonals == 0
+
+    def test_light_probe_collapses_to_serial_tile(self):
+        # Tiny table + default (cheap) cost model: barriers cost more
+        # than they save, so the plan is one block × one run.
+        sizes = level_sizes_from_dims((2, 2)).tolist()
+        plan = plan_tiles(sizes, 4, 4)
+        assert plan.num_blocks == 1
+        assert plan.num_runs == 1
+
+    def test_heavy_probe_gets_full_width(self):
+        sizes = level_sizes_from_dims((6, 6, 5)).tolist()
+        plan = plan_tiles(sizes, 180, 4, num_configs=64, cost=self.HEAVY)
+        assert plan.num_blocks == 4
+        assert plan.num_runs >= plan.num_blocks
+
+    def test_single_worker_is_one_tile(self):
+        sizes = level_sizes_from_dims((6, 6, 5)).tolist()
+        plan = plan_tiles(sizes, 180, 1, num_configs=64, cost=self.HEAVY)
+        assert (plan.num_blocks, plan.num_runs) == (1, 1)
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            plan_tiles([1, 2], 2, 0)
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=4),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_property_plan_is_well_formed(self, dims, workers):
+        sizes = level_sizes_from_dims(dims).tolist()
+        table_size = int(np.prod(dims))
+        plan = plan_tiles(sizes, table_size, workers, num_configs=4)
+        assert plan.block_bounds[0] == 0
+        assert plan.block_bounds[-1] == table_size
+        assert list(plan.block_bounds) == sorted(plan.block_bounds)
+        if table_size > 1:
+            assert plan.runs[0][0] == 1
+            assert plan.runs[-1][1] == len(sizes)
+
+
+class TestBuildTiles:
+    def test_tiles_partition_every_level(self):
+        dims = (4, 3, 3)
+        levels = build_level_arrays(dims)
+        sizes = [len(lv) for lv in levels]
+        plan = plan_tiles(
+            sizes, 36, 3, num_configs=16, cost=TestPlanTiles.HEAVY
+        )
+        # Union of all tile chunks == union of levels 1..n', exactly once.
+        seen = np.concatenate(
+            [
+                chunk
+                for per_block in build_tiles(levels, plan)
+                for chunks in per_block
+                for chunk in chunks
+            ]
+        )
+        expected = np.concatenate(levels[1:])
+        assert sorted(seen.tolist()) == sorted(expected.tolist())
+
+    def test_chunks_stay_level_aligned(self):
+        dims = (4, 3, 3)
+        levels = build_level_arrays(dims)
+        sizes = [len(lv) for lv in levels]
+        plan = plan_tiles(
+            sizes, 36, 3, num_configs=16, cost=TestPlanTiles.HEAVY
+        )
+        tiles = build_tiles(levels, plan)
+        for r, (lo, hi) in enumerate(plan.runs):
+            for b in range(plan.num_blocks):
+                chunks = tiles[r][b]
+                assert len(chunks) == hi - lo  # empty chunks preserved
+                lo_flat, hi_flat = (
+                    plan.block_bounds[b],
+                    plan.block_bounds[b + 1],
+                )
+                for i, chunk in enumerate(chunks):
+                    level_states = set(levels[lo + i].tolist())
+                    for flat in chunk.tolist():
+                        assert flat in level_states
+                        assert lo_flat <= flat < hi_flat
+
+    def test_empty_levels_yield_empty_chunks(self):
+        levels = [np.array([0]), np.array([1]), np.array([], dtype=np.int64)]
+        plan = TilePlan(block_bounds=(0, 2), runs=((1, 3),))
+        tiles = build_tiles(levels, plan)
+        assert len(tiles[0][0]) == 2
+        assert tiles[0][0][1].size == 0

@@ -98,3 +98,28 @@ class TestDeadlineChecker:
         now[0] = 1.001
         with pytest.raises(DeadlineExceeded):
             check()
+
+
+class TestWorkersAndMode:
+    def test_auto_workers_accepted(self):
+        req = SolveRequest(times=(3, 2, 1), machines=2, workers="auto")
+        assert req.workers == "auto"
+
+    def test_auto_workers_round_trips(self):
+        req = SolveRequest(
+            times=(3, 2, 1), machines=2, workers="auto", mode="speculative"
+        )
+        back = SolveRequest.from_json(req.to_json())
+        assert back.workers == "auto"
+        assert back.mode == "speculative"
+
+    def test_mode_defaults_to_wavefront(self):
+        assert SolveRequest(times=(1,), machines=1).mode == "wavefront"
+
+    def test_rejects_non_auto_worker_strings(self):
+        with pytest.raises(ValueError, match="auto"):
+            SolveRequest(times=(1,), machines=1, workers="many")
+
+    def test_rejects_non_positive_workers(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            SolveRequest(times=(1,), machines=1, workers=0)

@@ -122,3 +122,74 @@ class TestSimulatedStudy:
         inst = Instance([5, 4, 3], num_machines=2)
         with pytest.raises(ValueError, match="processor per concurrent probe"):
             simulate_speculative_ptas(inst, 0.3, 2, 4)
+
+
+class TestConcurrentProbes:
+    """Executor-backed probes and pipelined certification must certify
+    the same target as the sequential strategies."""
+
+    def decision_solver(self, problem: DPProblem, m: int) -> DPResult:
+        return solve(problem, "table", limit=m, track_schedule=False)
+
+    @pytest.mark.parametrize("branching", [2, 3])
+    def test_thread_executor_same_target(self, small_instance, branching):
+        from repro.parallel.executor import make_executor, shutdown_pools
+
+        standard = bisect_target_makespan(small_instance, 4, solver)
+        ex = make_executor("thread", branching, reuse=True)
+        try:
+            spec = speculative_bisect(
+                small_instance, 4, solver, branching=branching, executor=ex
+            )
+        finally:
+            ex.close()
+            shutdown_pools()
+        assert spec.final_target == standard.final_target
+        assert spec.dp_result.opt == standard.dp_result.opt
+
+    def test_decision_solver_with_pipelined_certification(self, small_instance):
+        from repro.parallel.executor import SerialExecutor
+
+        standard = bisect_target_makespan(small_instance, 4, solver)
+        spec = speculative_bisect(
+            small_instance,
+            4,
+            solver,
+            branching=3,
+            executor=SerialExecutor(3),
+            decision_solver=self.decision_solver,
+        )
+        assert spec.final_target == standard.final_target
+        # Certification ran the full solver: the witness is present.
+        assert spec.dp_result.machine_configs
+
+    @given(small_instances(), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_property_executor_equivalent_to_plain(self, inst, branching):
+        from repro.parallel.executor import SerialExecutor
+
+        plain = speculative_bisect(inst, 3, solver, branching=branching)
+        pooled = speculative_bisect(
+            inst,
+            3,
+            solver,
+            branching=branching,
+            executor=SerialExecutor(branching),
+            decision_solver=self.decision_solver,
+        )
+        assert pooled.final_target == plain.final_target
+
+    def test_win_waste_counters_recorded(self):
+        from repro.core.context import SolveContext
+        from repro.service.metrics import MetricsRegistry
+
+        inst = Instance([97, 83, 51, 42, 38, 21, 13, 8, 5, 3], num_machines=3)
+        registry = MetricsRegistry()
+        ctx = SolveContext(warm_start=False, metrics=registry)
+        outcome = speculative_bisect(inst, 4, solver, branching=3, ctx=ctx)
+        counters = registry.snapshot()["counters"]
+        assert counters["speculative.rounds"] >= 1
+        assert counters["speculative.probes"] >= len(outcome.iterations) - 1
+        wins = counters.get("speculative.probe_wins", 0)
+        waste = counters.get("speculative.probe_waste", 0)
+        assert wins + waste == counters["speculative.probes"]
