@@ -1,0 +1,34 @@
+# Containerized scheduling service: the sharded multi-process solver
+# pool of docs/scaling.md behind the JSON-lines front end of
+# docs/service.md.
+#
+#   docker build -t repro-pcmax .
+#   docker run -p 8357:8357 -v repro-store:/var/lib/repro-store repro-pcmax
+#
+# The pool sizes itself to the CPUs the container is actually granted
+# (--pool-workers auto reads the affinity mask and cgroup quota, so
+# `docker run --cpus 4` yields a 4-worker pool), and the store volume
+# makes results and write-ahead journals survive container restarts.
+
+FROM python:3.12-slim
+
+WORKDIR /app
+
+COPY pyproject.toml README.md ./
+COPY src ./src
+
+RUN pip install --no-cache-dir .
+
+RUN mkdir -p /var/lib/repro-store
+VOLUME /var/lib/repro-store
+
+EXPOSE 8357
+
+# The healthcheck op probes every pool worker (liveness, responsiveness,
+# in-flight depth) through the live server; the CLI exits 1 unless all
+# workers are healthy.
+HEALTHCHECK --interval=30s --timeout=10s --start-period=15s --retries=3 \
+  CMD repro-pcmax submit --host 127.0.0.1 --port 8357 --op healthcheck || exit 1
+
+ENTRYPOINT ["repro-pcmax", "serve", "--host", "0.0.0.0", "--port", "8357", \
+            "--pool-workers", "auto", "--store", "/var/lib/repro-store"]

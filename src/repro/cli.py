@@ -20,7 +20,10 @@ Subcommands
     Run the asyncio scheduling service (``docs/service.md``) and submit
     requests to it over the JSON-lines protocol.  ``serve --store DIR``
     adds the durable result store and write-ahead journal
-    (``docs/persistence.md``) with crash recovery on startup.
+    (``docs/persistence.md``) with crash recovery on startup;
+    ``serve --pool-workers N`` serves solves from a sharded pool of N
+    worker processes (``docs/scaling.md``); ``submit --repeat N
+    --concurrency C`` replays a request for throughput measurement.
 ``store``
     Operate on a store directory offline: ``stats``, ``verify``
     (checksum + schedule audit, quarantining corrupt segments),
@@ -94,6 +97,24 @@ def _workers_arg(value: str) -> int | str:
         ) from None
     if workers < 1:
         raise argparse.ArgumentTypeError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def _pool_workers_arg(value: str) -> int | str:
+    """argparse type for ``serve --pool-workers``: a non-negative int
+    (0 = single-process service) or ``auto``."""
+    if value.strip().lower() == "auto":
+        return "auto"
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer or 'auto', got {value!r}"
+        ) from None
+    if workers < 0:
+        raise argparse.ArgumentTypeError(
+            f"pool workers must be >= 0, got {workers}"
+        )
     return workers
 
 
@@ -293,39 +314,76 @@ def _cmd_bench_dp(args: argparse.Namespace) -> int:
     return 0
 
 
+def _recover_store_offline(store_dir: str, store_ttl: float | None) -> None:
+    """Replay every journal in *store_dir* (the supervisor's and any
+    worker's) before the service starts accepting traffic."""
+    from repro.store import ResultStore, recover_all
+
+    store = ResultStore(store_dir, ttl=store_ttl)
+    try:
+        report = recover_all(store, store_dir)
+    finally:
+        store.close()
+    if report.entries:
+        print(report.render(), flush=True)
+        for line in report.aborted:
+            print(f"  aborted: {line}", flush=True)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.service.admission import AdmissionController
-    from repro.service.cache import ResultCache
-    from repro.service.server import SolveService, serve
+    from repro.service.server import serve
 
-    store = journal = None
-    if args.store:
-        from repro.store import ResultStore, WriteAheadJournal, recover
-
-        store = ResultStore(args.store, ttl=args.store_ttl)
-        journal = WriteAheadJournal(args.store)
-        report = recover(store, journal)
-        if report.entries:
-            print(report.render(), flush=True)
-            for line in report.aborted:
-                print(f"  aborted: {line}", flush=True)
-    service = SolveService(
-        max_workers=resolve_workers(args.workers),
-        batch_window=args.batch_window,
-        default_deadline=args.default_deadline,
-        cache=ResultCache(
-            max_entries=args.cache_size, ttl=args.cache_ttl, store=store
-        ),
-        admission=AdmissionController(max_queue_depth=args.queue_depth),
-        store=store,
-        journal=journal,
-        archive_traces=args.archive_traces,
+    pool_workers = (
+        resolve_workers(args.pool_workers)
+        if args.pool_workers == "auto"
+        else int(args.pool_workers)
     )
+    if args.store:
+        _recover_store_offline(args.store, args.store_ttl)
+    if pool_workers >= 1:
+        # Sharded multi-process pool (docs/scaling.md): N solver worker
+        # processes behind the same JSON-lines front end.
+        from repro.service.supervisor import PooledSolveService
+
+        service = PooledSolveService(
+            pool_workers,
+            admission=AdmissionController(max_queue_depth=args.queue_depth),
+            default_deadline=args.default_deadline,
+            store_root=args.store,
+            store_ttl=args.store_ttl,
+            cache_size=args.cache_size,
+            cache_ttl=args.cache_ttl,
+            archive_traces=args.archive_traces,
+        )
+    else:
+        from repro.service.cache import ResultCache
+        from repro.service.server import SolveService
+
+        store = journal = None
+        if args.store:
+            from repro.store import ResultStore, WriteAheadJournal
+
+            store = ResultStore(args.store, ttl=args.store_ttl)
+            journal = WriteAheadJournal(args.store)
+        service = SolveService(
+            max_workers=resolve_workers(args.workers),
+            batch_window=args.batch_window,
+            default_deadline=args.default_deadline,
+            cache=ResultCache(
+                max_entries=args.cache_size, ttl=args.cache_ttl, store=store
+            ),
+            admission=AdmissionController(max_queue_depth=args.queue_depth),
+            store=store,
+            journal=journal,
+            archive_traces=args.archive_traces,
+        )
 
     def ready(host: str, port: int) -> None:
-        print(f"repro service listening on {host}:{port}", flush=True)
+        suffix = f" (pool: {pool_workers} workers)" if pool_workers >= 1 else ""
+        print(f"repro service listening on {host}:{port}{suffix}", flush=True)
 
     try:
         asyncio.run(
@@ -342,6 +400,72 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_submit_repeat(args: argparse.Namespace) -> int:
+    """``submit --repeat N [--concurrency C]``: replay N copies of the
+    request (unique ``request_id``s, same instance) over C persistent
+    connections, verify every returned schedule, and print throughput
+    and latency percentiles.  A duplicate-heavy replay like this is the
+    cheapest way to watch coalescing + shard caching work (expect one
+    solve, N-1 cache hits in ``op=stats``)."""
+    import asyncio
+    import statistics
+
+    from repro.model.schedule import Schedule
+    from repro.model.verify import verify_schedule
+    from repro.service.server import replay
+
+    inst = _instance_from_args(args)
+    base = _solve_request_from_args(args, inst)
+    stem = base.request_id or "submit"
+    requests = [
+        SolveRequest.from_dict({**base.to_dict(), "request_id": f"{stem}-{i}"})
+        for i in range(args.repeat)
+    ]
+    t0 = time.perf_counter()
+    outcomes = asyncio.run(
+        replay(
+            args.host,
+            args.port,
+            requests,
+            concurrency=args.concurrency,
+            timeout=args.timeout,
+        )
+    )
+    wall = time.perf_counter() - t0
+    ok = degraded = cached = verified = failed = 0
+    latencies: list[float] = []
+    for result, latency in outcomes:
+        latencies.append(latency)
+        if not result.ok:
+            failed += 1
+            continue
+        ok += 1
+        degraded += int(result.degraded)
+        cached += int(result.cached)
+        if result.assignment is not None:
+            report = verify_schedule(Schedule(inst, result.assignment), inst)
+            if report.ok:
+                verified += 1
+            else:
+                failed += 1
+                print(f"VERIFY FAILED: {report}", file=sys.stderr)
+    latencies.sort()
+
+    def pct(p: float) -> float:
+        return latencies[min(len(latencies) - 1, int(p / 100 * len(latencies)))]
+
+    print(f"requests   : {len(outcomes)}/{args.repeat}")
+    print(f"ok         : {ok} (verified {verified}, cached {cached}, degraded {degraded})")
+    print(f"failed     : {failed}")
+    print(f"wall       : {wall:.3f}s  ({len(outcomes) / wall:.1f} req/s)")
+    if latencies:
+        print(
+            f"latency    : mean={statistics.mean(latencies) * 1e3:.2f}ms "
+            f"p50={pct(50) * 1e3:.2f}ms p99={pct(99) * 1e3:.2f}ms"
+        )
+    return 0 if failed == 0 and len(outcomes) == args.repeat else 2
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     import asyncio
     import json as _json
@@ -351,7 +475,11 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     if args.op:
         reply = asyncio.run(send_op(args.host, args.port, args.op))
         print(_json.dumps(reply, indent=2, sort_keys=True))
+        if args.op == "healthcheck":
+            return 0 if reply.get("ok") else 1
         return 0
+    if args.repeat:
+        return _cmd_submit_repeat(args)
     inst = _instance_from_args(args)
     request = _solve_request_from_args(args, inst)
     result = asyncio.run(
@@ -433,13 +561,13 @@ def _cmd_store_compact(args: argparse.Namespace) -> int:
 
 
 def _cmd_store_replay(args: argparse.Namespace) -> int:
-    from repro.store import ResultStore, WriteAheadJournal, recover
+    from repro.store import ResultStore, recover_all
 
     store = ResultStore(args.dir)
-    journal = WriteAheadJournal(args.dir)
-    report = recover(store, journal)
-    journal.close()
-    store.close()
+    try:
+        report = recover_all(store, args.dir)
+    finally:
+        store.close()
     print(report.render())
     for line in report.aborted:
         print(f"  aborted: {line}")
@@ -607,6 +735,15 @@ def build_parser() -> argparse.ArgumentParser:
         "CPU detection",
     )
     srv.add_argument(
+        "--pool-workers",
+        type=_pool_workers_arg,
+        default=0,
+        metavar="N",
+        help="run the sharded multi-process solver pool with N worker "
+        "processes ('auto' = usable CPUs; 0, the default, keeps the "
+        "single-process service) — see docs/scaling.md",
+    )
+    srv.add_argument(
         "--batch-window",
         type=float,
         default=0.005,
@@ -681,8 +818,24 @@ def build_parser() -> argparse.ArgumentParser:
     sub_cmd.add_argument("--show-schedule", action="store_true")
     sub_cmd.add_argument(
         "--op",
-        choices=("ping", "stats", "shutdown"),
+        choices=("ping", "stats", "healthcheck", "shutdown"),
         help="send a control op instead of a solve request",
+    )
+    sub_cmd.add_argument(
+        "--repeat",
+        type=int,
+        default=0,
+        metavar="N",
+        help="replay N copies of the request (unique request_ids), "
+        "verify every schedule, and print throughput + latency",
+    )
+    sub_cmd.add_argument(
+        "--concurrency",
+        type=int,
+        default=1,
+        metavar="C",
+        help="with --repeat: number of persistent connections to spread "
+        "the replay over",
     )
     sub_cmd.set_defaults(fn=_cmd_submit)
 
@@ -724,8 +877,9 @@ def build_parser() -> argparse.ArgumentParser:
     st_compact.set_defaults(fn=_cmd_store_compact)
     st_replay = st_subs.add_parser(
         "replay",
-        help="re-solve the journal's uncommitted entries into the store "
-        "(what 'serve --store' does on startup, offline)",
+        help="re-solve every journal's uncommitted entries into the "
+        "store, including per-worker pool journals (what 'serve "
+        "--store' does on startup, offline)",
     )
     st_replay.add_argument("dir", help="store directory")
     st_replay.set_defaults(fn=_cmd_store_replay)

@@ -16,6 +16,12 @@ The subsystem turns the one-shot solvers into an asyncio service:
 * :mod:`repro.service.server` — the asyncio JSON-lines front-end with
   micro-batching, executor dispatch, and deadline-triggered degradation
   to LPT.
+* :mod:`repro.service.sharding` — canonical-key shard routing for the
+  multi-process pool.
+* :mod:`repro.service.worker` / :mod:`repro.service.supervisor` — the
+  sharded solver pool (``repro-pcmax serve --pool-workers N``): N worker
+  processes behind the same front-end, crash-respawned, each owning one
+  shard of the key space — see ``docs/scaling.md``.
 
 Durability is layered underneath by :mod:`repro.store` (opt-in via
 ``repro-pcmax serve --store DIR``): the cache gains a disk tier, every
@@ -41,3 +47,5 @@ from repro.service.registry import (
 )
 from repro.service.requests import DeadlineExceeded, SolveRequest, SolveResult
 from repro.service.server import SolveService, serve, submit
+from repro.service.sharding import shard_index, shard_key, shard_of_request
+from repro.service.supervisor import PooledSolveService, SupervisorPool

@@ -219,3 +219,87 @@ def record_stats_source(
     stats = source.stats()
     registry.set_many(prefix, {k: float(v) for k, v in stats.items()})
     return stats
+
+
+def _merge_histogram_summaries(
+    into: dict[str, float | int | None], summary: dict
+) -> None:
+    """Fold one worker's histogram summary into a pooled one.
+
+    Only count/sum/min/max merge exactly across processes; percentiles
+    do not compose from summaries, so pooled p50/p99 stay ``None`` (the
+    per-worker entries keep theirs).
+    """
+    into["count"] = int(into["count"]) + int(summary.get("count") or 0)
+    into["sum"] = float(into["sum"]) + float(summary.get("sum") or 0.0)
+    for field, pick in (("min", min), ("max", max)):
+        value = summary.get(field)
+        if value is None:
+            continue
+        current = into[field]
+        into[field] = value if current is None else pick(current, value)
+
+
+def aggregate_pool_stats(
+    own: dict, workers: dict[int, dict | None]
+) -> dict:
+    """Merge the supervisor's snapshot with per-worker snapshots into
+    one ``op=stats`` payload.
+
+    Every worker instrument appears twice: namespaced as
+    ``worker.<i>.<name>`` (so a hot shard is visible), and summed into a
+    ``pool.<name>`` total (counters and gauges add; histograms merge
+    count/sum/min/max, with pooled percentiles ``None`` since reservoirs
+    don't compose across processes).  A worker whose snapshot is
+    ``None`` (unreachable when polled) contributes a
+    ``worker.<i>.unreachable`` gauge instead, and the count of such
+    workers lands in the ``pool.workers_unreachable`` gauge.
+    """
+    counters: dict[str, int] = dict(own.get("counters", {}))
+    gauges: dict[str, float] = dict(own.get("gauges", {}))
+    histograms: dict[str, dict] = dict(own.get("histograms", {}))
+    pooled_counters: dict[str, int] = {}
+    pooled_gauges: dict[str, float] = {}
+    pooled_histograms: dict[str, dict] = {}
+    unreachable = 0
+    for worker_id in sorted(workers):
+        snap = workers[worker_id]
+        if snap is None:
+            unreachable += 1
+            gauges[f"worker.{worker_id}.unreachable"] = 1.0
+            continue
+        for name, value in snap.get("counters", {}).items():
+            counters[f"worker.{worker_id}.{name}"] = value
+            pooled_counters[name] = pooled_counters.get(name, 0) + int(value)
+        for name, value in snap.get("gauges", {}).items():
+            gauges[f"worker.{worker_id}.{name}"] = value
+            pooled_gauges[name] = pooled_gauges.get(name, 0.0) + float(value)
+        for name, summary in snap.get("histograms", {}).items():
+            histograms[f"worker.{worker_id}.{name}"] = summary
+            merged = pooled_histograms.setdefault(
+                name,
+                {
+                    "count": 0,
+                    "sum": 0.0,
+                    "mean": None,
+                    "min": None,
+                    "max": None,
+                    "p50": None,
+                    "p99": None,
+                },
+            )
+            _merge_histogram_summaries(merged, summary)
+    for name, value in pooled_counters.items():
+        counters[f"pool.{name}"] = value
+    for name, value in pooled_gauges.items():
+        gauges[f"pool.{name}"] = value
+    for name, merged in pooled_histograms.items():
+        count = int(merged["count"])
+        merged["mean"] = float(merged["sum"]) / count if count else None
+        histograms[f"pool.{name}"] = merged
+    gauges["pool.workers_unreachable"] = float(unreachable)
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
+    }

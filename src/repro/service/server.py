@@ -48,6 +48,7 @@ and traces can be archived next to the results they explain.
 from __future__ import annotations
 
 import asyncio
+import inspect
 import json
 import signal
 import time
@@ -75,6 +76,7 @@ from repro.service.registry import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.service.supervisor import PooledSolveService
     from repro.store.journal import WriteAheadJournal
     from repro.store.resultstore import ResultStore
 from repro.service.requests import (
@@ -449,6 +451,17 @@ class SolveService:
         )
         return self.metrics.snapshot()
 
+    def healthcheck(self) -> dict[str, Any]:
+        """The ``{"op": "healthcheck"}`` payload for the single-process
+        service: alive iff we got here (the pooled service's coroutine
+        counterpart in :mod:`repro.service.supervisor` probes workers)."""
+        return {
+            "ok": True,
+            "mode": "single",
+            "workers": 1,
+            "executor_busy": self._busy_workers,
+        }
+
     def request_shutdown(self) -> None:
         """Ask :func:`serve` to wind down (set by the ``shutdown`` op)."""
         if self._shutdown_event is not None:
@@ -485,14 +498,23 @@ async def _write_line(
         await writer.drain()
 
 
+async def _maybe_await(value):
+    """Normalize sync/async service methods: ``SolveService.stats`` is a
+    plain call, ``PooledSolveService.stats`` is a coroutine (it
+    round-trips to worker processes).  The front-end serves both."""
+    if inspect.isawaitable(value):
+        return await value
+    return value
+
+
 async def _handle_connection(
-    service: SolveService,
+    service: "SolveService | PooledSolveService",
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
 ) -> None:
     """One client connection: requests in, responses out (possibly out of
     order — correlate via ``request_id``).  Control ops: ``ping``,
-    ``stats``, ``shutdown``."""
+    ``stats``, ``healthcheck``, ``shutdown``."""
     lock = asyncio.Lock()
     pending: set[asyncio.Task[None]] = set()
 
@@ -524,8 +546,16 @@ async def _handle_connection(
                 if op == "ping":
                     await _write_line(writer, lock, json.dumps({"op": "pong"}))
                 elif op == "stats":
+                    stats = await _maybe_await(service.stats())
                     await _write_line(
-                        writer, lock, json.dumps({"op": "stats", "stats": service.stats()})
+                        writer, lock, json.dumps({"op": "stats", "stats": stats})
+                    )
+                elif op == "healthcheck":
+                    health = await _maybe_await(service.healthcheck())
+                    await _write_line(
+                        writer,
+                        lock,
+                        json.dumps({"op": "healthcheck", **health}),
                     )
                 elif op == "shutdown":
                     await _write_line(writer, lock, json.dumps({"op": "bye"}))
@@ -565,7 +595,9 @@ async def _handle_connection(
 
 
 async def start_server(
-    service: SolveService, host: str = "127.0.0.1", port: int = DEFAULT_PORT
+    service: "SolveService | PooledSolveService",
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
 ) -> asyncio.AbstractServer:
     """Bind the JSON-lines front-end; the caller owns the returned
     server's lifetime (tests use ``port=0`` for an ephemeral port)."""
@@ -579,7 +611,7 @@ async def serve(
     host: str = "127.0.0.1",
     port: int = DEFAULT_PORT,
     *,
-    service: SolveService | None = None,
+    service: "SolveService | PooledSolveService | None" = None,
     log_interval: float | None = None,
     on_ready: Callable[[str, int], None] | None = None,
 ) -> None:
@@ -594,6 +626,11 @@ async def serve(
     server leaves no uncommitted entries behind for work it answered.
     """
     svc = service if service is not None else SolveService()
+    starter = getattr(svc, "start", None)
+    if starter is not None:
+        # Pooled service: spawn the workers before accepting traffic so
+        # the first request never pays the pool's cold start.
+        await starter()
     server = await start_server(svc, host, port)
     bound = server.sockets[0].getsockname()[:2] if server.sockets else (host, port)
     loop = asyncio.get_running_loop()
@@ -611,7 +648,7 @@ async def serve(
         assert log_interval is not None
         while True:
             await asyncio.sleep(log_interval)
-            svc.stats()
+            await _maybe_await(svc.stats())
             print(svc.metrics.render_line(), flush=True)
 
     beat = (
@@ -656,10 +693,66 @@ async def submit(
             pass
 
 
+async def replay(
+    host: str,
+    port: int,
+    requests: "list[SolveRequest]",
+    *,
+    concurrency: int = 8,
+    timeout: float | None = 120.0,
+) -> list[tuple[SolveResult, float]]:
+    """Replay *requests* against a running server over *concurrency*
+    persistent connections and return ``(result, latency_seconds)`` in
+    submission order.
+
+    Each connection drains a shared queue serially (one request in
+    flight per connection — latencies stay honest), so total load on
+    the server is exactly *concurrency*-way.  Used by
+    ``benchmarks/bench_service.py`` and ``repro-pcmax submit --repeat``.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    queue: asyncio.Queue[tuple[int, SolveRequest]] = asyncio.Queue()
+    for item in enumerate(requests):
+        queue.put_nowait(item)
+    out: list[tuple[SolveResult, float] | None] = [None] * len(requests)
+
+    async def lane() -> None:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            while True:
+                try:
+                    index, request = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                t0 = time.monotonic()
+                writer.write(request.to_json().encode("utf-8") + b"\n")
+                await writer.drain()
+                line = await asyncio.wait_for(reader.readline(), timeout)
+                if not line:
+                    raise ConnectionError(
+                        "server closed the connection mid-replay"
+                    )
+                out[index] = (
+                    SolveResult.from_json(line.decode("utf-8")),
+                    time.monotonic() - t0,
+                )
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    await asyncio.gather(*(lane() for _ in range(min(concurrency, len(requests)) or 1)))
+    return [item for item in out if item is not None]
+
+
 async def send_op(
     host: str, port: int, op: str, *, timeout: float | None = 10.0
 ) -> dict:
-    """Send a control op (``ping`` / ``stats`` / ``shutdown``)."""
+    """Send a control op (``ping`` / ``stats`` / ``healthcheck`` /
+    ``shutdown``)."""
     reader, writer = await asyncio.open_connection(host, port)
     try:
         writer.write(json.dumps({"op": op}).encode("utf-8") + b"\n")

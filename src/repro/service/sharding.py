@@ -1,0 +1,70 @@
+"""Shard routing for the multi-process solver pool.
+
+The pool supervisor (:mod:`repro.service.supervisor`) routes every
+request to one of N worker processes by the *canonical sorted-multiset
+instance key* — the identity the result cache
+(:mod:`repro.service.cache`) and the durable store (:mod:`repro.store`)
+already share.  Routing on that key, rather than on raw request bytes
+or round-robin, is what keeps the per-worker machinery effective:
+
+* permuted / renumbered duplicates of an instance (the twins real
+  traffic produces) land on the *same* worker, so its memory cache and
+  warm DP configuration cache serve them without re-solving;
+* the supervisor's single-flight coalescing is trivially shard-aware —
+  one canonical key maps to one shard, so a thundering herd of twins
+  collapses onto one in-flight solve on one worker.
+
+The hash is SHA-256 over the canonical JSON of the key — deterministic
+across processes, platforms, and ``PYTHONHASHSEED`` (Python's builtin
+``hash`` is none of those for strings), so a request replays to the
+same shard after a restart and tests can pin expected placements.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.service.cache import CacheKey, canonical_key
+from repro.service.requests import SolveRequest
+
+__all__ = ["shard_key", "shard_index", "shard_of_request"]
+
+
+def shard_key(request: SolveRequest) -> CacheKey:
+    """The permutation-invariant routing identity of *request*.
+
+    Exactly :func:`repro.service.cache.canonical_key` — ``(sorted
+    times, machines, engine, eps)`` — re-exported under the routing
+    vocabulary so call sites say what they mean.
+    """
+    return canonical_key(request)
+
+
+def shard_index(key: CacheKey, num_shards: int) -> int:
+    """The shard (worker index in ``range(num_shards)``) owning *key*.
+
+    Stable: depends only on the key's canonical JSON, never on process
+    state.  Uniform: the top 64 bits of the SHA-256 digest mod
+    ``num_shards``.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    times, machines, engine, eps = key
+    body = json.dumps(
+        {
+            "times": list(times),
+            "machines": int(machines),
+            "engine": engine,
+            "eps": eps,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    digest = hashlib.sha256(body.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % num_shards
+
+
+def shard_of_request(request: SolveRequest, num_shards: int) -> int:
+    """Convenience composition: the shard owning *request*."""
+    return shard_index(shard_key(request), num_shards)

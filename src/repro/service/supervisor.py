@@ -1,0 +1,635 @@
+"""Sharded multi-process solver pool: the supervisor side.
+
+``repro-pcmax serve --pool-workers N`` swaps the single-process
+:class:`~repro.service.server.SolveService` for a
+:class:`PooledSolveService`: the asyncio JSON-lines front end, admission
+control, single-flight coalescing, and deadline bookkeeping stay in the
+supervisor process, while every DP runs in one of N
+:mod:`repro.service.worker` processes — aggregate throughput scales
+with the machine instead of saturating one core's GIL.
+
+Routing is by the canonical sorted-multiset instance key
+(:mod:`repro.service.sharding`) — the same key space the result cache
+and the durable store already share — so permuted duplicates always hit
+the same worker's warm memory cache, and one canonical key never solves
+on two workers at once.
+
+Failure semantics (pinned by the worker-kill e2e test):
+
+* a worker death (crash, OOM-kill, SIGKILL) is detected as EOF on its
+  pipe; the supervisor respawns the process immediately;
+* each in-flight request of the dead worker is re-sent **once** to the
+  respawned worker if its deadline still has room, otherwise (or on a
+  second death) it degrades to the LPT schedule tagged
+  ``degraded=true`` — the same anytime fallback the deadline path uses,
+  so a crash costs a client at most the 4/3 guarantee, never an error;
+* a request whose deadline fires while queued or solving is cancelled
+  on the worker (a ``cancel`` frame trips the solve's ``check_deadline``
+  hook between probes) and answered with LPT from the supervisor.
+
+Durability: workers write through to the *shared* store root with
+per-worker segment tags and journal their own admissions
+(``journal-w<i>.jsonl``) — one writer per file keeps the fsync
+guarantees intact; startup recovery replays every journal
+(:func:`repro.store.recovery.recover_all`).
+
+See ``docs/scaling.md`` for the full architecture reference.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import multiprocessing
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.algorithms.lpt import lpt, lpt_worst_case_ratio
+from repro.service.admission import AdmissionController
+from repro.service.cache import CacheKey
+from repro.service.metrics import MetricsRegistry, aggregate_pool_stats
+from repro.service.registry import UnknownEngineError, get_engine
+from repro.service.requests import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_REJECTED,
+    SolveRequest,
+    SolveResult,
+)
+from repro.service.sharding import shard_index, shard_key
+from repro.service.worker import send_frame, worker_main
+
+__all__ = ["SupervisorPool", "PooledSolveService", "WorkerHandle"]
+
+#: Seconds to wait for a worker's ``ready`` frame at pool start.
+DEFAULT_SPAWN_GRACE = 60.0
+#: Seconds a control round-trip (ping/stats) may take before the worker
+#: is reported unreachable.
+CONTROL_TIMEOUT = 5.0
+
+
+@dataclass
+class _PoolJob:
+    """One request travelling through the pool."""
+
+    job_id: str
+    request: SolveRequest
+    shard: int
+    deadline_at: float | None
+    future: "asyncio.Future[SolveResult]"
+    retried: bool = False
+
+
+class WorkerHandle:
+    """Supervisor-side bookkeeping for one worker process."""
+
+    def __init__(self, worker_id: int, config: dict[str, Any], mp_ctx) -> None:
+        self.worker_id = worker_id
+        self.config = config
+        self._mp_ctx = mp_ctx
+        self.conn = None
+        self.proc = None
+        self.ready = False
+        self.restarts = 0
+        self.inflight: dict[str, _PoolJob] = {}
+        self.send_lock = threading.Lock()
+
+    def spawn(self) -> None:
+        """Start (or restart) the worker process.  Blocking — run it off
+        the event loop."""
+        parent_conn, child_conn = self._mp_ctx.Pipe()
+        proc = self._mp_ctx.Process(
+            target=worker_main,
+            args=(child_conn, self.worker_id, self.config),
+            name=f"repro-pool-w{self.worker_id}",
+            daemon=True,
+        )
+        proc.start()
+        # Close our copy of the child's end: otherwise the pipe never
+        # EOFs when the worker dies and crash detection goes blind.
+        child_conn.close()
+        self.conn = parent_conn
+        self.proc = proc
+        self.ready = False
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.is_alive()
+
+    def reap(self, timeout: float = 2.0) -> None:
+        """Join (then terminate, then kill) the current process."""
+        if self.proc is None:
+            return
+        self.proc.join(timeout)
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(1.0)
+        if self.proc.is_alive():  # pragma: no cover - stuck in uninterruptible IO
+            self.proc.kill()
+            self.proc.join(1.0)
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+
+
+class SupervisorPool:
+    """Owns N worker processes and the frame traffic to them."""
+
+    def __init__(
+        self,
+        num_workers: int,
+        *,
+        store_root: str | None = None,
+        store_ttl: float | None = None,
+        cache_size: int = 1024,
+        cache_ttl: float | None = None,
+        archive_traces: bool = False,
+        metrics: MetricsRegistry | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        start_method: str = "spawn",
+        spawn_grace: float = DEFAULT_SPAWN_GRACE,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = num_workers
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._clock = clock
+        self._spawn_grace = spawn_grace
+        # "spawn" (not fork) on purpose: the supervisor runs an event
+        # loop plus IO threads, and forking a threaded process can
+        # deadlock the child on inherited lock state.
+        self._mp_ctx = multiprocessing.get_context(start_method)
+        config = {
+            "store_root": store_root,
+            "store_ttl": store_ttl,
+            "cache_size": cache_size,
+            "cache_ttl": cache_ttl,
+            "archive_traces": archive_traces,
+        }
+        self.handles = [
+            WorkerHandle(i, config, self._mp_ctx) for i in range(num_workers)
+        ]
+        # One thread per worker sits blocked in recv_bytes (the pump);
+        # the spare threads carry sends, control frames, and respawns.
+        self._io = ThreadPoolExecutor(
+            max_workers=num_workers + 4, thread_name_prefix="pool-io"
+        )
+        self._pumps: list[asyncio.Task[None]] = []
+        self._seq = itertools.count(1)
+        self._pending_control: dict[str, asyncio.Future[dict]] = {}
+        self._ready_events: dict[int, asyncio.Event] = {}
+        self._closing = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn every worker and wait until each reports ``ready``."""
+        if self._started:
+            return
+        self._started = True
+        loop = asyncio.get_running_loop()
+        for handle in self.handles:
+            self._ready_events[handle.worker_id] = asyncio.Event()
+        await asyncio.gather(
+            *(loop.run_in_executor(self._io, h.spawn) for h in self.handles)
+        )
+        for handle in self.handles:
+            self._pumps.append(loop.create_task(self._pump(handle)))
+        await asyncio.wait_for(
+            asyncio.gather(*(e.wait() for e in self._ready_events.values())),
+            timeout=self._spawn_grace,
+        )
+
+    async def aclose(self) -> None:
+        """Shut the workers down cleanly (journals checkpoint empty)."""
+        if not self._started or self._closing:
+            self._closing = True
+            self._io.shutdown(wait=False, cancel_futures=True)
+            return
+        self._closing = True
+        for handle in self.handles:
+            await self._send(handle, {"kind": "shutdown"})
+        loop = asyncio.get_running_loop()
+        await asyncio.gather(
+            *(loop.run_in_executor(None, h.reap) for h in self.handles)
+        )
+        for task in self._pumps:
+            task.cancel()
+        await asyncio.gather(*self._pumps, return_exceptions=True)
+        self._pumps.clear()
+        self._io.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # Frame traffic
+    # ------------------------------------------------------------------
+    async def _send(self, handle: WorkerHandle, frame: dict[str, Any]) -> bool:
+        """Write one frame to a worker off-loop; False if the pipe is
+        gone (the pump notices the death independently)."""
+        conn = handle.conn
+        if conn is None:
+            return False
+
+        def write() -> None:
+            with handle.send_lock:
+                send_frame(conn, frame)
+
+        try:
+            await asyncio.get_running_loop().run_in_executor(self._io, write)
+        except (OSError, ValueError, BrokenPipeError):
+            return False
+        return True
+
+    async def _pump(self, handle: WorkerHandle) -> None:
+        """Drain one worker's frames until EOF; EOF outside shutdown is
+        a death — respawn and re-route its in-flight work."""
+        loop = asyncio.get_running_loop()
+        conn = handle.conn
+        while True:
+            try:
+                data = await loop.run_in_executor(self._io, conn.recv_bytes)
+            except (EOFError, OSError):
+                break
+            try:
+                msg = json.loads(data.decode("utf-8"))
+            except ValueError:
+                continue
+            if isinstance(msg, dict):
+                self._on_frame(handle, msg)
+        if not self._closing:
+            self.metrics.counter("pool.worker_deaths").inc()
+            await self._respawn(handle)
+
+    def _on_frame(self, handle: WorkerHandle, msg: dict[str, Any]) -> None:
+        kind = msg.get("kind")
+        if kind == "ready":
+            handle.ready = True
+            event = self._ready_events.get(handle.worker_id)
+            if event is not None:
+                event.set()
+            self.metrics.gauge(f"pool.worker.{handle.worker_id}.pid").set(
+                float(msg.get("pid") or 0)
+            )
+        elif kind == "result":
+            job = handle.inflight.pop(str(msg.get("id")), None)
+            if job is None or job.future.done():
+                self.metrics.counter("pool.late_results_dropped").inc()
+                return
+            try:
+                result = SolveResult.from_dict(msg["result"])
+            except (KeyError, ValueError, TypeError) as exc:
+                result = SolveResult(
+                    request_id=job.request.request_id,
+                    status=STATUS_ERROR,
+                    error=f"malformed worker result: {exc}",
+                )
+            job.future.set_result(result)
+        elif kind in ("pong", "stats"):
+            fut = self._pending_control.pop(str(msg.get("id")), None)
+            if fut is not None and not fut.done():
+                fut.set_result(msg)
+
+    # ------------------------------------------------------------------
+    # Crash handling
+    # ------------------------------------------------------------------
+    async def _respawn(self, handle: WorkerHandle) -> None:
+        handle.restarts += 1
+        self.metrics.counter("pool.worker_restarts").inc()
+        stranded = list(handle.inflight.values())
+        handle.inflight.clear()
+        loop = asyncio.get_running_loop()
+        respawned = False
+        for attempt in range(3):
+            try:
+                await loop.run_in_executor(self._io, handle.reap)
+                await loop.run_in_executor(self._io, handle.spawn)
+                respawned = True
+                break
+            except OSError:  # pragma: no cover - resource exhaustion
+                await asyncio.sleep(0.5 * (attempt + 1))
+        if respawned:
+            self._pumps.append(loop.create_task(self._pump(handle)))
+        for job in stranded:
+            if job.future.done():
+                continue
+            retryable = (
+                respawned
+                and not job.retried
+                and (job.deadline_at is None or self._clock() < job.deadline_at)
+            )
+            if retryable:
+                job.retried = True
+                self.metrics.counter("pool.retries").inc()
+                await self._send_job(handle, job)
+            else:
+                self.metrics.counter("pool.crash_degradations").inc()
+                job.future.set_result(self._degrade_result(job.request))
+
+    def _degrade_result(self, request: SolveRequest) -> SolveResult:
+        """The anytime fallback, computed supervisor-side: LPT tagged
+        ``degraded`` with Graham's ``4/3 - 1/(3m)`` guarantee.
+        (``degradations_total`` is counted once, in ``_admit_and_solve``.)"""
+        schedule = lpt(request.instance())
+        return SolveResult(
+            request_id=request.request_id,
+            status=STATUS_OK,
+            engine="lpt",
+            makespan=schedule.makespan,
+            assignment=schedule.assignment,
+            guarantee=lpt_worst_case_ratio(request.machines),
+            degraded=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    async def _send_job(self, handle: WorkerHandle, job: _PoolJob) -> None:
+        handle.inflight[job.job_id] = job
+        deadline = (
+            None
+            if job.deadline_at is None
+            else max(0.0, job.deadline_at - self._clock())
+        )
+        sent = await self._send(
+            handle,
+            {
+                "kind": "solve",
+                "id": job.job_id,
+                "request": job.request.to_dict(),
+                "deadline": deadline,
+            },
+        )
+        if not sent and handle.inflight.pop(job.job_id, None) is not None:
+            # Pipe already gone and the pump's respawn missed this job:
+            # answer now rather than strand the client.
+            if not job.future.done():
+                self.metrics.counter("pool.crash_degradations").inc()
+                job.future.set_result(self._degrade_result(job.request))
+
+    async def submit(
+        self, request: SolveRequest, *, deadline_at: float | None = None
+    ) -> SolveResult:
+        """Route *request* to its shard's worker and await the answer,
+        degrading supervisor-side if the deadline fires first."""
+        shard = shard_index(shard_key(request), self.num_workers)
+        job = _PoolJob(
+            job_id=f"{next(self._seq):08d}",
+            request=request,
+            shard=shard,
+            deadline_at=deadline_at,
+            future=asyncio.get_running_loop().create_future(),
+        )
+        handle = self.handles[shard]
+        self.metrics.counter("pool.dispatched").inc()
+        self.metrics.counter(f"pool.shard.{shard}.dispatched").inc()
+        await self._send_job(handle, job)
+        if job.deadline_at is None:
+            return await job.future
+        remaining = max(0.0, job.deadline_at - self._clock())
+        try:
+            return await asyncio.wait_for(asyncio.shield(job.future), remaining)
+        except asyncio.TimeoutError:
+            handle.inflight.pop(job.job_id, None)
+            # Best-effort cancel: trips the solve's check_deadline hook
+            # between probes so the shard lane frees up.
+            asyncio.get_running_loop().create_task(
+                self._send(handle, {"kind": "cancel", "id": job.job_id})
+            )
+            self.metrics.counter("pool.deadline_degradations").inc()
+            return self._degrade_result(job.request)
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    async def _control(
+        self, handle: WorkerHandle, kind: str, timeout: float = CONTROL_TIMEOUT
+    ) -> dict[str, Any] | None:
+        """One ping/stats round trip; ``None`` if the worker is gone or
+        does not answer in time."""
+        if handle.conn is None:
+            return None
+        cid = f"c{next(self._seq):08d}"
+        fut: asyncio.Future[dict] = asyncio.get_running_loop().create_future()
+        self._pending_control[cid] = fut
+        if not await self._send(handle, {"kind": kind, "id": cid}):
+            self._pending_control.pop(cid, None)
+            return None
+        try:
+            return await asyncio.wait_for(fut, timeout)
+        except asyncio.TimeoutError:
+            self._pending_control.pop(cid, None)
+            return None
+
+    async def stats_all(self) -> dict[int, dict[str, Any] | None]:
+        """Per-worker metrics snapshots (``None`` for unreachable)."""
+        replies = await asyncio.gather(
+            *(self._control(h, "stats") for h in self.handles)
+        )
+        return {
+            h.worker_id: (r.get("stats") if r is not None else None)
+            for h, r in zip(self.handles, replies)
+        }
+
+    async def healthcheck(self) -> dict[str, Any]:
+        """Liveness + responsiveness of every worker."""
+        replies = await asyncio.gather(
+            *(self._control(h, "ping", timeout=2.0) for h in self.handles)
+        )
+        details = []
+        for handle, reply in zip(self.handles, replies):
+            details.append(
+                {
+                    "worker": handle.worker_id,
+                    "alive": handle.alive,
+                    "responsive": reply is not None,
+                    "pid": handle.proc.pid if handle.proc is not None else None,
+                    "restarts": handle.restarts,
+                    "inflight": len(handle.inflight),
+                }
+            )
+        healthy = sum(1 for d in details if d["alive"] and d["responsive"])
+        return {
+            "ok": healthy == self.num_workers,
+            "mode": "pool",
+            "workers": self.num_workers,
+            "healthy": healthy,
+            "details": details,
+        }
+
+
+class PooledSolveService:
+    """Drop-in pooled counterpart of
+    :class:`repro.service.server.SolveService`.
+
+    Same duck-typed surface the JSON-lines front end consumes —
+    ``handle`` / ``stats`` / ``healthcheck`` / ``request_shutdown`` /
+    ``aclose`` / ``metrics`` — but every solve executes in a worker
+    process chosen by shard key.  ``stats`` is a coroutine here (it
+    round-trips to the workers); the front end awaits either shape.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        *,
+        admission: AdmissionController | None = None,
+        metrics: MetricsRegistry | None = None,
+        default_deadline: float | None = None,
+        store_root: str | None = None,
+        store_ttl: float | None = None,
+        cache_size: int = 1024,
+        cache_ttl: float | None = None,
+        archive_traces: bool = False,
+        clock: Callable[[], float] = time.monotonic,
+        start_method: str = "spawn",
+        spawn_grace: float = DEFAULT_SPAWN_GRACE,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.admission = admission if admission is not None else AdmissionController()
+        self.default_deadline = default_deadline
+        self._clock = clock
+        self.pool = SupervisorPool(
+            num_workers,
+            store_root=store_root,
+            store_ttl=store_ttl,
+            cache_size=cache_size,
+            cache_ttl=cache_ttl,
+            archive_traces=archive_traces,
+            metrics=self.metrics,
+            clock=clock,
+            start_method=start_method,
+            spawn_grace=spawn_grace,
+        )
+        self._inflight: dict[CacheKey, asyncio.Future[None]] = {}
+        self._start_lock: asyncio.Lock | None = None
+        self._shutdown_event: asyncio.Event | None = None
+
+    @property
+    def num_workers(self) -> int:
+        return self.pool.num_workers
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn the pool (idempotent; ``handle`` also calls this)."""
+        if self._start_lock is None:
+            self._start_lock = asyncio.Lock()
+        async with self._start_lock:
+            await self.pool.start()
+
+    def request_shutdown(self) -> None:
+        """Signal the server loop to exit (the ``shutdown`` op)."""
+        if self._shutdown_event is not None:
+            self._shutdown_event.set()
+
+    async def aclose(self) -> None:
+        """Shut the pool down cleanly."""
+        await self.pool.aclose()
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    async def handle(self, request: SolveRequest) -> SolveResult:
+        """Serve one request: validate → coalesce → admit → shard →
+        worker solve (→ degrade on deadline/crash)."""
+        await self.start()
+        t0 = self._clock()
+        self.metrics.counter("requests_total").inc()
+        try:
+            request.instance()  # eager structural validation
+            get_engine(request.engine)
+        except (UnknownEngineError, ValueError, TypeError) as exc:
+            self.metrics.counter("requests_invalid").inc()
+            return SolveResult(
+                request_id=request.request_id,
+                status=STATUS_ERROR,
+                engine=request.engine,
+                error=str(exc),
+            )
+
+        # Single-flight coalescing, trivially shard-aware: one canonical
+        # key maps to one shard, so followers wait for the leader and
+        # then submit — the worker's shard cache answers them instantly.
+        key = shard_key(request)
+        leader = key not in self._inflight
+        if leader:
+            self._inflight[key] = asyncio.get_running_loop().create_future()
+        else:
+            self.metrics.counter("requests_coalesced").inc()
+            try:
+                await asyncio.shield(self._inflight[key])
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                pass
+        try:
+            return await self._admit_and_solve(request, t0)
+        finally:
+            if leader:
+                waiter = self._inflight.pop(key)
+                if not waiter.done():
+                    waiter.set_result(None)
+
+    async def _admit_and_solve(
+        self, request: SolveRequest, t0: float
+    ) -> SolveResult:
+        decision = self.admission.try_admit(request)
+        if not decision.admitted:
+            self.metrics.counter("requests_shed").inc()
+            return SolveResult(
+                request_id=request.request_id,
+                status=STATUS_REJECTED,
+                engine=request.engine,
+                retry_after=decision.retry_after,
+                error=decision.reason,
+            )
+        deadline = (
+            request.deadline if request.deadline is not None else self.default_deadline
+        )
+        deadline_at = None if deadline is None else t0 + deadline
+        try:
+            result = await self.pool.submit(request, deadline_at=deadline_at)
+        finally:
+            self.admission.release(decision)
+        if result.cached:
+            self.metrics.counter("cache_hits").inc()
+        if result.degraded:
+            self.metrics.counter("degradations_total").inc()
+        self.metrics.histogram("request_latency_seconds").observe(
+            self._clock() - t0
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    async def stats(self) -> dict[str, Any]:
+        """The pooled ``{"op": "stats"}`` payload: the supervisor's own
+        instruments, each worker's snapshot namespaced ``worker.<i>.*``,
+        and ``pool.*`` totals summed across workers."""
+        self.metrics.set_many(
+            "admission", {k: float(v) for k, v in self.admission.stats().items()}
+        )
+        self.metrics.gauge("pool.workers").set(float(self.num_workers))
+        self.metrics.gauge("pool.worker_restarts_total").set(
+            float(sum(h.restarts for h in self.pool.handles))
+        )
+        workers = (
+            await self.pool.stats_all()
+            if self.pool._started and not self.pool._closing
+            else {}
+        )
+        return aggregate_pool_stats(self.metrics.snapshot(), workers)
+
+    async def healthcheck(self) -> dict[str, Any]:
+        """Per-worker liveness/responsiveness report (the ``healthcheck`` op)."""
+        await self.start()
+        return await self.pool.healthcheck()

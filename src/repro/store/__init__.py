@@ -22,9 +22,14 @@ given; ``repro-pcmax store {stats,verify,compact,replay}`` operates on
 a store directory offline.
 """
 
-from repro.store.journal import JournalEntry, WriteAheadJournal
+from repro.store.journal import (
+    JournalEntry,
+    WriteAheadJournal,
+    list_journals,
+    worker_journal_name,
+)
 from repro.store.records import RecordError, decode_record, encode_record
-from repro.store.recovery import RecoveryReport, recover
+from repro.store.recovery import RecoveryReport, recover, recover_all
 from repro.store.resultstore import (
     CompactionReport,
     ResultStore,
@@ -39,6 +44,9 @@ __all__ = [
     "JournalEntry",
     "RecoveryReport",
     "recover",
+    "recover_all",
+    "list_journals",
+    "worker_journal_name",
     "CompactionReport",
     "StoreVerifyReport",
     "RecordError",

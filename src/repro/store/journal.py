@@ -44,6 +44,33 @@ from repro.store.resultstore import key_address
 JOURNAL_NAME = "journal.jsonl"
 
 
+def worker_journal_name(worker_id: int) -> str:
+    """Journal file name owned by pool worker *worker_id*.
+
+    Each worker process of the sharded solver pool journals its own
+    admitted requests into its own file (``journal-w3.jsonl``), so the
+    begin-fsync-before-solve guarantee never crosses a process boundary.
+    :func:`repro.store.recovery.recover_all` replays every journal in a
+    store root, whichever process wrote it.
+    """
+    return f"journal-w{int(worker_id)}.jsonl"
+
+
+def list_journals(root: str | Path) -> list[Path]:
+    """Every journal file in a store root (supervisor's plus any
+    per-worker ones), sorted by name."""
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    return sorted(
+        p
+        for p in root.iterdir()
+        if p.is_file()
+        and p.name.endswith(".jsonl")
+        and p.name.startswith("journal")
+    )
+
+
 @dataclass(frozen=True)
 class JournalEntry:
     """One admitted request as recorded in the journal."""
@@ -57,12 +84,15 @@ class WriteAheadJournal:
 
     Thread-safety note: callers serialize access (the service writes
     from the event loop; recovery runs before the loop starts).
+
+    ``name`` selects the journal file inside *root*; pool workers pass
+    :func:`worker_journal_name` so each process owns its file alone.
     """
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path, *, name: str = JOURNAL_NAME) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
-        self.path = self.root / JOURNAL_NAME
+        self.path = self.root / name
         self.torn_tail = False
         self._open_entries: dict[str, SolveRequest] = {}
         self._seq = 0

@@ -23,12 +23,13 @@ a recovered record and a fresh solve's canonical form.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 from repro.service.cache import canonical_key, canonicalize_result
 from repro.service.registry import solve_to_result
 from repro.service.requests import SolveRequest, SolveResult
-from repro.store.journal import WriteAheadJournal
+from repro.store.journal import WriteAheadJournal, list_journals
 from repro.store.resultstore import ResultStore
 
 
@@ -90,3 +91,34 @@ def recover(
         report.replayed += 1
     journal.checkpoint()
     return report
+
+
+def recover_all(
+    store: ResultStore,
+    root: str | Path,
+    *,
+    solve: Callable[[SolveRequest], SolveResult] | None = None,
+) -> RecoveryReport:
+    """Replay *every* journal found in *root* into *store*.
+
+    A sharded solver pool leaves one journal per worker process
+    (:func:`repro.store.journal.worker_journal_name`) next to the
+    supervisor's own; a crash of any subset of processes may strand
+    uncommitted entries across several files.  This drains them all —
+    each journal is opened, recovered exactly as :func:`recover` would,
+    and closed — and returns one merged report.
+    """
+    merged = RecoveryReport()
+    for path in list_journals(root):
+        journal = WriteAheadJournal(root, name=path.name)
+        try:
+            report = recover(store, journal, solve=solve)
+        finally:
+            journal.close()
+        merged.entries += report.entries
+        merged.replayed += report.replayed
+        merged.already_stored += report.already_stored
+        merged.aborted.extend(
+            f"{path.name}:{line}" for line in report.aborted
+        )
+    return merged

@@ -140,6 +140,11 @@ class ResultStore:
         Re-verify each served schedule via
         :func:`repro.model.verify.verify_schedule` (on by default; the
         cost is linear in the instance and tiny next to a solve).
+    writer_tag:
+        Append namespace for this process's writes (``seg-<tag>-*``).
+        Each worker of a multi-process solver pool opens the *same* root
+        with its own tag, so the store is a shared read tier while every
+        segment file keeps exactly one writer (docs/persistence.md).
     """
 
     def __init__(
@@ -150,6 +155,7 @@ class ResultStore:
         segment_max_bytes: int = 4 << 20,
         clock: Callable[[], float] = time.time,
         verify_reads: bool = True,
+        writer_tag: str | None = None,
     ) -> None:
         if ttl is not None and ttl <= 0:
             raise ValueError("ttl must be positive (or None)")
@@ -158,7 +164,10 @@ class ResultStore:
         self.ttl = ttl
         self._clock = clock
         self.verify_reads = verify_reads
-        self._writer = SegmentWriter(self.segments_dir, max_bytes=segment_max_bytes)
+        self.writer_tag = writer_tag
+        self._writer = SegmentWriter(
+            self.segments_dir, max_bytes=segment_max_bytes, tag=writer_tag
+        )
         # The store is touched from the event loop (write-through cache)
         # and from worker threads (trace archival), so mutations lock.
         self._lock = threading.Lock()
@@ -396,7 +405,9 @@ class ResultStore:
         # Write the replacement segment durably, then retire the old
         # files.  A crash between the two steps leaves duplicates, which
         # is safe: the index always takes the latest record per address.
-        next_seq = (segment_seq(clean_old[-1]) + 1) if clean_old else 1
+        # Compaction always writes an *untagged* segment; the sequence
+        # number clears every namespace so the new file cannot collide.
+        next_seq = max((segment_seq(p) for p in clean_old), default=0) + 1
         new_path = self.segments_dir / segment_name(next_seq)
         new_index: dict[str, tuple[Path, int]] = {}
         new_traces: dict[str, tuple[Path, int]] = {}
@@ -419,7 +430,9 @@ class ResultStore:
         fsync_dir(self.segments_dir)
         self._index = new_index
         self._trace_index = new_traces
-        self._writer = SegmentWriter(self.segments_dir, max_bytes=max_bytes)
+        self._writer = SegmentWriter(
+            self.segments_dir, max_bytes=max_bytes, tag=self.writer_tag
+        )
 
         dropped = seen_records - len(live)
         report.records_kept = len(live)

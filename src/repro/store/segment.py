@@ -34,16 +34,24 @@ from typing import Any, Iterator
 from repro.io.atomic import append_line, fsync_dir
 from repro.store.records import RecordError, decode_record, encode_record
 
-#: Segment file name layout; the number orders segments by age.
-SEGMENT_PATTERN = re.compile(r"seg-(\d{8})\.jsonl$")
+#: Segment file name layout; the number orders segments by age.  The
+#: optional *writer tag* (``seg-w0-00000001.jsonl``) gives each process
+#: of a multi-process pool its own append namespace: one writer per
+#: file, so fsync ordering and torn-tail semantics are never shared
+#: between processes (docs/persistence.md).
+SEGMENT_PATTERN = re.compile(r"seg-(?:(?P<tag>[A-Za-z0-9]+)-)?(?P<seq>\d{8})\.jsonl$")
 
 #: Suffix a corrupt segment is renamed with.
 QUARANTINE_SUFFIX = ".quarantined"
 
 
-def segment_name(seq: int) -> str:
-    """File name of segment number *seq*."""
-    return f"seg-{seq:08d}.jsonl"
+def segment_name(seq: int, tag: str | None = None) -> str:
+    """File name of segment number *seq* (optionally writer-tagged)."""
+    if tag is None:
+        return f"seg-{seq:08d}.jsonl"
+    if not re.fullmatch(r"[A-Za-z0-9]+", tag):
+        raise ValueError(f"writer tag must be alphanumeric, got {tag!r}")
+    return f"seg-{tag}-{seq:08d}.jsonl"
 
 
 def list_segments(segments_dir: Path) -> list[Path]:
@@ -63,7 +71,15 @@ def segment_seq(path: Path) -> int:
     match = SEGMENT_PATTERN.search(path.name)
     if match is None:
         raise ValueError(f"{path} is not a segment file")
-    return int(match.group(1))
+    return int(match.group("seq"))
+
+
+def segment_tag(path: Path) -> str | None:
+    """The writer tag encoded in a segment file name (``None`` untagged)."""
+    match = SEGMENT_PATTERN.search(path.name)
+    if match is None:
+        raise ValueError(f"{path} is not a segment file")
+    return match.group("tag")
 
 
 @dataclass
@@ -142,28 +158,43 @@ class SegmentWriter:
     Every append is flushed and fsync'd before the new ``(path,
     offset)`` is returned, so an acknowledged write is durable.  The
     writer owns only the *active* file; older segments are immutable.
+
+    ``tag`` scopes the writer to its own file-name namespace
+    (``seg-<tag>-<seq>.jsonl``): a multi-process solver pool gives each
+    worker a distinct tag, so concurrent processes never append to the
+    same file and every segment still has exactly one writer.
     """
 
-    def __init__(self, segments_dir: Path, *, max_bytes: int = 4 << 20) -> None:
+    def __init__(
+        self,
+        segments_dir: Path,
+        *,
+        max_bytes: int = 4 << 20,
+        tag: str | None = None,
+    ) -> None:
         if max_bytes < 1:
             raise ValueError("max_bytes must be >= 1")
         self.segments_dir = segments_dir
         self.max_bytes = max_bytes
+        self.tag = tag
         self.segments_dir.mkdir(parents=True, exist_ok=True)
-        existing = list_segments(self.segments_dir)
-        self._seq = segment_seq(existing[-1]) if existing else 0
+        own = [p for p in list_segments(self.segments_dir) if segment_tag(p) == tag]
+        self._seq = segment_seq(own[-1]) if own else 0
         self._fh = None  # opened lazily on first append
+
+    def _name(self, seq: int) -> str:
+        return segment_name(seq, self.tag)
 
     @property
     def active_path(self) -> Path:
         """The file the next append lands in."""
-        return self.segments_dir / segment_name(max(self._seq, 1))
+        return self.segments_dir / self._name(max(self._seq, 1))
 
     def _ensure_open(self):
         if self._fh is None:
             if self._seq == 0:
                 self._seq = 1
-            self._fh = open(self.segments_dir / segment_name(self._seq), "ab")
+            self._fh = open(self.segments_dir / self._name(self._seq), "ab")
             self._fh.seek(0, os.SEEK_END)  # 'a' mode tell() is platform-defined
             fsync_dir(self.segments_dir)
         return self._fh
@@ -180,7 +211,7 @@ class SegmentWriter:
         if fh.tell() >= self.max_bytes:
             self._roll()
             fh = self._ensure_open()
-        path = self.segments_dir / segment_name(self._seq)
+        path = self.segments_dir / self._name(self._seq)
         offset = append_line(fh, encode_record(kind, body))
         return path, offset
 

@@ -1,0 +1,107 @@
+"""Tests for shard routing (:mod:`repro.service.sharding`).
+
+The property that makes the pool's per-shard caches effective: any two
+requests with the same canonical sorted-multiset instance key — permuted
+times, renumbered jobs, differently-spelled engine names — must route to
+the same shard, for every pool size.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.cache import canonical_key
+from repro.service.requests import SolveRequest
+from repro.service.sharding import shard_index, shard_key, shard_of_request
+
+import pytest
+
+
+def _req(times, machines=3, engine="ptas", eps=0.3, **kwargs) -> SolveRequest:
+    return SolveRequest(
+        times=tuple(times), machines=machines, engine=engine, eps=eps, **kwargs
+    )
+
+
+class TestShardKey:
+    def test_is_the_cache_key(self):
+        req = _req([5, 3, 8], machines=2)
+        assert shard_key(req) == canonical_key(req)
+
+    def test_permutation_invariant(self):
+        a = _req([5, 3, 8, 1], machines=2)
+        b = _req([1, 8, 3, 5], machines=2)
+        assert shard_key(a) == shard_key(b)
+
+    def test_request_id_does_not_matter(self):
+        a = _req([5, 3, 8], request_id="first")
+        b = _req([5, 3, 8], request_id="second")
+        assert shard_key(a) == shard_key(b)
+
+
+class TestShardIndex:
+    @given(
+        times=st.lists(st.integers(1, 10_000), min_size=1, max_size=40),
+        machines=st.integers(1, 16),
+        num_shards=st.integers(1, 32),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_permuted_duplicates_land_on_the_same_shard(
+        self, times, machines, num_shards, seed
+    ):
+        """The property the per-worker caches rely on: a permuted /
+        renumbered twin of an instance maps to the same shard."""
+        shuffled = list(times)
+        random.Random(seed).shuffle(shuffled)
+        original = _req(times, machines=machines, request_id="a")
+        twin = _req(shuffled, machines=machines, request_id="b")
+        assert shard_of_request(original, num_shards) == shard_of_request(
+            twin, num_shards
+        )
+
+    @given(
+        times=st.lists(st.integers(1, 10_000), min_size=1, max_size=40),
+        machines=st.integers(1, 16),
+        num_shards=st.integers(1, 32),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_index_in_range(self, times, machines, num_shards):
+        shard = shard_of_request(_req(times, machines=machines), num_shards)
+        assert 0 <= shard < num_shards
+
+    def test_engine_spelling_routes_identically(self):
+        """Dashes and underscores are the same engine, so the same shard."""
+        assert shard_key(_req([4, 4, 4], engine="parallel-ptas")) == shard_key(
+            _req([4, 4, 4], engine="parallel_ptas")
+        )
+
+    def test_deterministic_across_processes(self):
+        """Pinned placements: the hash must not depend on process state
+        (PYTHONHASHSEED), or a restarted supervisor would re-route every
+        key and cold every shard cache.  These values only change if the
+        routing function itself changes — update deliberately."""
+        key = canonical_key(_req([1, 2, 3], machines=2, eps=0.5))
+        assert shard_index(key, 2) == 1
+        assert shard_index(key, 7) == 4
+        key2 = canonical_key(_req([9, 9, 9, 9], machines=4, eps=0.1))
+        assert shard_index(key2, 2) == 0
+        assert shard_index(key2, 7) == 4
+
+    def test_rejects_nonpositive_shard_count(self):
+        key = canonical_key(_req([1, 2]))
+        with pytest.raises(ValueError):
+            shard_index(key, 0)
+
+    def test_distribution_is_not_degenerate(self):
+        """Smoke check, not a statistical claim: 200 distinct instances
+        across 4 shards should not all pile onto one shard."""
+        counts = [0, 0, 0, 0]
+        for i in range(200):
+            req = _req([i + 1, 2 * i + 3, 17], machines=2)
+            counts[shard_of_request(req, 4)] += 1
+        assert all(c > 0 for c in counts)
+        assert max(counts) < 150
