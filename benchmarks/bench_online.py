@@ -1,0 +1,244 @@
+"""Online scheduler benchmark: incremental repair vs recompute-from-scratch.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_online.py                   # full
+    PYTHONPATH=src python benchmarks/bench_online.py --check-baseline  # CI gate
+
+Drives seeded traffic scenarios (:mod:`repro.online.replay` — Poisson
+and bursty arrivals over the workload families, random departures)
+through a live schedule in both modes:
+
+* ``incremental`` — O(log m) least-loaded repair per event, full
+  warm-started PTAS re-solve only when the tracked ratio drifts past
+  the Della Croce–Scatamacchia LPT bound;
+* ``scratch`` — a full PTAS re-solve forced after *every* event (what
+  a service without live schedules would pay for the same freshness).
+
+Both modes settle to a certified ``1 + eps`` schedule at the end, every
+sampled intermediate schedule is re-verified with
+:func:`repro.model.verify.verify_schedule`, and every re-solve point
+must land at or under the engine's guarantee — so the comparison is at
+*equal final quality* and the only free variable is how many full PTAS
+solves each mode burned.
+
+Gate (always armed — solve counts are deterministic, no wall clock
+involved): in every scenario the incremental mode must run at least
+``MIN_SOLVE_SAVINGS``x fewer full PTAS solves than scratch.  Results
+land under the ``"online"`` section of ``BENCH_dp.json``, one run per
+``(scenario, mode)``, fingerprint-stamped via :mod:`repro.io.benchjson`.
+
+``--check-baseline`` is the CI tripwire and re-measures nothing: the
+recorded section must exist, match the current scenario fingerprint,
+contain both modes of every scenario fully verified and within
+guarantee, and meet the solve-savings floor.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.io.benchjson import (
+    instance_fingerprint,
+    load_bench,
+    merge_runs,
+    update_section,
+)
+from repro.online.replay import ReplayConfig, generate_events, run_replay
+
+#: The replayed scenarios: (name, config).  Small enough to finish in
+#: seconds on one core, shaped differently enough (smooth Poisson,
+#: bursty, LPT-adversarial times) that the drift policy is exercised
+#: from several directions.
+SCENARIOS = (
+    ("poisson_u100", ReplayConfig(
+        family="u_100", machines=4, eps=0.2, num_events=50,
+        arrival="poisson", rate=2.0, depart_prob=0.25, seed=0,
+    )),
+    ("burst_u10", ReplayConfig(
+        family="u_10", machines=3, eps=0.2, num_events=50,
+        arrival="burst", burst_size=6, burst_every=8, depart_prob=0.2, seed=1,
+    )),
+    ("poisson_adversarial", ReplayConfig(
+        family="lpt_adversarial", machines=3, eps=0.25, num_events=40,
+        arrival="poisson", rate=1.5, depart_prob=0.3, seed=2,
+    )),
+)
+#: Floor on scratch/incremental full-PTAS-solve ratio, per scenario.
+MIN_SOLVE_SAVINGS = 5.0
+VERIFY_EVERY = 5
+SECTION = "online"
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_dp.json"
+RUN_KEY = ("scenario", "mode")
+
+
+def workload_descriptor() -> dict:
+    """What the fingerprint covers: everything that shapes the replays."""
+    return {
+        "scenarios": {name: asdict(config) for name, config in SCENARIOS},
+        "verify_every": VERIFY_EVERY,
+        "min_solve_savings": MIN_SOLVE_SAVINGS,
+    }
+
+
+def run_scenario(name: str, config: ReplayConfig) -> list[dict]:
+    """Both modes over one scenario's event trace (shared, seeded)."""
+    events = generate_events(config)
+    runs = []
+    for mode in ("incremental", "scratch"):
+        t0 = time.perf_counter()
+        report = run_replay(
+            events,
+            machines=config.machines,
+            eps=config.eps,
+            mode=mode,
+            verify_every=VERIFY_EVERY,
+            tenant=f"bench-{name}",
+        )
+        wall = time.perf_counter() - t0
+        runs.append(
+            {
+                "scenario": name,
+                "mode": mode,
+                "num_events": report.num_events,
+                "full_solves": report.full_solves,
+                "resolves": report.resolves,
+                "repairs": report.repairs,
+                "final_makespan": report.final_makespan,
+                "final_ratio": report.final_ratio,
+                "final_jobs": report.final_jobs,
+                "snapshots_verified": report.snapshots_verified,
+                "ratio_within_guarantee": report.ratio_within_guarantee,
+                "guarantee": round(1.0 + config.eps, 6),
+                "seconds": round(wall, 4),
+            }
+        )
+    return runs
+
+
+def main() -> int:
+    fingerprint = instance_fingerprint(workload_descriptor())
+    print(
+        f"replaying {len(SCENARIOS)} scenarios x 2 modes "
+        f"(fingerprint {fingerprint})"
+    )
+    runs: list[dict] = []
+    failures: list[str] = []
+    savings: dict[str, float] = {}
+    for name, config in SCENARIOS:
+        pair = run_scenario(name, config)
+        runs.extend(pair)
+        inc, scr = pair
+        ratio = scr["full_solves"] / max(1, inc["full_solves"])
+        savings[name] = round(ratio, 2)
+        print(
+            f"{name:22s} incremental={inc['full_solves']:3d} solves "
+            f"scratch={scr['full_solves']:3d} solves  savings={ratio:5.1f}x  "
+            f"final ratio {inc['final_ratio']:.4f} vs {scr['final_ratio']:.4f} "
+            f"(guarantee {inc['guarantee']})"
+        )
+        if ratio < MIN_SOLVE_SAVINGS:
+            failures.append(
+                f"{name}: only {ratio:.1f}x fewer full solves "
+                f"(required >= {MIN_SOLVE_SAVINGS}x)"
+            )
+        for run in pair:
+            if not run["ratio_within_guarantee"]:
+                failures.append(
+                    f"{name}/{run['mode']}: a re-solve point exceeded the "
+                    "engine guarantee"
+                )
+            if run["final_ratio"] > run["guarantee"] + 1e-6:
+                failures.append(
+                    f"{name}/{run['mode']}: final ratio {run['final_ratio']} "
+                    f"above the {run['guarantee']} guarantee"
+                )
+
+    previous = load_bench(OUTPUT).get(SECTION, {})
+    payload = {
+        "benchmark": (
+            "online streaming scheduler: full PTAS solves, incremental "
+            "drift policy vs recompute-from-scratch, at equal final quality"
+        ),
+        "fingerprint": fingerprint,
+        "workload": workload_descriptor(),
+        "runs": merge_runs(
+            previous.get("runs"), runs, fingerprint, key_fields=RUN_KEY
+        ),
+        "solve_savings": savings,
+        "gate": {
+            "min_solve_savings": MIN_SOLVE_SAVINGS,
+            "gate_active": True,
+            "skip_reason": None,
+        },
+    }
+    update_section(OUTPUT, SECTION, payload)
+    print(f"wrote {SECTION!r} section of {OUTPUT}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK: every scenario verified at equal quality, gate met")
+    return 0
+
+
+def check_baseline() -> int:
+    """CI tripwire over the recorded section — no re-measurement."""
+    section = load_bench(OUTPUT).get(SECTION)
+    failures: list[str] = []
+    if not section:
+        print(f"FAIL: no {SECTION!r} section in {OUTPUT}")
+        return 1
+    fingerprint = instance_fingerprint(workload_descriptor())
+    if section.get("fingerprint") != fingerprint:
+        failures.append(
+            f"fingerprint {section.get('fingerprint')} != current "
+            f"{fingerprint} — scenarios changed, re-run the benchmark"
+        )
+    runs = {
+        (r.get("scenario"), r.get("mode")): r
+        for r in section.get("runs", [])
+        if r.get("fingerprint") == fingerprint
+    }
+    for name, _config in SCENARIOS:
+        for mode in ("incremental", "scratch"):
+            run = runs.get((name, mode))
+            if run is None:
+                failures.append(
+                    f"no current-fingerprint ({name}, {mode}) run recorded"
+                )
+                continue
+            if not run.get("ratio_within_guarantee"):
+                failures.append(f"({name}, {mode}): re-solve exceeded guarantee")
+            if not run.get("snapshots_verified"):
+                failures.append(f"({name}, {mode}): no snapshots verified")
+            if run.get("final_ratio", 99.0) > run.get("guarantee", 0.0) + 1e-6:
+                failures.append(
+                    f"({name}, {mode}): final ratio above guarantee"
+                )
+        savings = section.get("solve_savings", {}).get(name)
+        if savings is None:
+            failures.append(f"{name}: no solve_savings recorded")
+        elif savings < section.get("gate", {}).get(
+            "min_solve_savings", MIN_SOLVE_SAVINGS
+        ):
+            failures.append(
+                f"{name}: recorded savings {savings}x below the "
+                f"{MIN_SOLVE_SAVINGS}x floor"
+            )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"OK: {SECTION} baseline is structurally sound")
+    return 0
+
+
+if __name__ == "__main__":
+    if "--check-baseline" in sys.argv[1:]:
+        sys.exit(check_baseline())
+    sys.exit(main())

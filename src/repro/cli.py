@@ -455,6 +455,7 @@ def _cmd_submit_repeat(args: argparse.Namespace) -> int:
         return latencies[min(len(latencies) - 1, int(p / 100 * len(latencies)))]
 
     print(f"requests   : {len(outcomes)}/{args.repeat}")
+    print(f"seed       : {args.seed}")
     print(f"ok         : {ok} (verified {verified}, cached {cached}, degraded {degraded})")
     print(f"failed     : {failed}")
     print(f"wall       : {wall:.3f}s  ({len(outcomes) / wall:.1f} req/s)")

@@ -137,14 +137,26 @@ class _RoundingCache:
         return rounded
 
 
-def _initial_upper_bound(instance: Instance, warm_start: bool) -> int:
-    """Eq. 2, tightened by the actual LPT makespan when warm-starting."""
+def _initial_upper_bound(
+    instance: Instance, warm_start: bool, ub_hint: int | None = None
+) -> int:
+    """Eq. 2, tightened by the actual LPT makespan when warm-starting.
+
+    ``ub_hint`` (see :class:`repro.core.context.SolveContext.ub_hint`)
+    tightens further: any *real* schedule's makespan is a feasible
+    rounded-DP target (rounding only shrinks loads), so a caller that
+    already holds one — a live schedule between re-solves — hands its
+    makespan here and the search starts below both Eq. 2 and LPT.
+    """
     upper = makespan_bounds(instance).upper
     if not warm_start:
         return upper
     from repro.algorithms.lpt import lpt
 
-    return min(upper, lpt(instance).makespan)
+    upper = min(upper, lpt(instance).makespan)
+    if ub_hint is not None:
+        upper = min(upper, int(ub_hint))
+    return upper
 
 
 def bisect_target_makespan(
@@ -190,7 +202,7 @@ def bisect_target_makespan(
     tracer = ctx.tracer
     m = instance.num_machines
     lb = makespan_bounds(instance).lower
-    ub = _initial_upper_bound(instance, ctx.warm_start)
+    ub = _initial_upper_bound(instance, ctx.warm_start, ctx.ub_hint)
     cache = _RoundingCache(instance, k)
     do_round = cache.round if ctx.warm_start else (
         lambda target: round_instance(instance, target, k)

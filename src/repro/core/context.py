@@ -61,6 +61,14 @@ class SolveContext:
     #: (see :mod:`repro.core.bisection`); the certified target is equally
     #: valid either way.
     warm_start: bool = True
+    #: Optional caller-supplied upper bound for the bisection: the
+    #: makespan of a *real, feasible* schedule of the same instance
+    #: (e.g. a live schedule's current makespan, see
+    #: :mod:`repro.online.live`).  Honoured only when ``warm_start`` is
+    #: on; tightens the initial ``UB`` to ``min(Eq. 2, LPT, ub_hint)``.
+    #: A value below the instance's true optimum is a caller bug — it
+    #: would break the bisection's feasibility invariant.
+    ub_hint: int | None = None
     #: Span tracer (:class:`repro.obs.trace.Tracer` or the no-op
     #: singleton).  Never ``None`` — use :data:`NULL_TRACER` to disable.
     tracer: Any = NULL_TRACER

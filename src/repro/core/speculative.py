@@ -130,7 +130,7 @@ def speculative_bisect(
     dsolver = decision_solver if decision_solver is not None else solver
     m = instance.num_machines
     lb = makespan_bounds(instance).lower
-    ub = _initial_upper_bound(instance, ctx.warm_start)
+    ub = _initial_upper_bound(instance, ctx.warm_start, ctx.ub_hint)
     best: tuple[RoundedInstance, DPResult] | None = None
     trace: list[BisectionIteration] = []
     certify_future = None

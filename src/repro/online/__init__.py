@@ -1,0 +1,37 @@
+"""Online streaming scheduler: per-tenant live ``P || Cmax`` schedules.
+
+The paper's PTAS answers one static instance; real service traffic is a
+*stream* per tenant — jobs arrive and depart, and the schedule must stay
+good continuously.  This package keeps one :class:`LiveSchedule` per
+tenant and splits the work into two price classes:
+
+* **incremental repair** — O(log m) least-loaded placement per arrival
+  (exactly the step LPT performs), tracked against the tightened LPT
+  bound of Della Croce & Scatamacchia (arXiv:1801.05489,
+  :func:`repro.algorithms.lpt.dcs_lpt_bound`);
+* **full re-solve** — a warm-started PTAS run (the live makespan seeds
+  the bisection's upper bound via
+  :class:`repro.core.context.SolveContext.ub_hint`, and the service's
+  permutation-invariant cache/store key space is reused) whenever the
+  tracked approximation ratio drifts past the configured threshold.
+
+:class:`SessionManager` hosts the sessions behind the service's
+``op=stream`` wire protocol and persists snapshots durably through the
+result store; :mod:`repro.online.replay` is the seeded traffic-replay
+harness behind ``benchmarks/bench_online.py``.  See ``docs/online.md``.
+"""
+
+from repro.online.events import StreamEvent
+from repro.online.live import LiveSchedule
+from repro.online.replay import ReplayConfig, ReplayReport, generate_events, run_replay
+from repro.online.session import SessionManager
+
+__all__ = [
+    "LiveSchedule",
+    "SessionManager",
+    "StreamEvent",
+    "ReplayConfig",
+    "ReplayReport",
+    "generate_events",
+    "run_replay",
+]

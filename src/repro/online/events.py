@@ -1,0 +1,72 @@
+"""The event model of the online scheduler.
+
+One :class:`StreamEvent` is one batch mutation of a tenant's live
+schedule — either an arrival batch (``kind="add"``, ``jobs`` holds
+``(job_id, processing_time)`` pairs) or a departure batch
+(``kind="remove"``, ``job_ids`` names the leavers).  Batches, not
+single jobs, are the unit because real traffic arrives bursty and the
+repair policy places a batch in LPT order (longest first), which is
+strictly better than arrival order at equal cost.
+
+Events serialize to/from JSON-safe dicts (the replay harness records
+traces of them) and convert 1:1 into the service's
+:class:`repro.service.requests.StreamRequest` wire type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.service.requests import StreamRequest
+
+__all__ = ["StreamEvent"]
+
+_KINDS = ("add", "remove")
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One arrival or departure batch (see module docstring)."""
+
+    kind: str
+    jobs: tuple[tuple[str, int], ...] = ()
+    job_ids: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}; valid: {_KINDS}")
+        object.__setattr__(
+            self, "jobs", tuple((str(j), int(t)) for j, t in self.jobs)
+        )
+        object.__setattr__(self, "job_ids", tuple(str(j) for j in self.job_ids))
+        if self.kind == "add" and not self.jobs:
+            raise ValueError("an 'add' event needs at least one job")
+        if self.kind == "remove" and not self.job_ids:
+            raise ValueError("a 'remove' event needs at least one job id")
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (the replay harness's trace record)."""
+        return {
+            "kind": self.kind,
+            "jobs": [[j, t] for j, t in self.jobs],
+            "job_ids": list(self.job_ids),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamEvent":
+        return cls(
+            kind=str(data["kind"]),
+            jobs=tuple((j, t) for j, t in data.get("jobs", ())),
+            job_ids=tuple(data.get("job_ids", ())),
+        )
+
+    def to_stream_request(self, tenant: str, **session_kwargs) -> StreamRequest:
+        """The wire form of this event for *tenant* (``op=stream``)."""
+        action = "add_jobs" if self.kind == "add" else "remove_jobs"
+        return StreamRequest(
+            action=action,
+            tenant=tenant,
+            jobs=self.jobs,
+            job_ids=self.job_ids,
+            **session_kwargs,
+        )

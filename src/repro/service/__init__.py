@@ -45,7 +45,18 @@ from repro.service.registry import (
     available_engines,
     get_engine,
 )
-from repro.service.requests import DeadlineExceeded, SolveRequest, SolveResult
-from repro.service.server import SolveService, serve, submit
-from repro.service.sharding import shard_index, shard_key, shard_of_request
+from repro.service.requests import (
+    DeadlineExceeded,
+    SolveRequest,
+    SolveResult,
+    StreamRequest,
+    StreamResult,
+)
+from repro.service.server import SolveService, serve, stream_events, submit
+from repro.service.sharding import (
+    shard_index,
+    shard_key,
+    shard_of_request,
+    tenant_shard,
+)
 from repro.service.supervisor import PooledSolveService, SupervisorPool

@@ -254,6 +254,12 @@ def aggregate_pool_stats(
     ``None`` (unreachable when polled) contributes a
     ``worker.<i>.unreachable`` gauge instead, and the count of such
     workers lands in the ``pool.workers_unreachable`` gauge.
+
+    ``tenant.<id>.*`` gauges (the live-schedule session instruments of
+    :mod:`repro.online`) are the exception to namespacing: a tenant is
+    pinned to exactly one worker, so its gauges are lifted to the top
+    level verbatim — ``op=stats`` reports ``tenant.acme.ratio``, not
+    ``worker.3.tenant.acme.ratio``, whichever worker hosts the session.
     """
     counters: dict[str, int] = dict(own.get("counters", {}))
     gauges: dict[str, float] = dict(own.get("gauges", {}))
@@ -272,6 +278,9 @@ def aggregate_pool_stats(
             counters[f"worker.{worker_id}.{name}"] = value
             pooled_counters[name] = pooled_counters.get(name, 0) + int(value)
         for name, value in snap.get("gauges", {}).items():
+            if name.startswith("tenant."):
+                gauges[name] = float(value)
+                continue
             gauges[f"worker.{worker_id}.{name}"] = value
             pooled_gauges[name] = pooled_gauges.get(name, 0.0) + float(value)
         for name, summary in snap.get("histograms", {}).items():

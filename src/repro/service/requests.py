@@ -227,6 +227,192 @@ class SolveResult:
         return replace(self, request_id=request_id)
 
 
+#: Valid actions of the ``op=stream`` session protocol.
+STREAM_ACTIONS = ("open_session", "add_jobs", "remove_jobs", "snapshot", "close")
+
+
+@dataclass(frozen=True)
+class StreamRequest:
+    """One event of a tenant's live-schedule session (``op=stream``).
+
+    Sessions are stateful: ``open_session`` creates (or restores) the
+    tenant's :class:`repro.online.live.LiveSchedule`; ``add_jobs`` /
+    ``remove_jobs`` mutate it through the incremental-repair + drift
+    policy; ``snapshot`` returns (and durably persists) its full state;
+    ``close`` persists and drops it.  Events of one tenant are applied
+    in arrival order — the server handles stream lines inline per
+    connection, and the pooled service pins a tenant to one worker's
+    serial lane (``docs/online.md``).
+
+    ``jobs`` carries ``(job_id, processing_time)`` pairs for
+    ``add_jobs``; ``job_ids`` names the departures for ``remove_jobs``.
+    ``machines`` / ``eps`` / ``engine`` / ``dp_engine`` /
+    ``drift_threshold`` are session parameters, read at
+    ``open_session`` and ignored afterwards (``drift_threshold=None``
+    means the Della Croce–Scatamacchia LPT bound,
+    :func:`repro.algorithms.lpt.dcs_lpt_bound`).
+    """
+
+    action: str
+    tenant: str
+    machines: int = 0
+    eps: float = 0.2
+    engine: str = "ptas"
+    dp_engine: str = "dominance"
+    drift_threshold: float | None = None
+    jobs: tuple[tuple[str, int], ...] = ()
+    job_ids: tuple[str, ...] = ()
+    persist: bool = True
+    request_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.action not in STREAM_ACTIONS:
+            raise ValueError(
+                f"unknown stream action {self.action!r}; valid: {list(STREAM_ACTIONS)}"
+            )
+        if not self.tenant or not isinstance(self.tenant, str):
+            raise ValueError("tenant must be a non-empty string")
+        object.__setattr__(
+            self,
+            "jobs",
+            tuple((str(j), int(t)) for j, t in self.jobs),
+        )
+        object.__setattr__(self, "job_ids", tuple(str(j) for j in self.job_ids))
+        for job_id, t in self.jobs:
+            if t < 1:
+                raise ValueError(
+                    f"job {job_id!r}: processing time must be >= 1, got {t}"
+                )
+        if self.action == "open_session" and self.machines < 1:
+            raise ValueError(
+                f"open_session needs machines >= 1, got {self.machines}"
+            )
+        if self.eps <= 0:
+            raise ValueError(f"eps must be positive, got {self.eps}")
+        if self.drift_threshold is not None and self.drift_threshold < 1.0:
+            raise ValueError(
+                f"drift_threshold must be >= 1, got {self.drift_threshold}"
+            )
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe dict form, tagged ``op=stream``."""
+        d = asdict(self)
+        d["op"] = "stream"
+        d["jobs"] = [[j, t] for j, t in self.jobs]
+        d["job_ids"] = list(self.job_ids)
+        return d
+
+    def to_json(self) -> str:
+        """One protocol line (compact JSON, no newline)."""
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamRequest":
+        """Strictly parse a decoded JSON object into a stream request."""
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"stream request must be a JSON object, got {type(data).__name__}"
+            )
+        payload = dict(data)
+        op = payload.pop("op", "stream")
+        if op != "stream":
+            raise ValueError(f"stream request has op={op!r}, expected 'stream'")
+        try:
+            action = payload.pop("action")
+            tenant = payload.pop("tenant")
+        except KeyError as exc:
+            raise ValueError(
+                f"stream request is missing required field {exc.args[0]!r}"
+            ) from None
+        known = {f for f in cls.__dataclass_fields__}
+        extra = set(payload) - known
+        if extra:
+            raise ValueError(f"unknown stream request field(s): {sorted(extra)}")
+        jobs = payload.pop("jobs", ())
+        if not all(
+            isinstance(pair, (list, tuple)) and len(pair) == 2 for pair in jobs
+        ):
+            raise ValueError("jobs must be a list of [job_id, time] pairs")
+        return cls(
+            action=str(action),
+            tenant=str(tenant),
+            jobs=tuple((j, t) for j, t in jobs),
+            **payload,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "StreamRequest":
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"malformed stream request JSON: {exc}") from None
+        return cls.from_dict(data)
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Outcome of one stream event, echoed on the same connection.
+
+    ``makespan`` / ``ratio`` / ``num_jobs`` describe the live schedule
+    *after* the event; ``resolves`` / ``repairs`` are the session's
+    cumulative counters (a jump in ``resolves`` means this event tripped
+    the drift policy into a full PTAS re-solve).  ``snapshot`` is only
+    populated for the ``snapshot`` action and carries the full durable
+    session state (:meth:`repro.online.live.LiveSchedule.snapshot`).
+    """
+
+    request_id: str = ""
+    tenant: str = ""
+    action: str = ""
+    status: str = STATUS_OK
+    makespan: int | None = None
+    ratio: float | None = None
+    resolves: int = 0
+    repairs: int = 0
+    num_jobs: int = 0
+    restored: bool = False
+    snapshot: dict | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe dict form, tagged ``op=stream``."""
+        d = asdict(self)
+        d["op"] = "stream"
+        return d
+
+    def to_json(self) -> str:
+        """One protocol line (compact JSON, no newline)."""
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamResult":
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"stream result must be a JSON object, got {type(data).__name__}"
+            )
+        payload = dict(data)
+        payload.pop("op", None)
+        known = {f for f in cls.__dataclass_fields__}
+        extra = set(payload) - known
+        if extra:
+            raise ValueError(f"unknown stream result field(s): {sorted(extra)}")
+        return cls(**payload)
+
+    @classmethod
+    def from_json(cls, line: str) -> "StreamResult":
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"malformed stream result JSON: {exc}") from None
+        return cls.from_dict(data)
+
+
 def deadline_checker(
     deadline_at: float, clock: Callable[[], float] = time.monotonic
 ) -> Callable[[], None]:

@@ -79,6 +79,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from repro.service.supervisor import PooledSolveService
     from repro.store.journal import WriteAheadJournal
     from repro.store.resultstore import ResultStore
+from repro.online.session import SessionManager
 from repro.service.requests import (
     STATUS_ERROR,
     STATUS_OK,
@@ -86,6 +87,8 @@ from repro.service.requests import (
     DeadlineExceeded,
     SolveRequest,
     SolveResult,
+    StreamRequest,
+    StreamResult,
 )
 
 #: Default TCP port (no registered meaning; "Cmax" on a phone keypad-ish).
@@ -164,6 +167,13 @@ class SolveService:
         self._shutdown_event: asyncio.Event | None = None
         self._busy_workers = 0
         self._inflight: dict[CacheKey, asyncio.Future[None]] = {}
+        #: Live-schedule sessions behind ``op=stream`` — share the
+        #: service's cache (tenant re-solves and one-shot requests
+        #: answer each other), store (durable snapshots), and metrics
+        #: (``tenant.<id>.*`` gauges).
+        self.sessions = SessionManager(
+            store=self.store, cache=self.cache, metrics=self.metrics, clock=clock
+        )
 
     # ------------------------------------------------------------------
     # Request path
@@ -225,6 +235,21 @@ class SolveService:
                 waiters = self._inflight.pop(key)
                 if not waiters.done():
                     waiters.set_result(None)
+
+    async def handle_stream(self, request: StreamRequest) -> StreamResult:
+        """Serve one live-schedule event (``op=stream``).
+
+        The session manager serializes events internally; running
+        ``apply`` in the executor keeps any drift-triggered PTAS
+        re-solve off the event loop, exactly like a one-shot solve.
+        """
+        self.metrics.counter("stream_events_total").inc()
+        result = await asyncio.get_running_loop().run_in_executor(
+            self._executor, self.sessions.apply, request
+        )
+        if not result.ok:
+            self.metrics.counter("stream_errors").inc()
+        return result
 
     async def _admit_and_solve(
         self, request: SolveRequest, t0: float
@@ -449,6 +474,7 @@ class SolveService:
         self.metrics.gauge("pool_utilization").set(
             self._busy_workers / self.max_workers
         )
+        self.metrics.gauge("stream_sessions").set(float(self.sessions.num_sessions))
         return self.metrics.snapshot()
 
     def healthcheck(self) -> dict[str, Any]:
@@ -557,6 +583,24 @@ async def _handle_connection(
                         lock,
                         json.dumps({"op": "healthcheck", **health}),
                     )
+                elif op == "stream":
+                    # Handled inline (awaited before the next readline):
+                    # stream events are stateful, and per-connection
+                    # arrival order is the ordering contract a tenant's
+                    # session relies on.
+                    try:
+                        stream_request = StreamRequest.from_dict(data)
+                    except ValueError as exc:
+                        await _write_line(
+                            writer,
+                            lock,
+                            StreamResult(
+                                status=STATUS_ERROR, error=str(exc)
+                            ).to_json(),
+                        )
+                        continue
+                    stream_result = await service.handle_stream(stream_request)
+                    await _write_line(writer, lock, stream_result.to_json())
                 elif op == "shutdown":
                     await _write_line(writer, lock, json.dumps({"op": "bye"}))
                     service.request_shutdown()
@@ -746,6 +790,37 @@ async def replay(
 
     await asyncio.gather(*(lane() for _ in range(min(concurrency, len(requests)) or 1)))
     return [item for item in out if item is not None]
+
+
+async def stream_events(
+    host: str,
+    port: int,
+    requests: "list[StreamRequest]",
+    *,
+    timeout: float | None = 120.0,
+) -> "list[StreamResult]":
+    """Send a tenant's stream events over one connection, strictly in
+    order (each result is awaited before the next event is written —
+    the ordering the session protocol promises)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        results: list[StreamResult] = []
+        for request in requests:
+            writer.write(request.to_json().encode("utf-8") + b"\n")
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout)
+            if not line:
+                raise ConnectionError(
+                    "server closed the connection mid-stream"
+                )
+            results.append(StreamResult.from_json(line.decode("utf-8")))
+        return results
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
 
 
 async def send_op(

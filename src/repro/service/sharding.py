@@ -28,7 +28,7 @@ import json
 from repro.service.cache import CacheKey, canonical_key
 from repro.service.requests import SolveRequest
 
-__all__ = ["shard_key", "shard_index", "shard_of_request"]
+__all__ = ["shard_key", "shard_index", "shard_of_request", "tenant_shard"]
 
 
 def shard_key(request: SolveRequest) -> CacheKey:
@@ -68,3 +68,20 @@ def shard_index(key: CacheKey, num_shards: int) -> int:
 def shard_of_request(request: SolveRequest, num_shards: int) -> int:
     """Convenience composition: the shard owning *request*."""
     return shard_index(shard_key(request), num_shards)
+
+
+def tenant_shard(tenant: str, num_shards: int) -> int:
+    """The shard owning *tenant*'s live-schedule session (``op=stream``).
+
+    Stream events are stateful, so the routing identity is the tenant
+    id, not the instance content: every event of one tenant must reach
+    the one worker holding its :class:`repro.online.live.LiveSchedule`.
+    Same determinism contract as :func:`shard_index` — SHA-256 over the
+    tenant string, stable across restarts and ``PYTHONHASHSEED``.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if not tenant:
+        raise ValueError("tenant must be a non-empty string")
+    digest = hashlib.sha256(tenant.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % num_shards

@@ -59,8 +59,10 @@ from repro.service.requests import (
     STATUS_REJECTED,
     SolveRequest,
     SolveResult,
+    StreamRequest,
+    StreamResult,
 )
-from repro.service.sharding import shard_index, shard_key
+from repro.service.sharding import shard_index, shard_key, tenant_shard
 from repro.service.worker import send_frame, worker_main
 
 __all__ = ["SupervisorPool", "PooledSolveService", "WorkerHandle"]
@@ -84,6 +86,22 @@ class _PoolJob:
     retried: bool = False
 
 
+@dataclass
+class _StreamJob:
+    """One live-schedule event in flight to a tenant's pinned worker.
+
+    No retry on worker death: the session's in-memory state died with
+    the worker, so replaying a single event against a fresh (empty)
+    session would corrupt rather than recover.  The client gets an
+    error result and re-opens the session — ``open_session`` restores
+    the last durable snapshot from the shared store.
+    """
+
+    job_id: str
+    request: StreamRequest
+    future: "asyncio.Future[StreamResult]"
+
+
 class WorkerHandle:
     """Supervisor-side bookkeeping for one worker process."""
 
@@ -96,6 +114,7 @@ class WorkerHandle:
         self.ready = False
         self.restarts = 0
         self.inflight: dict[str, _PoolJob] = {}
+        self.stream_inflight: dict[str, _StreamJob] = {}
         self.send_lock = threading.Lock()
 
     def spawn(self) -> None:
@@ -291,6 +310,22 @@ class SupervisorPool:
                     error=f"malformed worker result: {exc}",
                 )
             job.future.set_result(result)
+        elif kind == "stream_result":
+            job = handle.stream_inflight.pop(str(msg.get("id")), None)
+            if job is None or job.future.done():
+                self.metrics.counter("pool.late_results_dropped").inc()
+                return
+            try:
+                result = StreamResult.from_dict(msg["result"])
+            except (KeyError, ValueError, TypeError) as exc:
+                result = StreamResult(
+                    request_id=job.request.request_id,
+                    tenant=job.request.tenant,
+                    action=job.request.action,
+                    status=STATUS_ERROR,
+                    error=f"malformed worker stream result: {exc}",
+                )
+            job.future.set_result(result)
         elif kind in ("pong", "stats"):
             fut = self._pending_control.pop(str(msg.get("id")), None)
             if fut is not None and not fut.done():
@@ -304,6 +339,8 @@ class SupervisorPool:
         self.metrics.counter("pool.worker_restarts").inc()
         stranded = list(handle.inflight.values())
         handle.inflight.clear()
+        stream_stranded = list(handle.stream_inflight.values())
+        handle.stream_inflight.clear()
         loop = asyncio.get_running_loop()
         respawned = False
         for attempt in range(3):
@@ -331,6 +368,25 @@ class SupervisorPool:
             else:
                 self.metrics.counter("pool.crash_degradations").inc()
                 job.future.set_result(self._degrade_result(job.request))
+        for sjob in stream_stranded:
+            # Never retried — see _StreamJob.  The error tells the
+            # client to reopen (which restores the durable snapshot).
+            if not sjob.future.done():
+                self.metrics.counter("pool.stream_session_losses").inc()
+                sjob.future.set_result(self._stream_crash_result(sjob.request))
+
+    @staticmethod
+    def _stream_crash_result(request: StreamRequest) -> StreamResult:
+        return StreamResult(
+            request_id=request.request_id,
+            tenant=request.tenant,
+            action=request.action,
+            status=STATUS_ERROR,
+            error=(
+                "worker died mid-session; reopen the session "
+                "(open_session restores the last durable snapshot)"
+            ),
+        )
 
     def _degrade_result(self, request: SolveRequest) -> SolveResult:
         """The anytime fallback, computed supervisor-side: LPT tagged
@@ -404,6 +460,38 @@ class SupervisorPool:
             )
             self.metrics.counter("pool.deadline_degradations").inc()
             return self._degrade_result(job.request)
+
+    async def submit_stream(self, request: StreamRequest) -> StreamResult:
+        """Route one live-schedule event to its tenant's pinned worker.
+
+        Routing is by *tenant*, not instance content
+        (:func:`repro.service.sharding.tenant_shard`): stream events
+        are stateful, and the worker's FIFO solve lane then keeps one
+        tenant's events in arrival order.
+        """
+        shard = tenant_shard(request.tenant, self.num_workers)
+        job = _StreamJob(
+            job_id=f"s{next(self._seq):08d}",
+            request=request,
+            future=asyncio.get_running_loop().create_future(),
+        )
+        handle = self.handles[shard]
+        handle.stream_inflight[job.job_id] = job
+        self.metrics.counter("pool.stream_dispatched").inc()
+        self.metrics.counter(f"pool.shard.{shard}.stream_dispatched").inc()
+        sent = await self._send(
+            handle,
+            {
+                "kind": "stream",
+                "id": job.job_id,
+                "request": request.to_dict(),
+            },
+        )
+        if not sent and handle.stream_inflight.pop(job.job_id, None) is not None:
+            if not job.future.done():
+                self.metrics.counter("pool.stream_session_losses").inc()
+                job.future.set_result(self._stream_crash_result(request))
+        return await job.future
 
     # ------------------------------------------------------------------
     # Control plane
@@ -606,6 +694,17 @@ class PooledSolveService:
         self.metrics.histogram("request_latency_seconds").observe(
             self._clock() - t0
         )
+        return result
+
+    async def handle_stream(self, request: StreamRequest) -> StreamResult:
+        """Serve one live-schedule event (``op=stream``) on the pinned
+        worker's serial lane — the pooled counterpart of
+        :meth:`repro.service.server.SolveService.handle_stream`."""
+        await self.start()
+        self.metrics.counter("stream_events_total").inc()
+        result = await self.pool.submit_stream(request)
+        if not result.ok:
+            self.metrics.counter("stream_errors").inc()
         return result
 
     # ------------------------------------------------------------------

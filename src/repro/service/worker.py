@@ -17,6 +17,7 @@ a ``ValueError``.
 Supervisor → worker frames::
 
     {"kind": "solve",  "id": str, "request": {...}, "deadline": s|null}
+    {"kind": "stream", "id": str, "request": {...}}   # live-schedule event
     {"kind": "cancel", "id": str}          # per-request cancellation
     {"kind": "ping",   "id": str}
     {"kind": "stats",  "id": str}
@@ -26,8 +27,18 @@ Worker → supervisor frames::
 
     {"kind": "ready",  "worker": i, "pid": ...}
     {"kind": "result", "id": str, "result": {...}}
+    {"kind": "stream_result", "id": str, "result": {...}}
     {"kind": "pong",   "id": str, "pid": ..., "solves": ...}
     {"kind": "stats",  "id": str, "stats": {counters, gauges, histograms}}
+
+Stream events (``op=stream``) ride the same serial solve lane as
+solves: the supervisor pins each tenant to one worker
+(:func:`repro.service.sharding.tenant_shard`), and the FIFO job queue
+then guarantees a tenant's events apply in arrival order.  The worker's
+:class:`repro.online.session.SessionManager` shares the worker's result
+cache and store, so drift-triggered re-solves hit the same warm state
+as routed one-shot requests, and session snapshots persist durably next
+to the results.
 
 Threading: a daemon reader thread drains incoming frames so ``cancel``
 / ``ping`` / ``stats`` are handled *while* a solve is running; solves
@@ -53,6 +64,7 @@ from typing import Any
 from repro.algorithms.lpt import lpt, lpt_worst_case_ratio
 from repro.core.context import SolveContext
 from repro.obs import Tracer, publish_phase_summary, trace_to_payload
+from repro.online.session import SessionManager
 from repro.service.cache import ResultCache, canonical_key
 from repro.service.metrics import (
     MetricsRegistry,
@@ -71,6 +83,8 @@ from repro.service.requests import (
     DeadlineExceeded,
     SolveRequest,
     SolveResult,
+    StreamRequest,
+    StreamResult,
 )
 
 __all__ = ["send_frame", "recv_frame", "worker_main"]
@@ -135,6 +149,9 @@ class _Worker:
             ttl=config.get("cache_ttl"),
             store=self.store,
         )
+        self.sessions = SessionManager(
+            store=self.store, cache=self.cache, metrics=self.metrics
+        )
 
     # -- plumbing --------------------------------------------------------
     def _reply(self, payload: dict[str, Any]) -> None:
@@ -159,7 +176,9 @@ class _Worker:
             except ValueError:
                 continue  # unparseable frame: drop, keep serving
             kind = msg.get("kind")
-            if kind == "solve":
+            if kind in ("solve", "stream"):
+                # Both run on the main thread's serial lane — stream
+                # events of a pinned tenant stay in arrival order.
                 self._jobs.put(msg)
             elif kind == "cancel":
                 with self._cancel_lock:
@@ -195,6 +214,7 @@ class _Worker:
             record_stats_source(self.metrics, "journal", self.journal)
         record_dp_cache(self.metrics)
         self.metrics.gauge("worker_pid").set(float(os.getpid()))
+        self.metrics.gauge("stream_sessions").set(float(self.sessions.num_sessions))
         return self.metrics.snapshot()
 
     # -- solve path ------------------------------------------------------
@@ -290,6 +310,23 @@ class _Worker:
             self._cancelled.discard(rid)
         self._reply({"kind": "result", "id": rid, "result": result.to_dict()})
 
+    def _stream(self, msg: dict[str, Any]) -> None:
+        """Apply one live-schedule event on the serial lane."""
+        rid = str(msg.get("id"))
+        self.metrics.counter("stream_events_total").inc()
+        try:
+            request = StreamRequest.from_dict(msg["request"])
+        except (KeyError, ValueError, TypeError) as exc:
+            self.metrics.counter("errors_total").inc()
+            result = StreamResult(status=STATUS_ERROR, error=str(exc))
+        else:
+            result = self.sessions.apply(request)
+            if not result.ok:
+                self.metrics.counter("stream_errors").inc()
+        self._reply(
+            {"kind": "stream_result", "id": rid, "result": result.to_dict()}
+        )
+
     def _archive_trace(self, request: SolveRequest, tracer: Tracer) -> None:
         if self.store is None or not self.archive_traces:
             return
@@ -314,7 +351,10 @@ class _Worker:
                 msg = self._jobs.get()
                 if msg is None:
                     break
-                self._solve(msg)
+                if msg.get("kind") == "stream":
+                    self._stream(msg)
+                else:
+                    self._solve(msg)
         finally:
             if self.journal is not None:
                 self.journal.close()

@@ -358,6 +358,32 @@ class TestServeSubmit:
             assert main(["submit", "--port", str(port), "--op", "ping"]) == 0
             assert '"pong"' in capsys.readouterr().out
 
+            # --repeat replays N copies and reports the seed used, so a
+            # run over a generated family can be reproduced exactly.
+            assert (
+                main(
+                    [
+                        "submit",
+                        "--port",
+                        str(port),
+                        "--times",
+                        "5,4,3,3,3",
+                        "-m",
+                        "2",
+                        "-a",
+                        "lpt",
+                        "--seed",
+                        "7",
+                        "--repeat",
+                        "3",
+                    ]
+                )
+                == 0
+            )
+            out = capsys.readouterr().out
+            assert "requests   : 3/3" in out
+            assert "seed       : 7" in out
+
             assert (
                 main(
                     [

@@ -33,7 +33,9 @@ from repro.store import (
     ResultStore,
     WriteAheadJournal,
     recover,
+    recover_all,
     result_fingerprint,
+    worker_journal_name,
 )
 from repro.store.journal import JOURNAL_NAME
 from repro.store.segment import QUARANTINE_SUFFIX, list_segments
@@ -142,6 +144,74 @@ class TestRecoverUnit:
         assert store.get(canonical_key(request)) is None
         journal.close()
         store.close()
+
+
+class TestRecoverAllTornJournal:
+    """A pool crash can tear one worker's journal mid-write while its
+    sibling's is intact; ``recover_all`` must replay the clean journal
+    and tolerate the torn tail instead of refusing the whole root."""
+
+    def test_clean_journal_replays_while_torn_tail_is_tolerated(self, tmp_path):
+        clean_request = _req([9, 7, 5, 5, 3, 2], engine="ptas")
+        committed_request = _req([4, 4, 2], engine="lpt")
+        torn_request = _req([8, 6, 6, 1], engine="lpt")
+
+        # Worker 0: one admitted-but-unanswered entry (the crash victim).
+        clean = WriteAheadJournal(tmp_path, name=worker_journal_name(0))
+        clean.begin(clean_request)
+        del clean  # crash: no commit, no close
+
+        # Worker 1: one full begin/commit cycle, then a begin whose
+        # journal line the crash cut short (a mid-write tear).
+        torn = WriteAheadJournal(tmp_path, name=worker_journal_name(1))
+        entry = torn.begin(committed_request)
+        torn.commit(entry)
+        torn.begin(torn_request)
+        del torn
+        torn_path = tmp_path / worker_journal_name(1)
+        data = torn_path.read_bytes()
+        torn_path.write_bytes(data[:-20])  # tear the last record mid-line
+
+        # The torn journal opens flagged but functional: the cut line is
+        # dropped (it never became a durable fact), nothing is pending.
+        probe = WriteAheadJournal(tmp_path, name=worker_journal_name(1))
+        assert probe.torn_tail
+        assert probe.uncommitted() == []
+        del probe  # no close: leave the torn bytes for recover_all
+
+        store = ResultStore(tmp_path)
+        report = recover_all(store, tmp_path)
+        assert report.ok, report.aborted
+        # Only worker 0's entry is recoverable; the torn line never
+        # reached the disk as a fact, so it is not replayed (the client
+        # never got an admission for it either — fsync orders begin
+        # before the solve starts).
+        assert report.entries == 1 and report.replayed == 1
+        assert store.get(canonical_key(clean_request)) is not None
+        assert store.get(canonical_key(torn_request)) is None
+        store.close()
+
+        # Recovery's checkpoint compacted the torn journal: it reopens
+        # clean, with the torn bytes gone for good.
+        reopened = WriteAheadJournal(tmp_path, name=worker_journal_name(1))
+        assert not reopened.torn_tail
+        assert reopened.uncommitted() == []
+        reopened.close()
+
+    def test_mid_file_tear_is_not_tolerated(self, tmp_path):
+        """Only a *tail* tear is crash-consistent; damage before the
+        last line means something other than a crash wrote the file."""
+        journal = WriteAheadJournal(tmp_path, name=worker_journal_name(0))
+        entry = journal.begin(_req([4, 4, 2]))
+        journal.commit(entry)
+        journal.begin(_req([5, 5, 5]))
+        del journal
+        path = tmp_path / worker_journal_name(0)
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[0] = lines[0][:-10] + b"\n"  # corrupt a non-final record
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(Exception):
+            WriteAheadJournal(tmp_path, name=worker_journal_name(0))
 
 
 # ----------------------------------------------------------------------
