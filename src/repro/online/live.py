@@ -199,6 +199,7 @@ class LiveSchedule:
         order), then run the drift policy.  Returns the number of
         re-solves the event triggered (0 or 1)."""
         batch = [(str(job_id), int(t)) for job_id, t in jobs]
+        seen: set[str] = set()
         for job_id, t in batch:
             if t < 1:
                 raise ValueError(
@@ -206,6 +207,9 @@ class LiveSchedule:
                 )
             if job_id in self._times:
                 raise ValueError(f"job {job_id!r} already in live schedule")
+            if job_id in seen:
+                raise ValueError(f"job {job_id!r} duplicated within the batch")
+            seen.add(job_id)
         for job_id, t in sorted(batch, key=lambda item: (-item[1], item[0])):
             machine = self._pop_least_loaded()
             self._times[job_id] = t
@@ -221,9 +225,13 @@ class LiveSchedule:
         invalidated (the optimum may shrink).  Returns the number of
         re-solves the event triggered (0 or 1)."""
         ids = [str(job_id) for job_id in job_ids]
+        seen: set[str] = set()
         for job_id in ids:
             if job_id not in self._times:
                 raise ValueError(f"job {job_id!r} not in live schedule")
+            if job_id in seen:
+                raise ValueError(f"job {job_id!r} duplicated within the batch")
+            seen.add(job_id)
         for job_id in ids:
             machine = self._machine_of.pop(job_id)
             self._loads[machine] -= self._times.pop(job_id)

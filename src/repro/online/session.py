@@ -4,9 +4,11 @@
 shapes share: the single-process :class:`repro.service.server.SolveService`
 holds one, and each sharded pool worker holds its own (a tenant is
 pinned to one worker by :func:`repro.service.sharding.tenant_shard`, so
-the two never race on the same session).  ``apply`` is serialized with
-a lock — stream events are cheap relative to solves, and per-tenant
-ordering is what the protocol promises.
+the two never race on the same session).  ``apply`` serializes events
+*per tenant* — the ordering contract the protocol promises — behind a
+short-held manager lock guarding only the session table, so one
+tenant's drift-triggered re-solve never blocks another tenant's
+events.
 
 Durable snapshots ride the result store's content-addressed trace
 archive under the name ``online:<tenant>`` — ``open_session`` restores
@@ -55,7 +57,13 @@ class SessionManager:
         self.metrics = metrics
         self._clock = clock
         self._sessions: dict[str, LiveSchedule] = {}
+        #: Guards the session/lock tables only — never held across an
+        #: event (a drift-triggered re-solve can be seconds long).
         self._lock = threading.Lock()
+        #: One lock per tenant ever seen, kept for the manager's
+        #: lifetime so waiters and re-openers always contend on the
+        #: same object (the tables themselves are tiny).
+        self._tenant_locks: dict[str, threading.Lock] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -71,7 +79,8 @@ class SessionManager:
 
     def get(self, tenant: str) -> LiveSchedule | None:
         """The live schedule of *tenant*, or ``None`` if not open."""
-        return self._sessions.get(tenant)
+        with self._lock:
+            return self._sessions.get(tenant)
 
     # ------------------------------------------------------------------
     # The single entry point
@@ -79,21 +88,28 @@ class SessionManager:
     def apply(self, request: StreamRequest) -> StreamResult:
         """Apply one stream event and report the post-event state.
 
-        Never raises for per-event problems — those become
-        ``status="error"`` results so the connection (and the session)
-        stays usable.
+        Never raises for per-event problems — *any* exception an event
+        provokes becomes a ``status="error"`` result so the connection,
+        the session, and (in the pool) the hosting worker stay usable.
         """
-        with self._lock:
+        with self._tenant_lock(request.tenant):
             try:
                 return self._dispatch(request)
             except ValueError as exc:
                 return self._error(request, str(exc))
+            except Exception as exc:  # noqa: BLE001 — wire boundary
+                return self._error(request, f"{type(exc).__name__}: {exc}")
+
+    def _tenant_lock(self, tenant: str) -> threading.Lock:
+        with self._lock:
+            return self._tenant_locks.setdefault(tenant, threading.Lock())
 
     def _dispatch(self, request: StreamRequest) -> StreamResult:
         action = request.action
         if action == "open_session":
             return self._open(request)
-        live = self._sessions.get(request.tenant)
+        with self._lock:
+            live = self._sessions.get(request.tenant)
         if live is None:
             return self._error(
                 request, f"no open session for tenant {request.tenant!r}"
@@ -112,12 +128,16 @@ class SessionManager:
         if action == "close":
             if request.persist:
                 self._persist(request.tenant, live.snapshot())
-            del self._sessions[request.tenant]
-            return self._state(request, live)
+            result = self._state(request, live)
+            with self._lock:
+                self._sessions.pop(request.tenant, None)
+            self._retire_metrics(request.tenant)
+            return result
         raise ValueError(f"unhandled stream action {action!r}")
 
     def _open(self, request: StreamRequest) -> StreamResult:
-        live = self._sessions.get(request.tenant)
+        with self._lock:
+            live = self._sessions.get(request.tenant)
         if live is not None:
             # Idempotent: reopening an open session reports its state.
             return self._state(request, live)
@@ -140,8 +160,16 @@ class SessionManager:
                 metrics=self.metrics,
                 clock=self._clock,
             )
-        self._sessions[request.tenant] = live
+        with self._lock:
+            self._sessions[request.tenant] = live
         return self._state(request, live, restored=restored)
+
+    def _retire_metrics(self, tenant: str) -> None:
+        """Drop the closed tenant's gauges so ``op=stats`` stops
+        reporting them (best-effort — the registry is duck-typed)."""
+        remove = getattr(self.metrics, "remove_prefix", None)
+        if callable(remove):
+            remove(f"tenant.{tenant}.")
 
     # ------------------------------------------------------------------
     # Durable snapshots (store trace archive)

@@ -151,6 +151,22 @@ class MetricsRegistry:
         for key, value in values.items():
             self.gauge(f"{prefix}.{key}").set(value)
 
+    def remove_prefix(self, prefix: str) -> int:
+        """Drop every instrument whose name starts with *prefix*.
+
+        Used when the entity the instruments describe goes away (e.g. a
+        tenant's live-schedule session closes) so ``op=stats`` stops
+        reporting its stale values.  Returns the number removed.
+        """
+        removed = 0
+        with self._lock:
+            for table in (self._counters, self._gauges, self._histograms):
+                stale = [name for name in table if name.startswith(prefix)]
+                for name in stale:
+                    del table[name]
+                removed += len(stale)
+        return removed
+
     def snapshot(self) -> dict:
         """A JSON-safe dump of every instrument."""
         with self._lock:

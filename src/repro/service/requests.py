@@ -272,11 +272,40 @@ class StreamRequest:
             )
         if not self.tenant or not isinstance(self.tenant, str):
             raise ValueError("tenant must be a non-empty string")
-        object.__setattr__(
-            self,
-            "jobs",
-            tuple((str(j), int(t)) for j, t in self.jobs),
-        )
+        if isinstance(self.machines, float) and not self.machines.is_integer():
+            raise ValueError(
+                f"machines must be an integer, got {self.machines!r}"
+            )
+        try:
+            object.__setattr__(self, "machines", int(self.machines))
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"machines must be an integer, got {self.machines!r}"
+            ) from None
+        try:
+            object.__setattr__(self, "eps", float(self.eps))
+        except (TypeError, ValueError):
+            raise ValueError(f"eps must be a number, got {self.eps!r}") from None
+        if self.drift_threshold is not None:
+            try:
+                object.__setattr__(
+                    self, "drift_threshold", float(self.drift_threshold)
+                )
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"drift_threshold must be a number, got "
+                    f"{self.drift_threshold!r}"
+                ) from None
+        try:
+            object.__setattr__(
+                self,
+                "jobs",
+                tuple((str(j), int(t)) for j, t in self.jobs),
+            )
+        except (TypeError, ValueError):
+            raise ValueError(
+                "jobs must be [job_id, integer time] pairs"
+            ) from None
         object.__setattr__(self, "job_ids", tuple(str(j) for j in self.job_ids))
         for job_id, t in self.jobs:
             if t < 1:

@@ -590,7 +590,7 @@ async def _handle_connection(
                     # session relies on.
                     try:
                         stream_request = StreamRequest.from_dict(data)
-                    except ValueError as exc:
+                    except (ValueError, TypeError, KeyError) as exc:
                         await _write_line(
                             writer,
                             lock,
@@ -599,7 +599,20 @@ async def _handle_connection(
                             ).to_json(),
                         )
                         continue
-                    stream_result = await service.handle_stream(stream_request)
+                    try:
+                        stream_result = await service.handle_stream(
+                            stream_request
+                        )
+                    except Exception as exc:  # noqa: BLE001 — keep the
+                        # connection (and its other tenants' sessions)
+                        # alive; the event itself is reported failed.
+                        stream_result = StreamResult(
+                            request_id=stream_request.request_id,
+                            tenant=stream_request.tenant,
+                            action=stream_request.action,
+                            status=STATUS_ERROR,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
                     await _write_line(writer, lock, stream_result.to_json())
                 elif op == "shutdown":
                     await _write_line(writer, lock, json.dumps({"op": "bye"}))

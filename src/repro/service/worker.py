@@ -320,7 +320,18 @@ class _Worker:
             self.metrics.counter("errors_total").inc()
             result = StreamResult(status=STATUS_ERROR, error=str(exc))
         else:
-            result = self.sessions.apply(request)
+            try:
+                result = self.sessions.apply(request)
+            except Exception as exc:  # noqa: BLE001 — the worker must
+                # survive any event (apply itself contains per-event
+                # failures; this is the last line of defense).
+                result = StreamResult(
+                    request_id=request.request_id,
+                    tenant=request.tenant,
+                    action=request.action,
+                    status=STATUS_ERROR,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
             if not result.ok:
                 self.metrics.counter("stream_errors").inc()
         self._reply(

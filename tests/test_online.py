@@ -73,6 +73,20 @@ class TestLiveScheduleBasics:
         # Failed events must not have mutated state.
         assert live.num_jobs == 1 and live.makespan == 3
 
+    def test_intra_batch_duplicates_are_rejected_before_mutation(self):
+        live = LiveSchedule("t", 2)
+        with pytest.raises(ValueError, match="duplicated within the batch"):
+            live.add_jobs([("a", 5), ("a", 3)])
+        assert live.num_jobs == 0 and live.makespan == 0
+        assert live.machine_loads == (0, 0)
+        live.add_jobs([("a", 5), ("b", 3)])
+        with pytest.raises(ValueError, match="duplicated within the batch"):
+            live.remove_jobs(["a", "a"])
+        # The duplicate departure must not have partially applied.
+        assert live.num_jobs == 2 and live.makespan == 5
+        assert sum(live.machine_loads) == 8
+        assert live.job_machine("a") is not None
+
     def test_empty_schedule_states(self):
         live = LiveSchedule("t", 2)
         assert live.makespan == 0

@@ -64,6 +64,28 @@ class TestStreamWire:
         with pytest.raises(ValueError, match="drift_threshold"):
             _open("t", drift_threshold=0.5)
 
+    def test_numeric_fields_are_coerced_not_trusted(self):
+        # JSON clients send floats/strings; they must become real ints
+        # (or clean ValueErrors) at the wire boundary, never TypeErrors
+        # deep inside LiveSchedule.
+        assert _open("t", machines=4.0).machines == 4
+        assert _open("t", machines="4").machines == 4
+        assert isinstance(_open("t", machines=4.0).machines, int)
+        with pytest.raises(ValueError, match="machines"):
+            _open("t", machines=4.5)
+        with pytest.raises(ValueError, match="machines"):
+            _open("t", machines="four")
+        with pytest.raises(ValueError, match="machines"):
+            _open("t", machines=None)
+        assert _open("t", eps="0.25").eps == pytest.approx(0.25)
+        with pytest.raises(ValueError, match="eps"):
+            _open("t", eps="tiny")
+        assert _open("t", drift_threshold="1.5").drift_threshold == 1.5
+        with pytest.raises(ValueError, match="drift_threshold"):
+            _open("t", drift_threshold="lots")
+        with pytest.raises(ValueError, match="jobs"):
+            _add("t", [("a", ["not", "a", "time"])])
+
     def test_from_dict_is_strict(self):
         with pytest.raises(ValueError, match="missing"):
             StreamRequest.from_dict({"op": "stream", "action": "close"})
@@ -148,8 +170,86 @@ class TestSessionManager:
         assert not ghost.ok
         orphan = mgr.apply(_add("other", [("x", 1)]))
         assert not orphan.ok and "no open session" in (orphan.error or "")
+        batch_dup = mgr.apply(_add("t", [("b", 5), ("b", 3)]))
+        assert not batch_dup.ok and "duplicated" in (batch_dup.error or "")
+        remove_dup = mgr.apply(
+            StreamRequest(action="remove_jobs", tenant="t", job_ids=("a", "a"))
+        )
+        assert not remove_dup.ok and "duplicated" in (remove_dup.error or "")
         still = mgr.apply(StreamRequest(action="snapshot", tenant="t"))
         assert still.ok and still.num_jobs == 1
+
+    def test_apply_contains_arbitrary_event_exceptions(self, monkeypatch):
+        # apply is the wire boundary both services and every pool worker
+        # stand behind: nothing an event provokes may escape it, or one
+        # malformed line kills a worker and every session on its shard.
+        mgr = SessionManager()
+        mgr.apply(_open("t"))
+        mgr.apply(_add("t", [("a", 5)]))
+        monkeypatch.setattr(
+            LiveSchedule,
+            "add_jobs",
+            lambda self, jobs: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        hurt = mgr.apply(_add("t", [("b", 3)]))
+        assert not hurt.ok and "RuntimeError: boom" in (hurt.error or "")
+        monkeypatch.undo()
+        still = mgr.apply(StreamRequest(action="snapshot", tenant="t"))
+        assert still.ok and still.num_jobs == 1
+
+    def test_independent_tenants_do_not_serialize_behind_one_lock(self):
+        # One tenant's slow event (think: drift-triggered re-solve) must
+        # not block another tenant's stream — only the session table
+        # lock is shared, and it is never held across an event.
+        import threading
+        import time as time_mod
+
+        mgr = SessionManager()
+        mgr.apply(_open("slow"))
+        mgr.apply(_open("fast"))
+        slow_live = mgr.get("slow")
+        started = threading.Event()
+        original = LiveSchedule.add_jobs
+
+        def stalled_add(self, jobs):
+            if self is slow_live:
+                started.set()
+                time_mod.sleep(0.5)
+            return original(self, jobs)
+
+        LiveSchedule.add_jobs = stalled_add
+        try:
+            slow_thread = threading.Thread(
+                target=mgr.apply, args=(_add("slow", [("s", 5)]),)
+            )
+            slow_thread.start()
+            assert started.wait(5.0)
+            t0 = time_mod.monotonic()
+            fast = mgr.apply(_add("fast", [("f", 3)]))
+            elapsed = time_mod.monotonic() - t0
+            slow_thread.join(5.0)
+        finally:
+            LiveSchedule.add_jobs = original
+        assert fast.ok and fast.num_jobs == 1
+        assert elapsed < 0.4  # did not wait out the slow tenant's event
+        assert mgr.get("slow").num_jobs == 1
+
+    def test_close_retires_tenant_gauges(self):
+        from repro.service.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        mgr = SessionManager(metrics=metrics)
+        mgr.apply(_open("t"))
+        mgr.apply(_add("t", [("a", 5)]))
+        assert any(
+            name.startswith("tenant.t.")
+            for name in metrics.snapshot()["gauges"]
+        )
+        mgr.apply(StreamRequest(action="close", tenant="t"))
+        assert not any(
+            name.startswith("tenant.t.")
+            for name in metrics.snapshot()["gauges"]
+        )
 
     def test_open_is_idempotent(self):
         mgr = SessionManager()
@@ -247,6 +347,88 @@ class TestServerStream:
 
         result = run(scenario())
         assert not result.ok and result.error
+
+    def test_unparseable_stream_payloads_keep_connection_alive(self):
+        # Payload shapes that used to raise TypeError past the old
+        # ValueError-only guard (e.g. jobs=42 makes from_dict iterate an
+        # int) must come back as error results on a live connection.
+        async def scenario():
+            svc = SolveService(batch_window=0.0)
+            server = await start_server(svc, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                bad_lines = [
+                    b'{"op":"stream","action":"add_jobs","tenant":"t","jobs":42}\n',
+                    b'{"op":"stream","action":"open_session","tenant":"t","machines":"four"}\n',
+                    b'{"op":"stream","action":"open_session","tenant":"t","machines":4.5}\n',
+                ]
+                errors = []
+                for line in bad_lines:
+                    writer.write(line)
+                    await writer.drain()
+                    errors.append(
+                        StreamResult.from_json((await reader.readline()).decode())
+                    )
+                # The same connection still serves a well-formed session.
+                writer.write(_open("t", machines=2).to_json().encode() + b"\n")
+                await writer.drain()
+                opened = StreamResult.from_json(
+                    (await reader.readline()).decode()
+                )
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                server.close()
+                await server.wait_closed()
+                await svc.aclose()
+            return errors, opened
+
+        errors, opened = run(scenario())
+        assert all(not e.ok and e.error for e in errors)
+        assert opened.ok
+
+    def test_handle_stream_crash_becomes_error_result(self, monkeypatch):
+        # A failure inside handle_stream itself (past parsing) must be
+        # reported on the open connection, not tear it down.
+        async def scenario():
+            svc = SolveService(batch_window=0.0)
+
+            async def explode(request):
+                raise RuntimeError("kaboom")
+
+            server = await start_server(svc, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                monkeypatch.setattr(svc, "handle_stream", explode)
+                writer.write(_open("t", machines=2).to_json().encode() + b"\n")
+                await writer.drain()
+                crashed = StreamResult.from_json(
+                    (await reader.readline()).decode()
+                )
+                monkeypatch.undo()
+                writer.write(_open("t", machines=2).to_json().encode() + b"\n")
+                await writer.drain()
+                opened = StreamResult.from_json(
+                    (await reader.readline()).decode()
+                )
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                server.close()
+                await server.wait_closed()
+                await svc.aclose()
+            return crashed, opened
+
+        crashed, opened = run(scenario())
+        assert not crashed.ok and "RuntimeError: kaboom" in (crashed.error or "")
+        assert crashed.tenant == "t" and crashed.action == "open_session"
+        assert opened.ok
 
 
 @pytest.mark.slow
