@@ -1,4 +1,4 @@
-"""repro — parallel approximation algorithms for ``P || Cmax``.
+"""repro — parallel approximation algorithms for machine scheduling.
 
 A production-grade reproduction of *"A Parallel Approximation Algorithm
 for Scheduling Parallel Identical Machines"* (L. Ghalami & D. Grosu,
@@ -8,21 +8,50 @@ MULTIFIT), exact solvers standing in for CPLEX, the paper's workload
 generators, and a full experiment harness regenerating every figure and
 table of the evaluation.
 
+The library is organised around first-class *problem variants*:
+
+* ``p_cmax`` — identical machines (:class:`Instance` /
+  :class:`Schedule`), the paper's problem, solvable by every engine;
+* ``q_cmax`` — uniformly related machines (:class:`QInstance` /
+  :class:`QSchedule`), with speed-aware list scheduling and LPT
+  (:mod:`repro.algorithms.related`) as the proving workload.
+
 Quickstart
 ----------
->>> from repro import Instance, parallel_ptas, lpt, solve_exact
->>> inst = Instance([9, 8, 7, 6, 5, 5, 4, 3, 2, 1], num_machines=3)
+The one blessed entry point is :func:`repro.solve` — it infers the
+problem variant from the instance type and dispatches through the same
+engine registry the service uses:
+
+>>> import repro
+>>> inst = repro.Instance([9, 8, 7, 6, 5, 5, 4, 3, 2, 1], num_machines=3)
+>>> repro.solve(inst, engine="ptas", eps=0.3).makespan <= 1.3 * 17
+True
+>>> q = repro.QInstance([6, 4, 3, 2], speeds=(3, 1))
+>>> repro.solve(q, engine="lpt").makespan
+4.0
+
+Individual solver functions remain available for direct use:
+
+>>> from repro import parallel_ptas, lpt, solve_exact
 >>> result = parallel_ptas(inst, eps=0.3, num_workers=4)
 >>> result.makespan <= lpt(inst).makespan
 True
->>> result.makespan <= 1.3 * solve_exact(inst, "brute").makespan
-True
 """
 
-from repro.algorithms import list_scheduling, lpt, multifit
+from repro.algorithms import list_scheduling, lpt, multifit, q_list_scheduling, q_lpt
+from repro.api import solve
 from repro.core import PTASResult, parallel_ptas, ptas
 from repro.exact import ExactResult, solve_exact
-from repro.model import Instance, Schedule
+from repro.model import (
+    Instance,
+    QInstance,
+    QSchedule,
+    Schedule,
+    available_problems,
+    get_problem,
+    problem_of_instance,
+    verify_schedule,
+)
 from repro.workloads import make_instance, uniform_instance
 
 __version__ = "1.0.0"
@@ -30,14 +59,23 @@ __version__ = "1.0.0"
 __all__ = [
     "Instance",
     "Schedule",
+    "QInstance",
+    "QSchedule",
+    "solve",
     "ptas",
     "parallel_ptas",
     "PTASResult",
     "list_scheduling",
     "lpt",
     "multifit",
+    "q_list_scheduling",
+    "q_lpt",
     "solve_exact",
     "ExactResult",
+    "available_problems",
+    "get_problem",
+    "problem_of_instance",
+    "verify_schedule",
     "make_instance",
     "uniform_instance",
     "__version__",

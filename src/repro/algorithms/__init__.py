@@ -9,12 +9,22 @@ algorithm its related-work section discusses:
   4/3-approximation.
 * :func:`~repro.algorithms.multifit.multifit` — Coffman–Garey–Johnson
   MULTIFIT via binary search over FFD bin packing, 1.22-approximation.
+
+:mod:`repro.algorithms.related` extends the greedy pair to uniformly
+related machines (``Q || Cmax``): :func:`q_list_scheduling` (earliest
+completion time) and :func:`q_lpt`, with speed-aware worst-case ratios.
 """
 
 from repro.algorithms.list_scheduling import list_scheduling
 from repro.algorithms.local_search import improve, lpt_with_local_search
 from repro.algorithms.lpt import lpt
 from repro.algorithms.multifit import multifit
+from repro.algorithms.related import (
+    q_list_scheduling,
+    q_list_worst_case_ratio,
+    q_lpt,
+    q_lpt_worst_case_ratio,
+)
 
 __all__ = [
     "list_scheduling",
@@ -22,4 +32,8 @@ __all__ = [
     "multifit",
     "improve",
     "lpt_with_local_search",
+    "q_list_scheduling",
+    "q_lpt",
+    "q_list_worst_case_ratio",
+    "q_lpt_worst_case_ratio",
 ]

@@ -1,0 +1,132 @@
+"""Baselines for ``Q || Cmax`` — uniformly related machines.
+
+Speed-aware analogues of the identical-machine greedy baselines:
+
+* :func:`q_list_scheduling` — earliest-completion-time (ECT) list
+  scheduling: each job goes to the machine that would *finish* it
+  first, i.e. the one minimizing ``(load_i + t) / s_i``.  With all
+  speeds equal this degenerates to least-loaded and reproduces
+  :func:`~repro.algorithms.list_scheduling.list_scheduling` byte for
+  byte (same assignment, same tie-breaks).
+* :func:`q_lpt` — ECT over jobs sorted by non-increasing processing
+  requirement; the uniform-machine LPT of Gonzalez, Ibarra & Sahni.
+
+Guarantees:
+
+* :func:`q_list_worst_case_ratio` — ``1 + (m - 1) * s_max / S`` where
+  ``S = sum(s)``.  Proof sketch (Graham's argument, speed-scaled): let
+  the last job to finish, with requirement ``t``, end at the makespan
+  ``C`` on machine ``i``.  When it started, every machine ``k`` was
+  busy until at least ``C - t / s_i``, else ECT would have finished the
+  job earlier there (it considers *all* machines).  Summing work:
+  ``W >= sum_k s_k * (C - t/s_i) - (m - 1) * t * (s_k/s_i caps)``; the
+  clean form is ``C * S <= W + (m - 1) * t_max`` and
+  ``OPT >= max(W / S, t_max / s_max)``, giving
+  ``C / OPT <= 1 + (m - 1) * t_max / (S * OPT)
+  <= 1 + (m - 1) * s_max / S``.  With equal speeds it collapses to
+  Graham's tight ``2 - 1/m``.
+* :func:`q_lpt_worst_case_ratio` — for equal speeds, the Della Croce &
+  Scatamacchia bound (arXiv:1801.05489) already shipped for the ``P``
+  path; otherwise the Gonzalez–Ibarra–Sahni LPT bound
+  ``2 - 2/(m + 1)`` for uniform machines, capped by the list bound
+  (LPT is an ECT list schedule, so the list bound always applies too).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.algorithms.lpt import dcs_lpt_bound
+from repro.model.qinstance import QInstance, QSchedule
+
+
+def q_list_scheduling(
+    instance: QInstance, order: Sequence[int] | None = None
+) -> QSchedule:
+    """Schedule jobs in ``order`` (default: input order) greedily onto
+    the machine with the earliest completion time for that job.
+
+    Comparisons are exact integer cross-multiplications
+    (``(load_i + t) * s_k`` vs ``(load_k + t) * s_i``), so the result is
+    deterministic; ties break toward the lowest machine index, matching
+    the identical-machine implementation.
+
+    >>> inst = QInstance([6, 4, 2], speeds=[2, 1])
+    >>> q_list_scheduling(inst).assignment
+    ((0, 2), (1,))
+    """
+    n = instance.num_jobs
+    if order is None:
+        order = range(n)
+    else:
+        if sorted(order) != list(range(n)):
+            raise ValueError("order must be a permutation of all job indices")
+    t = instance.processing_times
+    s = instance.speeds
+    m = instance.num_machines
+    loads = [0] * m
+    groups: list[list[int]] = [[] for _ in range(m)]
+    for j in order:
+        tj = t[j]
+        best = 0
+        # Minimize (loads[i] + tj) / s[i]; strict < keeps the first
+        # (lowest-index) minimizer, mirroring the (load, machine) heap
+        # tie-break of the P path.
+        for i in range(1, m):
+            if (loads[i] + tj) * s[best] < (loads[best] + tj) * s[i]:
+                best = i
+        loads[best] += tj
+        groups[best].append(j)
+    return QSchedule(instance, groups)
+
+
+def q_lpt(instance: QInstance) -> QSchedule:
+    """ECT list scheduling over jobs sorted by non-increasing
+    processing requirement (ties by job index) — uniform-machine LPT.
+
+    >>> inst = QInstance([2, 3, 4, 6], speeds=[1, 1])
+    >>> q_lpt(inst).machine_loads
+    (8, 7)
+    """
+    return q_list_scheduling(instance, instance.sorted_jobs_desc())
+
+
+def q_list_worst_case_ratio(speeds: Sequence[int]) -> float:
+    """``1 + (m - 1) * max(s) / sum(s)`` — ECT list scheduling bound on
+    uniform machines; equals Graham's ``2 - 1/m`` when speeds are equal.
+
+    >>> q_list_worst_case_ratio([1, 1, 1, 1])
+    1.75
+    >>> q_list_worst_case_ratio([3, 1])
+    1.75
+    >>> q_list_worst_case_ratio([5])
+    1.0
+    """
+    spd = [int(s) for s in speeds]
+    if not spd or any(s <= 0 for s in spd):
+        raise ValueError("speeds must be a non-empty sequence of positive ints")
+    m = len(spd)
+    return 1.0 + (m - 1) * max(spd) / sum(spd)
+
+
+def q_lpt_worst_case_ratio(speeds: Sequence[int]) -> float:
+    """Guarantee for :func:`q_lpt` given the machine speed vector.
+
+    Equal speeds fall back to the tightened identical-machine LPT bound
+    (:func:`~repro.algorithms.lpt.dcs_lpt_bound`); genuinely uniform
+    speeds use ``min(2 - 2/(m + 1), q_list_worst_case_ratio(speeds))``
+    — the Gonzalez–Ibarra–Sahni LPT bound, never worse than the plain
+    list bound.
+
+    >>> q_lpt_worst_case_ratio([1, 1])
+    1.1666666666666667
+    >>> q_lpt_worst_case_ratio([2, 1])  # min(2 - 2/3, 1 + 2/3)
+    1.3333333333333335
+    """
+    spd = [int(s) for s in speeds]
+    if not spd or any(s <= 0 for s in spd):
+        raise ValueError("speeds must be a non-empty sequence of positive ints")
+    m = len(spd)
+    if min(spd) == max(spd):
+        return dcs_lpt_bound(m)
+    return min(2.0 - 2.0 / (m + 1), q_list_worst_case_ratio(spd))

@@ -1,0 +1,143 @@
+"""API-stability check: ``python -m repro.apicheck``.
+
+The public surface of the library — every name each public package
+exports via ``__all__``, with its kind and (for callables) its exact
+signature — is pinned in ``docs/api-surface.txt``.  CI runs this module
+on every push: any drift (a renamed kwarg, a removed export, a changed
+default) fails the build until the pin is regenerated *intentionally*
+with::
+
+    python -m repro.apicheck --write
+
+and the diff reviewed like any other golden file.  This is what makes
+``repro.solve`` and friends a stable surface rather than a convention.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import sys
+from pathlib import Path
+
+#: The packages whose ``__all__`` constitutes the public API, in the
+#: order they appear in the surface file.
+PUBLIC_MODULES: tuple[str, ...] = (
+    "repro",
+    "repro.algorithms",
+    "repro.model",
+    "repro.service",
+    "repro.store",
+    "repro.workloads",
+)
+
+DEFAULT_SURFACE = Path(__file__).resolve().parents[2] / "docs" / "api-surface.txt"
+
+HEADER = (
+    "# Public API surface — regenerate with `python -m repro.apicheck --write`\n"
+    "# (CI fails when the live surface drifts from this pin.)\n"
+)
+
+
+def _describe(qualname: str, obj: object) -> str:
+    """One deterministic line describing an exported object."""
+    if inspect.isclass(obj):
+        try:
+            sig = str(inspect.signature(obj))
+        except (ValueError, TypeError):
+            sig = "(...)"
+        return f"{qualname}: class {sig}"
+    if inspect.isroutine(obj):
+        try:
+            sig = str(inspect.signature(obj))
+        except (ValueError, TypeError):
+            sig = "(...)"
+        return f"{qualname}: function {sig}"
+    if isinstance(obj, type(sys)):
+        return f"{qualname}: module"
+    if isinstance(obj, dict):
+        # Registries: pin the key set, not the values (whose reprs can
+        # embed memory addresses).
+        return f"{qualname}: dict keys={sorted(map(str, obj))}"
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return f"{qualname}: {type(obj).__name__} = {obj!r}"
+    if isinstance(obj, (tuple, list)) and all(
+        isinstance(x, (str, int, float, bool)) for x in obj
+    ):
+        return f"{qualname}: {type(obj).__name__} = {obj!r}"
+    return f"{qualname}: {type(obj).__name__}"
+
+
+def compute_surface() -> str:
+    """Render the live public surface as the pinned text format."""
+    lines: list[str] = [HEADER.rstrip("\n")]
+    for modname in PUBLIC_MODULES:
+        module = importlib.import_module(modname)
+        exported = getattr(module, "__all__", None)
+        if exported is None:
+            raise RuntimeError(f"{modname} has no __all__; cannot pin its surface")
+        lines.append("")
+        lines.append(f"[{modname}]")
+        for name in sorted(exported):
+            lines.append(_describe(f"{modname}.{name}", getattr(module, name)))
+    return "\n".join(lines) + "\n"
+
+
+def diff_surface(pinned: str, live: str) -> list[str]:
+    """Line-level diff between the pinned and live surfaces (unified-ish,
+    deterministic; empty list = no drift)."""
+    pinned_lines = {
+        line for line in pinned.splitlines() if line and not line.startswith("#")
+    }
+    live_lines = {
+        line for line in live.splitlines() if line and not line.startswith("#")
+    }
+    problems = [f"- {line}" for line in sorted(pinned_lines - live_lines)]
+    problems += [f"+ {line}" for line in sorted(live_lines - pinned_lines)]
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: check (default) or ``--write`` the surface pin."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.apicheck",
+        description="Check the public API surface against docs/api-surface.txt",
+    )
+    parser.add_argument(
+        "--surface",
+        default=str(DEFAULT_SURFACE),
+        help="path of the pinned surface file",
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="regenerate the pin from the live surface instead of checking",
+    )
+    args = parser.parse_args(argv)
+    live = compute_surface()
+    path = Path(args.surface)
+    if args.write:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(live)
+        print(f"wrote {path}")
+        return 0
+    if not path.exists():
+        print(f"error: {path} does not exist; run with --write to create it")
+        return 1
+    problems = diff_surface(path.read_text(), live)
+    if problems:
+        print(f"API surface drift against {path}:")
+        for line in problems:
+            print(f"  {line}")
+        print(
+            "If intentional, regenerate with "
+            "`python -m repro.apicheck --write` and review the diff."
+        )
+        return 1
+    print(f"OK: public API surface matches {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

@@ -41,6 +41,8 @@ from typing import Sequence
 from repro.core.dp import SEQUENTIAL_ENGINES
 from repro.core.ptas import MODES
 from repro.model.instance import Instance
+from repro.model.problem import P_CMAX, Q_CMAX, available_problems, canonical_problem_name
+from repro.model.qinstance import QInstance
 from repro.parallel.cpus import resolve_workers
 from repro.service.registry import (
     UnknownEngineError,
@@ -49,8 +51,8 @@ from repro.service.registry import (
     get_engine,
 )
 from repro.service.requests import SolveRequest
-from repro.workloads.families import FAMILIES
-from repro.workloads.generator import make_instance
+from repro.workloads.families import FAMILIES, SPEED_FAMILIES
+from repro.workloads.generator import make_instance, make_qinstance
 
 #: Engine names come from the service registry — the single source of
 #: truth shared with ``repro.service.server`` (dashes == underscores, so
@@ -58,7 +60,42 @@ from repro.workloads.generator import make_instance
 ALGORITHMS = available_engines()
 
 
-def _instance_from_args(args: argparse.Namespace) -> Instance:
+def _problem_from_args(args: argparse.Namespace) -> str:
+    return canonical_problem_name(getattr(args, "problem", P_CMAX))
+
+
+def _speeds_from_args(args: argparse.Namespace) -> tuple[int, ...]:
+    raw = getattr(args, "speeds", None)
+    if not raw:
+        return ()
+    return tuple(int(x) for x in raw.split(","))
+
+
+def _qinstance_from_args(args: argparse.Namespace) -> QInstance:
+    speeds = _speeds_from_args(args)
+    if args.times:
+        if not speeds:
+            raise SystemExit(
+                "q_cmax needs machine speeds: pass --speeds S1,S2,... "
+                "alongside --times"
+            )
+        times = [int(x) for x in args.times.split(",")]
+        return QInstance(times, speeds)
+    if args.family:
+        return make_qinstance(
+            args.family,
+            args.machines,
+            args.jobs,
+            seed=args.seed,
+            speeds=speeds or None,
+            speed_family=getattr(args, "speed_family", None),
+        )
+    raise SystemExit("provide --times (with --speeds) or --family")
+
+
+def _instance_from_args(args: argparse.Namespace) -> Instance | QInstance:
+    if _problem_from_args(args) == Q_CMAX:
+        return _qinstance_from_args(args)
     if getattr(args, "input", None):
         from repro.io.instances import read_instance
 
@@ -82,6 +119,26 @@ def _add_instance_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("-m", "--machines", type=int, default=10)
     sub.add_argument("-n", "--jobs", type=int, default=30)
     sub.add_argument("--seed", type=int, default=0)
+
+
+def _add_problem_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--problem",
+        default=P_CMAX,
+        help=f"problem variant (one of: {', '.join(available_problems())}; "
+        "aliases like 'q'/'uniform' are accepted)",
+    )
+    sub.add_argument(
+        "--speeds",
+        help="q_cmax: comma-separated positive integer machine speeds "
+        "(defines the machine count)",
+    )
+    sub.add_argument(
+        "--speed-family",
+        choices=sorted(SPEED_FAMILIES),
+        help="q_cmax with --family: generate the speed vector from a "
+        "named speed family instead of --speeds",
+    )
 
 
 def _workers_arg(value: str) -> int | str:
@@ -118,10 +175,15 @@ def _pool_workers_arg(value: str) -> int | str:
     return workers
 
 
-def _solve_request_from_args(args: argparse.Namespace, inst: Instance) -> SolveRequest:
+def _solve_request_from_args(
+    args: argparse.Namespace, inst: Instance | QInstance
+) -> SolveRequest:
+    is_q = isinstance(inst, QInstance)
     return SolveRequest(
         times=inst.processing_times,
         machines=inst.num_machines,
+        problem=Q_CMAX if is_q else P_CMAX,
+        speeds=inst.speeds if is_q else (),
         engine=args.algorithm,
         eps=args.eps,
         dp_engine=args.engine,
@@ -131,6 +193,23 @@ def _solve_request_from_args(args: argparse.Namespace, inst: Instance) -> SolveR
         time_limit=args.time_limit,
         deadline=getattr(args, "deadline", None),
     )
+
+
+def _sniff_engine_flag(args: argparse.Namespace) -> None:
+    """Accept ``--engine lpt`` as a registry engine name.
+
+    ``--engine`` historically selects the sequential *DP* engine of the
+    PTAS bisection, but ``--engine lpt`` reads naturally as "solve with
+    LPT".  The two name sets are disjoint, so when the value matches a
+    registry engine (and no explicit ``-a`` contradicts it) we treat it
+    as the algorithm and fall back to the default DP engine.
+    """
+    name = args.engine.replace("-", "_").strip().lower()
+    if name in SEQUENTIAL_ENGINES:
+        return
+    if name in ALGORITHMS:
+        args.algorithm = name
+        args.engine = "dominance"
 
 
 def _build_trace_context(args: argparse.Namespace, request: SolveRequest):
@@ -164,6 +243,7 @@ def _finish_trace(tracer, path: str) -> None:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    _sniff_engine_flag(args)
     # Validate the DP engine eagerly so a typo exits cleanly regardless
     # of which algorithm would (or would not) consume it.
     if args.engine not in SEQUENTIAL_ENGINES:
@@ -173,10 +253,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    inst = _instance_from_args(args)
     try:
-        spec = get_engine(args.algorithm)
+        inst = _instance_from_args(args)
         request = _solve_request_from_args(args, inst)
+        spec = get_engine(args.algorithm, problem=request.problem)
         tracer, ctx = _build_trace_context(args, request)
         t0 = time.perf_counter()
         schedule = spec.solve(inst, request, ctx)
@@ -184,16 +264,34 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     elapsed = time.perf_counter() - t0
+    from repro.model.verify import verify_schedule
+
+    report = verify_schedule(schedule, inst)
     print(f"instance : {inst}")
+    print(f"problem  : {request.problem}")
     print(f"algorithm: {args.algorithm}")
     print(f"makespan : {schedule.makespan}")
+    print(f"verified : {'ok' if report.ok else 'INVALID'}")
     print(f"time     : {elapsed:.4f}s")
+    if not report.ok:
+        for v in report.violations:
+            print(f"  - {v}", file=sys.stderr)
+        return 1
     if tracer is not None:
         _finish_trace(tracer, args.trace)
     if args.show_schedule:
+        is_q = isinstance(inst, QInstance)
+        completions = schedule.completion_times if is_q else None
         for i, grp in enumerate(schedule.assignment):
             load = sum(inst.processing_times[j] for j in grp)
-            print(f"  machine {i:3d} (load {load:6d}): jobs {list(grp)}")
+            if is_q:
+                print(
+                    f"  machine {i:3d} (speed {inst.speeds[i]:3d}, "
+                    f"load {load:6d}, completes {completions[i]:g}): "
+                    f"jobs {list(grp)}"
+                )
+            else:
+                print(f"  machine {i:3d} (load {load:6d}): jobs {list(grp)}")
     if args.gantt:
         from repro.model.gantt import render_gantt
 
@@ -410,7 +508,6 @@ def _cmd_submit_repeat(args: argparse.Namespace) -> int:
     import asyncio
     import statistics
 
-    from repro.model.schedule import Schedule
     from repro.model.verify import verify_schedule
     from repro.service.server import replay
 
@@ -443,7 +540,7 @@ def _cmd_submit_repeat(args: argparse.Namespace) -> int:
         degraded += int(result.degraded)
         cached += int(result.cached)
         if result.assignment is not None:
-            report = verify_schedule(Schedule(inst, result.assignment), inst)
+            report = verify_schedule(result.schedule(inst), inst)
             if report.ok:
                 verified += 1
             else:
@@ -473,6 +570,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
     from repro.service.server import send_op, submit
 
+    _sniff_engine_flag(args)
     if args.op:
         reply = asyncio.run(send_op(args.host, args.port, args.op))
         print(_json.dumps(reply, indent=2, sort_keys=True))
@@ -632,6 +730,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     solve = subs.add_parser("solve", help="solve one instance")
     _add_instance_args(solve)
+    _add_problem_args(solve)
     solve.add_argument(
         "-a",
         "--algorithm",
@@ -788,6 +887,7 @@ def build_parser() -> argparse.ArgumentParser:
         "submit", help="submit one request to a running service"
     )
     _add_instance_args(sub_cmd)
+    _add_problem_args(sub_cmd)
     sub_cmd.add_argument("--host", default="127.0.0.1")
     sub_cmd.add_argument("--port", type=int, default=8357)
     sub_cmd.add_argument(

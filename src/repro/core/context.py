@@ -113,7 +113,8 @@ def _warn_legacy(caller: str, kwarg: str) -> None:
     """Emit the deprecation warning for one legacy kwarg."""
     warnings.warn(
         f"{caller}({kwarg}=...) is deprecated; pass "
-        f"ctx=SolveContext({kwarg}=...) instead",
+        f"ctx=SolveContext({kwarg}=...) instead, or use the repro.solve() "
+        "facade — the one blessed entry point (docs/api.md)",
         DeprecationWarning,
         stacklevel=4,
     )

@@ -25,8 +25,15 @@ from typing import Any
 from repro.algorithms.list_scheduling import list_scheduling
 from repro.algorithms.lpt import lpt
 from repro.algorithms.multifit import multifit
+from repro.algorithms.related import (
+    q_list_scheduling,
+    q_lpt,
+    q_lpt_worst_case_ratio,
+    q_list_worst_case_ratio,
+)
 from repro.core.ptas import parallel_ptas, ptas
-from repro.workloads.generator import make_instance
+from repro.model.verify import verify_qschedule
+from repro.workloads.generator import make_instance, make_qinstance
 
 #: The probe grid: small, fast, and covering every family.
 GOLDEN_GRID: tuple[tuple[str, int, int, int], ...] = (
@@ -36,6 +43,16 @@ GOLDEN_GRID: tuple[tuple[str, int, int, int], ...] = (
     ("u_10n", 4, 12, 3),
     ("lpt_adversarial", 5, 11, 4),
     ("u_narrow", 4, 12, 5),
+)
+
+#: The ``Q || Cmax`` probe grid: (time family, m, n, seed, speed family).
+#: Every speed family is covered, including ``unit`` — whose entries
+#: must agree with the identical-machine baselines on the same times.
+GOLDEN_Q_GRID: tuple[tuple[str, int, int, int, str], ...] = (
+    ("u_10", 4, 12, 2, "unit"),
+    ("u_100", 4, 12, 1, "u_1_4"),
+    ("u_2m", 4, 12, 0, "one_fast"),
+    ("u_10n", 4, 12, 3, "geometric"),
 )
 
 #: Simulated processor counts probed per instance.
@@ -78,7 +95,51 @@ def compute_golden() -> dict[str, Any]:
         "library_version": repro.__version__,
         "eps": 0.3,
         "entries": entries,
+        "q_entries": _compute_q_entries(),
     }
+
+
+def _compute_q_entries() -> list[dict[str, Any]]:
+    """The ``Q || Cmax`` golden section: baseline makespans plus the
+    a-priori worst-case ratio, checked here against the trivial lower
+    bound (a real schedule can only be closer to OPT than to the LB, so
+    ``makespan <= ratio * LB`` must hold — and is re-checked on load)."""
+    q_entries: list[dict[str, Any]] = []
+    for kind, m, n, seed, speed_kind in GOLDEN_Q_GRID:
+        inst = make_qinstance(kind, m, n, seed=seed, speed_family=speed_kind)
+        lpt_sched = q_lpt(inst)
+        ls_sched = q_list_scheduling(inst)
+        for sched in (lpt_sched, ls_sched):
+            report = verify_qschedule(sched, inst)
+            assert report.ok, report.violations
+        if speed_kind == "unit":
+            # Unit speeds degenerate to P||Cmax: the Q baselines must
+            # reproduce the identical-machine baselines exactly.
+            ident = inst.to_identical()
+            assert lpt_sched.assignment == lpt(ident).assignment
+            assert ls_sched.assignment == list_scheduling(ident).assignment
+        lb = inst.trivial_lower_bound()
+        lpt_bound = q_lpt_worst_case_ratio(inst.speeds)
+        ls_bound = q_list_worst_case_ratio(inst.speeds)
+        assert lpt_sched.makespan <= lpt_bound * lb + 1e-9
+        assert ls_sched.makespan <= ls_bound * lb + 1e-9
+        q_entries.append(
+            {
+                "kind": kind,
+                "m": m,
+                "n": n,
+                "seed": seed,
+                "speed_family": speed_kind,
+                "speeds": list(inst.speeds),
+                "processing_times": list(inst.processing_times),
+                "trivial_lower_bound": round(lb, 9),
+                "q_lpt_makespan": round(lpt_sched.makespan, 9),
+                "q_ls_makespan": round(ls_sched.makespan, 9),
+                "q_lpt_bound": round(lpt_bound, 9),
+                "q_ls_bound": round(ls_bound, 9),
+            }
+        )
+    return q_entries
 
 
 def save_golden(path: str | Path) -> Path:
@@ -116,6 +177,28 @@ def diff_against(path: str | Path) -> list[str]:
             if entry[field] != old.get(field):
                 problems.append(
                     f"{key}.{field}: golden {old.get(field)!r} != "
+                    f"current {entry[field]!r}"
+                )
+    stored_q = {
+        (e["kind"], e["m"], e["n"], e["seed"], e["speed_family"]): e
+        for e in stored.get("q_entries", [])
+    }
+    for entry in current["q_entries"]:
+        key = (
+            entry["kind"],
+            entry["m"],
+            entry["n"],
+            entry["seed"],
+            entry["speed_family"],
+        )
+        if key not in stored_q:
+            problems.append(f"q{key}: missing from the stored golden")
+            continue
+        old = stored_q[key]
+        for field in sorted(entry):
+            if entry[field] != old.get(field):
+                problems.append(
+                    f"q{key}.{field}: golden {old.get(field)!r} != "
                     f"current {entry[field]!r}"
                 )
     return problems

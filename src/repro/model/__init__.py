@@ -1,20 +1,52 @@
-"""Problem model for ``P || Cmax``: instances and schedules.
+"""Problem models: instances, schedules, and the problem-variant axis.
 
-This subpackage provides the two fundamental data structures shared by
-every algorithm in :mod:`repro`:
+This subpackage provides the fundamental data structures shared by
+every algorithm in :mod:`repro`, for each supported problem variant:
 
-* :class:`~repro.model.instance.Instance` — an immutable description of a
-  scheduling problem (job processing times + number of machines), together
-  with convenience statistics (total work, longest job, trivial bounds).
-* :class:`~repro.model.schedule.Schedule` — an assignment of jobs to
-  machines, with validation and makespan computation.
+* :class:`~repro.model.instance.Instance` /
+  :class:`~repro.model.schedule.Schedule` — the paper's ``P || Cmax``
+  (identical machines).
+* :class:`~repro.model.qinstance.QInstance` /
+  :class:`~repro.model.qinstance.QSchedule` — ``Q || Cmax``
+  (uniformly related machines with integer speeds).
+* :mod:`repro.model.problem` — the :class:`~repro.model.problem.ProblemModel`
+  registry that names the variants (``p_cmax``, ``q_cmax``) and
+  dispatches construction, verification, and baseline solves.
 
-Both types are deliberately plain (frozen dataclasses over tuples) so that
+All types are deliberately plain (frozen dataclasses over tuples) so
 they can be hashed, pickled across process boundaries, and compared for
 equality in tests.
 """
 
 from repro.model.instance import Instance
+from repro.model.problem import (
+    P_CMAX,
+    Q_CMAX,
+    ProblemModel,
+    UnknownProblemError,
+    available_problems,
+    canonical_problem_name,
+    get_problem,
+    problem_of_instance,
+)
+from repro.model.qinstance import QInstance, QSchedule
 from repro.model.schedule import Schedule, makespan_of_loads
+from repro.model.verify import verify_qschedule, verify_schedule
 
-__all__ = ["Instance", "Schedule", "makespan_of_loads"]
+__all__ = [
+    "Instance",
+    "Schedule",
+    "QInstance",
+    "QSchedule",
+    "makespan_of_loads",
+    "P_CMAX",
+    "Q_CMAX",
+    "ProblemModel",
+    "UnknownProblemError",
+    "available_problems",
+    "canonical_problem_name",
+    "get_problem",
+    "problem_of_instance",
+    "verify_schedule",
+    "verify_qschedule",
+]

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from repro.core.bounds import makespan_bounds
 from repro.core.ptas import PTASResult
 from repro.model.instance import Instance
+from repro.model.qinstance import QInstance, QSchedule
 from repro.model.schedule import Schedule
 
 
@@ -58,8 +59,22 @@ class VerificationReport:
         return f"{self.subject}: {len(self.violations)} violation(s)"
 
 
-def verify_schedule(schedule: Schedule, instance: Instance | None = None) -> VerificationReport:
-    """Full semantic check of a schedule against its (or a given) instance."""
+def verify_schedule(
+    schedule: Schedule | QSchedule,
+    instance: Instance | QInstance | None = None,
+) -> VerificationReport:
+    """Full semantic check of a schedule against its (or a given) instance.
+
+    Dispatches on the schedule type: :class:`QSchedule` objects are
+    routed to :func:`verify_qschedule` (speed-aware completion-time
+    arithmetic), everything else takes the identical-machine path.
+    """
+    if isinstance(schedule, QSchedule):
+        if instance is not None and not isinstance(instance, QInstance):
+            report = VerificationReport("schedule")
+            report.fail("Q schedule verified against a non-Q instance")
+            return report
+        return verify_qschedule(schedule, instance)
     report = VerificationReport("schedule")
     inst = instance if instance is not None else schedule.instance
     if instance is not None and instance != schedule.instance:
@@ -93,6 +108,62 @@ def verify_schedule(schedule: Schedule, instance: Instance | None = None) -> Ver
     if loads and schedule.makespan != max(loads):
         report.fail("makespan is not the maximum machine load")
     if schedule.makespan < inst.trivial_lower_bound() and not missing:
+        report.fail(
+            f"makespan {schedule.makespan} beats the lower bound "
+            f"{inst.trivial_lower_bound()} — impossible for a complete schedule"
+        )
+    return report
+
+
+def verify_qschedule(
+    schedule: QSchedule, instance: QInstance | None = None
+) -> VerificationReport:
+    """Speed-aware semantic check for uniformly related machines: the
+    partition and load-arithmetic checks of :func:`verify_schedule`,
+    plus completion times ``load_i / s_i`` and a makespan that must be
+    their exact maximum and respect the speed-scaled lower bound."""
+    report = VerificationReport("q-schedule")
+    inst = instance if instance is not None else schedule.instance
+    if instance is not None and instance != schedule.instance:
+        report.fail("schedule was built for a different instance")
+        return report
+    n = inst.num_jobs
+    seen: dict[int, int] = {}
+    for machine, grp in enumerate(schedule.assignment):
+        for j in grp:
+            if not 0 <= j < n:
+                report.fail(f"job index {j} out of range on machine {machine}")
+            elif j in seen:
+                report.fail(
+                    f"job {j} on machines {seen[j]} and {machine} simultaneously"
+                )
+            else:
+                seen[j] = machine
+    missing = sorted(set(range(n)) - set(seen))
+    if missing:
+        report.fail(f"jobs never scheduled: {missing}")
+    if len(schedule.assignment) != inst.num_machines:
+        report.fail(
+            f"{len(schedule.assignment)} machine rows for "
+            f"{inst.num_machines} machines"
+        )
+    loads = schedule.machine_loads
+    if sum(loads) != inst.total_work:
+        report.fail(
+            f"loads sum to {sum(loads)}, total work is {inst.total_work}"
+        )
+    completions = schedule.exact_completion_times()
+    if completions and schedule.makespan != float(max(completions)):
+        report.fail("makespan is not the maximum machine completion time")
+    # Exact-fraction comparison against the lower bound avoids false
+    # positives from float rounding of load/speed divisions.
+    from fractions import Fraction
+
+    lb = max(
+        Fraction(inst.total_work, inst.total_speed),
+        Fraction(inst.max_time, inst.max_speed),
+    )
+    if completions and max(completions) < lb and not missing:
         report.fail(
             f"makespan {schedule.makespan} beats the lower bound "
             f"{inst.trivial_lower_bound()} — impossible for a complete schedule"

@@ -106,6 +106,16 @@ class SessionManager:
 
     def _dispatch(self, request: StreamRequest) -> StreamResult:
         action = request.action
+        if request.problem != "p_cmax":
+            # Live schedules are built on the identical-machine
+            # incremental-repair machinery; other variants are one-shot
+            # only for now.  Reject with the supported set, mirroring
+            # the registry's capability errors.
+            return self._error(
+                request,
+                f"live sessions do not support problem {request.problem!r}; "
+                "supported problems: p_cmax",
+            )
         if action == "open_session":
             return self._open(request)
         with self._lock:

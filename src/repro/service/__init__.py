@@ -42,10 +42,15 @@ from repro.service.metrics import MetricsRegistry, dp_cache_stats
 from repro.service.registry import (
     EngineSpec,
     UnknownEngineError,
+    UnsupportedProblemError,
     available_engines,
+    engine_problem_pairs,
+    fallback_result,
     get_engine,
 )
 from repro.service.requests import (
+    PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOLS,
     DeadlineExceeded,
     SolveRequest,
     SolveResult,
@@ -60,3 +65,38 @@ from repro.service.sharding import (
     tenant_shard,
 )
 from repro.service.supervisor import PooledSolveService, SupervisorPool
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "ResultCache",
+    "canonical_key",
+    "canonicalize_result",
+    "localize_result",
+    "MetricsRegistry",
+    "dp_cache_stats",
+    "EngineSpec",
+    "UnknownEngineError",
+    "UnsupportedProblemError",
+    "available_engines",
+    "engine_problem_pairs",
+    "fallback_result",
+    "get_engine",
+    "PROTOCOL_VERSION",
+    "SUPPORTED_PROTOCOLS",
+    "DeadlineExceeded",
+    "SolveRequest",
+    "SolveResult",
+    "StreamRequest",
+    "StreamResult",
+    "SolveService",
+    "serve",
+    "stream_events",
+    "submit",
+    "shard_index",
+    "shard_key",
+    "shard_of_request",
+    "tenant_shard",
+    "PooledSolveService",
+    "SupervisorPool",
+]

@@ -1,10 +1,13 @@
 """Canonical-form result cache.
 
-``P || Cmax`` is permutation-invariant: the makespan of an instance
-depends only on the *multiset* of processing times.  The cache therefore
-keys on the sort-normalized job vector plus ``(m, engine, eps)``, so a
-request whose times are any permutation of a previously solved instance
-is served instantly.
+Both problem variants are permutation-invariant: the makespan of an
+instance depends only on the *multiset* of processing times (and, on
+uniformly related machines, the *multiset* of speeds).  The cache
+therefore keys on a problem tag plus the sort-normalized job vector,
+the sorted speed vector, and ``(m, engine, eps)``, so a request whose
+times (or machines) are any permutation of a previously solved instance
+is served instantly — and two different problem variants can never
+collide, because the tag namespaces every key, including ``p_cmax``.
 
 To return a *valid schedule for the caller's job numbering* (not just a
 makespan), entries store the assignment in canonical coordinates —
@@ -38,13 +41,18 @@ from collections import OrderedDict
 from dataclasses import replace
 from typing import TYPE_CHECKING, Callable
 
+from repro.model.problem import P_CMAX, Q_CMAX
 from repro.service.registry import canonical_engine_name
 from repro.service.requests import SolveRequest, SolveResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from repro.store.resultstore import ResultStore
 
-CacheKey = tuple[tuple[int, ...], int, str, float]
+#: ``(problem, sorted times, sorted speeds, machines, engine, eps)``.
+#: The problem tag namespaces every key (even ``p_cmax``) so variants can
+#: never collide; ``speeds`` is the sorted multiset for ``q_cmax`` and
+#: always ``()`` for ``p_cmax``.
+CacheKey = tuple[str, tuple[int, ...], tuple[int, ...], int, str, float]
 
 
 def _sort_order(times: tuple[int, ...]) -> list[int]:
@@ -52,17 +60,44 @@ def _sort_order(times: tuple[int, ...]) -> list[int]:
     return sorted(range(len(times)), key=lambda j: (times[j], j))
 
 
+def _machine_order(speeds: tuple[int, ...]) -> list[int]:
+    """Machine indices in the stable canonical order (by speed, ties by
+    index).  Identical machines are interchangeable; uniform ones are
+    only interchangeable within a speed class, so canonical machine
+    coordinates are positions in this order."""
+    return sorted(range(len(speeds)), key=lambda i: (speeds[i], i))
+
+
+def canonical_problem_key(request: SolveRequest) -> tuple[str, tuple[int, ...]]:
+    """The ``(problem, sorted speeds)`` part of the canonical identity.
+
+    A ``q_cmax`` request whose machines all run at speed 1 *is* the
+    identical-machine instance — it normalizes to the ``p_cmax``
+    namespace (empty speed vector) so the two paths share answers
+    byte for byte.  Any other speed vector keeps its own namespace
+    (even all-equal speeds ``> 1`` scale completion times, so their
+    stored makespans differ from the ``P`` entry's).
+    """
+    if request.problem == Q_CMAX and set(request.speeds) != {1}:
+        return Q_CMAX, tuple(sorted(request.speeds))
+    return P_CMAX, ()
+
+
 def canonical_key(request: SolveRequest) -> CacheKey:
     """The permutation-invariant identity of a request's *answer*.
 
-    Two requests share a key iff they describe the same multiset of
-    times, machine count, engine and ``eps`` — everything that can change
-    the returned schedule's loads.  Tuning knobs (workers, backend,
-    dp_engine) deliberately do not participate: they change how fast the
-    answer is computed, never what a valid answer is.
+    Two requests share a key iff they describe the same problem variant,
+    multiset of times (and of speeds, for ``q_cmax``), machine count,
+    engine and ``eps`` — everything that can change the returned
+    schedule's loads.  Tuning knobs (workers, backend, dp_engine)
+    deliberately do not participate: they change how fast the answer is
+    computed, never what a valid answer is.
     """
+    problem, speeds = canonical_problem_key(request)
     return (
+        problem,
         tuple(sorted(request.times)),
+        speeds,
         request.machines,
         canonical_engine_name(request.engine),
         round(request.eps, 12),
@@ -70,39 +105,72 @@ def canonical_key(request: SolveRequest) -> CacheKey:
 
 
 def _to_canonical(
-    times: tuple[int, ...], assignment: tuple[tuple[int, ...], ...]
+    request: SolveRequest, assignment: tuple[tuple[int, ...], ...]
 ) -> tuple[tuple[int, ...], ...]:
-    """Re-express an assignment over job indices as one over sorted positions."""
+    """Re-express an assignment over job indices as one over sorted
+    positions; for ``q_cmax`` the machine rows are also permuted into
+    the canonical (sorted-speed) machine order."""
+    times = request.times
     position_of = {j: p for p, j in enumerate(_sort_order(times))}
-    return tuple(
+    groups = tuple(
         tuple(sorted(position_of[j] for j in grp)) for grp in assignment
     )
+    problem, speeds = canonical_problem_key(request)
+    if problem == Q_CMAX:
+        order = _machine_order(request.speeds)
+        groups = tuple(groups[i] for i in order)
+    return groups
 
 
 def _from_canonical(
-    times: tuple[int, ...], canonical: tuple[tuple[int, ...], ...]
+    request: SolveRequest, canonical: tuple[tuple[int, ...], ...]
 ) -> tuple[tuple[int, ...], ...]:
-    """Instantiate a canonical assignment for a concrete job numbering."""
-    order = _sort_order(times)
-    return tuple(tuple(order[p] for p in grp) for grp in canonical)
+    """Instantiate a canonical assignment for a concrete job numbering
+    (and, for ``q_cmax``, a concrete machine/speed ordering)."""
+    order = _sort_order(request.times)
+    groups = tuple(tuple(order[p] for p in grp) for grp in canonical)
+    problem, speeds = canonical_problem_key(request)
+    if problem == Q_CMAX:
+        machine_order = _machine_order(request.speeds)
+        rows: list[tuple[int, ...]] = [()] * len(machine_order)
+        for p, machine in enumerate(machine_order):
+            rows[machine] = groups[p]
+        groups = tuple(rows)
+    return groups
 
 
 def canonicalize_result(request: SolveRequest, result: SolveResult) -> SolveResult:
     """*result* stripped to its permutation-invariant canonical form.
 
-    The assignment is re-expressed over sorted positions and every
-    caller-specific field (request id, elapsed wall time, cached flag)
-    is zeroed — the representation both the memory tier and the durable
-    :class:`repro.store.ResultStore` persist, and the one whose
-    serialized bytes the crash-recovery test compares.
+    The assignment is re-expressed over sorted positions (and canonical
+    machine order under speeds) and every caller-specific field (request
+    id, elapsed wall time, cached flag) is zeroed — the representation
+    both the memory tier and the durable :class:`repro.store.ResultStore`
+    persist, and the one whose serialized bytes the crash-recovery test
+    compares.  A makespan that lands in the ``p_cmax`` namespace is an
+    integer load; unit-speed ``q_cmax`` floats are folded back to int so
+    the shared entry is byte-identical either way it was produced.
     """
     canonical = (
-        _to_canonical(request.times, result.assignment)
+        _to_canonical(request, result.assignment)
         if result.assignment is not None
         else None
     )
+    makespan = result.makespan
+    problem, _ = canonical_problem_key(request)
+    if (
+        problem == P_CMAX
+        and isinstance(makespan, float)
+        and makespan.is_integer()
+    ):
+        makespan = int(makespan)
     return replace(
-        result, request_id="", assignment=canonical, cached=False, elapsed=0.0
+        result,
+        request_id="",
+        assignment=canonical,
+        makespan=makespan,
+        cached=False,
+        elapsed=0.0,
     )
 
 
@@ -110,7 +178,7 @@ def localize_result(request: SolveRequest, stored: SolveResult) -> SolveResult:
     """Translate a canonical *stored* result to *request*'s job numbering
     (inverse of :func:`canonicalize_result`; tagged as a cache hit)."""
     assignment = (
-        _from_canonical(request.times, stored.assignment)
+        _from_canonical(request, stored.assignment)
         if stored.assignment is not None
         else None
     )

@@ -11,6 +11,9 @@ can they be cancelled mid-flight" lives in exactly one place.  Each
 * ``supports_deadline`` — whether the engine honours the context's
   deadline hook between units of work (the PTAS bisection probes);
 * ``parallelizable`` — whether the engine fans out onto worker pools;
+* ``problems`` — the problem variants the engine can solve
+  (``p_cmax`` for everything; the greedy baselines also speak
+  ``q_cmax`` through their speed-aware counterparts);
 * ``solve(instance, request, ctx)`` — the actual callable, where ``ctx``
   is a :class:`repro.core.context.SolveContext` (or ``None`` for plain
   defaults).  :func:`build_solve_context` is the one place that turns a
@@ -21,7 +24,10 @@ Unknown names raise :class:`UnknownEngineError` (a ``ValueError``) whose
 message lists the valid names — the CLI turns it into a clean non-zero
 exit instead of a traceback, the server into a ``status="error"``
 response.  Dashes and underscores are interchangeable in names
-(``parallel-ptas`` resolves to ``parallel_ptas``).
+(``parallel-ptas`` resolves to ``parallel_ptas``).  A known engine asked
+for a problem outside its ``problems`` raises
+:class:`UnsupportedProblemError` (a subclass, same handling) listing the
+valid (engine, problem) pairs.
 """
 
 from __future__ import annotations
@@ -37,11 +43,19 @@ from repro.algorithms.list_scheduling import (
 )
 from repro.algorithms.lpt import lpt, lpt_worst_case_ratio
 from repro.algorithms.multifit import multifit
+from repro.algorithms.related import (
+    q_list_scheduling,
+    q_list_worst_case_ratio,
+    q_lpt,
+    q_lpt_worst_case_ratio,
+)
 from repro.core.context import SolveContext
 from repro.core.dp import SEQUENTIAL_ENGINES
 from repro.core.parallel_dp import BACKENDS
 from repro.core.ptas import MODES, parallel_ptas, ptas
 from repro.model.instance import Instance
+from repro.model.problem import P_CMAX, Q_CMAX, canonical_problem_name
+from repro.model.qinstance import QInstance, QSchedule
 from repro.parallel.cpus import resolve_workers
 from repro.model.schedule import Schedule
 from repro.service.requests import STATUS_OK, SolveResult, deadline_checker
@@ -50,7 +64,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service.requests import SolveRequest
 
 CheckDeadline = Callable[[], None]
-SolverFn = Callable[[Instance, "SolveRequest", "SolveContext | None"], Schedule]
+SolverFn = Callable[
+    ["Instance | QInstance", "SolveRequest", "SolveContext | None"],
+    "Schedule | QSchedule",
+]
 
 
 def build_solve_context(
@@ -98,6 +115,27 @@ class UnknownEngineError(ValueError):
     know; the message enumerates the valid choices."""
 
 
+class UnsupportedProblemError(UnknownEngineError):
+    """A known engine asked to solve a problem variant outside its
+    declared ``problems``; the message lists the valid (engine, problem)
+    pairs.  Subclasses :class:`UnknownEngineError` so every existing
+    catch site (CLI exit 2, server ``status="error"``) handles it."""
+
+    def __init__(self, engine: str, problem: str):
+        supported = ", ".join(
+            name
+            for name in available_engines()
+            if problem in _REGISTRY[name].problems
+        ) or "none"
+        super().__init__(
+            f"engine {engine!r} does not support problem {problem!r} "
+            f"(it solves: {', '.join(_REGISTRY[engine].problems)}); "
+            f"engines supporting {problem!r}: {supported}"
+        )
+        self.engine = engine
+        self.problem = problem
+
+
 @dataclass(frozen=True)
 class EngineSpec:
     """Declared capabilities and entry point of one engine."""
@@ -109,6 +147,11 @@ class EngineSpec:
     supports_deadline: bool = False
     parallelizable: bool = False
     exact: bool = False
+    problems: tuple[str, ...] = (P_CMAX,)
+
+    def supports_problem(self, problem: str) -> bool:
+        """True iff the engine declares *problem* (normalized) as solvable."""
+        return canonical_problem_name(problem) in self.problems
 
 
 # ---------------------------------------------------------------------------
@@ -173,12 +216,19 @@ def _solve_exact(method: str) -> SolverFn:
     return run
 
 
-def _solve_baseline(fn: Callable[[Instance], Schedule]) -> SolverFn:
+def _solve_baseline(
+    fn: Callable[[Instance], Schedule],
+    q_fn: Callable[[QInstance], QSchedule] | None = None,
+) -> SolverFn:
     def run(
-        instance: Instance,
+        instance: "Instance | QInstance",
         request: "SolveRequest",
         ctx: "SolveContext | CheckDeadline | None",
-    ) -> Schedule:
+    ) -> "Schedule | QSchedule":
+        if isinstance(instance, QInstance):
+            if q_fn is None:  # pragma: no cover - capability check runs first
+                raise UnsupportedProblemError(request.engine, Q_CMAX)
+            return q_fn(instance)
         return fn(instance)
 
     return run
@@ -186,6 +236,18 @@ def _solve_baseline(fn: Callable[[Instance], Schedule]) -> SolverFn:
 
 def _ptas_guarantee(request: "SolveRequest") -> float:
     return 1.0 + request.eps
+
+
+def _lpt_guarantee(request: "SolveRequest") -> float:
+    if request.problem == Q_CMAX:
+        return q_lpt_worst_case_ratio(request.speeds)
+    return lpt_worst_case_ratio(request.machines)
+
+
+def _ls_guarantee(request: "SolveRequest") -> float:
+    if request.problem == Q_CMAX:
+        return q_list_worst_case_ratio(request.speeds)
+    return list_scheduling_worst_case_ratio(request.machines)
 
 
 _REGISTRY: dict[str, EngineSpec] = {}
@@ -217,17 +279,21 @@ _register(
 _register(
     EngineSpec(
         name="lpt",
-        description="Longest Processing Time first (4/3 − 1/(3m))",
-        guarantee=lambda req: lpt_worst_case_ratio(req.machines),
-        solve=_solve_baseline(lpt),
+        description="Longest Processing Time first (4/3 − 1/(3m); "
+        "speed-scaled ECT variant for q_cmax)",
+        guarantee=_lpt_guarantee,
+        solve=_solve_baseline(lpt, q_lpt),
+        problems=(P_CMAX, Q_CMAX),
     )
 )
 _register(
     EngineSpec(
         name="ls",
-        description="Graham list scheduling (2 − 1/m)",
-        guarantee=lambda req: list_scheduling_worst_case_ratio(req.machines),
-        solve=_solve_baseline(list_scheduling),
+        description="Graham list scheduling (2 − 1/m; earliest-completion-"
+        "time variant for q_cmax)",
+        guarantee=_ls_guarantee,
+        solve=_solve_baseline(list_scheduling, q_list_scheduling),
+        problems=(P_CMAX, Q_CMAX),
     )
 )
 _register(
@@ -282,7 +348,7 @@ def solve_to_result(
     engine's declared guarantee.  Engine errors propagate — callers own
     the degrade/abort policy.
     """
-    spec = get_engine(request.engine)
+    spec = get_engine(request.engine, problem=request.problem)
     instance = request.instance()
     t0 = clock()
     schedule = spec.solve(instance, request, ctx)
@@ -297,6 +363,34 @@ def solve_to_result(
     )
 
 
+def fallback_result(
+    request: "SolveRequest", *, degraded: bool = True
+) -> SolveResult:
+    """The problem-appropriate cheap fallback for *request*: plain LPT
+    for ``p_cmax``, speed-scaled LPT for ``q_cmax``, each tagged with
+    its own worst-case guarantee.
+
+    This is the one degrade path shared by the server's deadline
+    handling, the pooled front-end's dead-worker replacement, and the
+    worker processes — so "what do we answer when the real engine
+    can't" stays consistent (and problem-correct) everywhere.
+    """
+    from repro.model.problem import get_problem
+
+    schedule, guarantee = get_problem(request.problem).baseline(
+        request.instance()
+    )
+    return SolveResult(
+        request_id=request.request_id,
+        status=STATUS_OK,
+        engine="lpt",
+        makespan=schedule.makespan,
+        assignment=schedule.assignment,
+        guarantee=guarantee,
+        degraded=degraded,
+    )
+
+
 def canonical_engine_name(name: str) -> str:
     """Normalize an engine name (dashes == underscores, case-folded)."""
     return name.strip().lower().replace("-", "_")
@@ -307,18 +401,38 @@ def available_engines() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
-def get_engine(name: str) -> EngineSpec:
-    """Resolve *name* to its :class:`EngineSpec`.
+def get_engine(name: str, problem: str | None = None) -> EngineSpec:
+    """Resolve *name* to its :class:`EngineSpec`, optionally checking it
+    supports *problem*.
 
     Raises
     ------
     UnknownEngineError
         If the (normalized) name is not registered; the message lists the
         valid names so callers can surface it verbatim.
+    UnsupportedProblemError
+        If *problem* is given and outside the engine's declared
+        ``problems``; the message lists the valid (engine, problem)
+        pairs.
     """
-    spec = _REGISTRY.get(canonical_engine_name(name))
+    canonical = canonical_engine_name(name)
+    spec = _REGISTRY.get(canonical)
     if spec is None:
         raise UnknownEngineError(
             f"unknown engine {name!r}; available: {', '.join(available_engines())}"
         )
+    if problem is not None:
+        problem = canonical_problem_name(problem)
+        if problem not in spec.problems:
+            raise UnsupportedProblemError(canonical, problem)
     return spec
+
+
+def engine_problem_pairs() -> tuple[tuple[str, str], ...]:
+    """Every supported (engine, problem) pair, sorted — the capability
+    matrix surfaced by ``op=stats`` and the docs."""
+    return tuple(
+        (name, problem)
+        for name in available_engines()
+        for problem in _REGISTRY[name].problems
+    )

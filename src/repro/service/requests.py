@@ -1,11 +1,25 @@
 """Wire types of the scheduling service.
 
-A :class:`SolveRequest` carries one ``P || Cmax`` instance plus solver
-selection (engine name, ``eps``, tuning knobs) and an optional *deadline*
-— a per-request wall-clock budget in seconds.  A :class:`SolveResult`
-carries the outcome: the assignment, its makespan, the a-priori guarantee
-factor of the engine that actually produced it, and service metadata
-(cache hit, degradation, rejection).
+A :class:`SolveRequest` carries one scheduling instance — a *problem*
+tag (``p_cmax`` on identical machines, the default, or ``q_cmax`` on
+uniformly related machines with a ``speeds`` vector) — plus solver
+selection (engine name, ``eps``, tuning knobs) and an optional
+*deadline* — a per-request wall-clock budget in seconds.  A
+:class:`SolveResult` carries the outcome: the assignment, its makespan
+(an integer load for ``p_cmax``, a fractional completion time for
+``q_cmax``), the a-priori guarantee factor of the engine that actually
+produced it, and service metadata (cache hit, degradation, rejection).
+
+The envelope is versioned by an explicit ``protocol`` field:
+
+* **v1** (``protocol`` absent or ``1``) — the historical ``P || Cmax``
+  envelope.  Requests may not carry ``problem``/``speeds``; existing
+  clients keep working unchanged.
+* **v2** (``protocol: 2``) — adds the ``problem`` axis and ``speeds``.
+
+Unknown versions are rejected with a :class:`ValueError` whose message
+names the supported versions — the server turns that into a typed
+``status="error"`` response line.
 
 Both types serialize to single-line JSON objects — the unit of the
 service's JSON-lines protocol (``docs/service.md``).  Deserialization is
@@ -22,7 +36,32 @@ from dataclasses import asdict, dataclass, replace
 from typing import Callable
 
 from repro.model.instance import Instance
+from repro.model.problem import P_CMAX, Q_CMAX, canonical_problem_name
+from repro.model.qinstance import QInstance, QSchedule
 from repro.model.schedule import Schedule
+
+#: Protocol version this library speaks natively.
+PROTOCOL_VERSION = 2
+
+#: Envelope versions the service accepts.
+SUPPORTED_PROTOCOLS = (1, 2)
+
+
+def _check_protocol(value: object) -> int:
+    """Validate a wire ``protocol`` field; returns the int version."""
+    try:
+        version = int(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"protocol must be an integer, got {value!r}"
+        ) from None
+    if version not in SUPPORTED_PROTOCOLS:
+        supported = ", ".join(str(v) for v in SUPPORTED_PROTOCOLS)
+        raise ValueError(
+            f"unsupported protocol version {version}; "
+            f"this service supports versions {supported}"
+        )
+    return version
 
 
 class DeadlineExceeded(Exception):
@@ -45,7 +84,19 @@ class SolveRequest:
     times:
         Positive integer processing times, one per job.
     machines:
-        Number of identical machines ``m``.
+        Number of machines ``m``.  For ``q_cmax`` it must equal
+        ``len(speeds)``.
+    problem:
+        Problem variant (:func:`repro.model.available_problems`):
+        ``p_cmax`` (default, identical machines) or ``q_cmax``
+        (uniformly related machines; requires ``speeds``).
+    speeds:
+        Positive integer machine speeds, one per machine — required for
+        ``q_cmax``, forbidden for ``p_cmax``.
+    protocol:
+        Wire envelope version.  Requests built in-process default to
+        the current version; on the wire, an absent field means v1
+        (which cannot carry ``problem``/``speeds``).
     engine:
         Registry engine name (:func:`repro.service.registry.available_engines`);
         dashes and underscores are interchangeable (``parallel-ptas`` ==
@@ -75,6 +126,9 @@ class SolveRequest:
 
     times: tuple[int, ...]
     machines: int
+    problem: str = P_CMAX
+    speeds: tuple[int, ...] = ()
+    protocol: int = PROTOCOL_VERSION
     engine: str = "ptas"
     eps: float = 0.3
     deadline: float | None = None
@@ -87,6 +141,26 @@ class SolveRequest:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "times", tuple(int(t) for t in self.times))
+        object.__setattr__(self, "problem", canonical_problem_name(self.problem))
+        object.__setattr__(self, "speeds", tuple(int(s) for s in self.speeds))
+        object.__setattr__(self, "protocol", _check_protocol(self.protocol))
+        if self.protocol < 2 and (self.problem != P_CMAX or self.speeds):
+            raise ValueError(
+                "fields 'problem'/'speeds' require protocol version 2 "
+                f"(request declared protocol {self.protocol})"
+            )
+        if self.problem == Q_CMAX:
+            if not self.speeds:
+                raise ValueError("problem 'q_cmax' requires a 'speeds' vector")
+            if self.machines != len(self.speeds):
+                raise ValueError(
+                    f"machines={self.machines} disagrees with "
+                    f"{len(self.speeds)} speeds"
+                )
+        elif self.speeds:
+            raise ValueError(
+                f"problem {self.problem!r} does not take machine speeds"
+            )
         if self.deadline is not None and self.deadline < 0:
             raise ValueError(f"deadline must be >= 0, got {self.deadline}")
         if self.eps <= 0:
@@ -103,8 +177,12 @@ class SolveRequest:
     def num_jobs(self) -> int:
         return len(self.times)
 
-    def instance(self) -> Instance:
-        """The validated :class:`Instance` this request describes."""
+    def instance(self) -> Instance | QInstance:
+        """The validated instance this request describes —
+        :class:`Instance` for ``p_cmax``, :class:`QInstance` for
+        ``q_cmax``."""
+        if self.problem == Q_CMAX:
+            return QInstance(self.times, self.speeds)
         return Instance(self.times, self.machines)
 
     # -- serialization --------------------------------------------------
@@ -133,6 +211,10 @@ class SolveRequest:
         if extra:
             raise ValueError(f"unknown request field(s): {sorted(extra)}")
         kwargs = {k: v for k, v in data.items() if k not in ("times", "machines")}
+        # A version-absent envelope is a v1 client: plain P || Cmax.  The
+        # v1 restrictions (no problem/speeds) are enforced in
+        # __post_init__ against the declared version.
+        kwargs.setdefault("protocol", 1)
         return cls(times=tuple(times), machines=int(machines), **kwargs)
 
     @classmethod
@@ -155,13 +237,17 @@ class SolveResult:
     ``guarantee`` is the a-priori approximation factor of the engine that
     actually produced the schedule: ``1 + eps`` for the PTAS engines,
     Graham's ``4/3 - 1/(3m)`` when the result is an LPT degradation, and
-    ``1.0`` for exact engines.
+    ``1.0`` for exact engines.  For ``q_cmax`` requests the degradation
+    bound is the speed-aware
+    :func:`~repro.algorithms.related.q_lpt_worst_case_ratio` and
+    ``makespan`` is a float (maximum machine *completion time*, which
+    is fractional under speeds) rather than an integer load.
     """
 
     request_id: str = ""
     status: str = STATUS_OK
     engine: str = ""
-    makespan: int | None = None
+    makespan: int | float | None = None
     assignment: tuple[tuple[int, ...], ...] | None = None
     guarantee: float | None = None
     degraded: bool = False
@@ -182,10 +268,13 @@ class SolveResult:
     def ok(self) -> bool:
         return self.status == STATUS_OK
 
-    def schedule(self, instance: Instance) -> Schedule:
-        """Reconstruct the (validated) :class:`Schedule` for *instance*."""
+    def schedule(self, instance: Instance | QInstance) -> Schedule | QSchedule:
+        """Reconstruct the validated schedule for *instance* —
+        :class:`Schedule` or :class:`QSchedule` by instance type."""
         if self.assignment is None:
             raise ValueError(f"result has no assignment (status={self.status!r})")
+        if isinstance(instance, QInstance):
+            return QSchedule(instance, self.assignment)
         return Schedule(instance, self.assignment)
 
     # -- serialization --------------------------------------------------
@@ -251,11 +340,19 @@ class StreamRequest:
     ``open_session`` and ignored afterwards (``drift_threshold=None``
     means the Della Croce–Scatamacchia LPT bound,
     :func:`repro.algorithms.lpt.dcs_lpt_bound`).
+
+    ``problem`` follows the versioned-envelope rules of
+    :class:`SolveRequest` (absent ``protocol`` = v1 = ``p_cmax``).
+    Live sessions currently support ``p_cmax`` only; the session layer
+    rejects other variants with an error event naming the supported
+    set.
     """
 
     action: str
     tenant: str
     machines: int = 0
+    problem: str = P_CMAX
+    protocol: int = PROTOCOL_VERSION
     eps: float = 0.2
     engine: str = "ptas"
     dp_engine: str = "dominance"
@@ -269,6 +366,13 @@ class StreamRequest:
         if self.action not in STREAM_ACTIONS:
             raise ValueError(
                 f"unknown stream action {self.action!r}; valid: {list(STREAM_ACTIONS)}"
+            )
+        object.__setattr__(self, "problem", canonical_problem_name(self.problem))
+        object.__setattr__(self, "protocol", _check_protocol(self.protocol))
+        if self.protocol < 2 and self.problem != P_CMAX:
+            raise ValueError(
+                "field 'problem' requires protocol version 2 "
+                f"(request declared protocol {self.protocol})"
             )
         if not self.tenant or not isinstance(self.tenant, str):
             raise ValueError("tenant must be a non-empty string")
@@ -363,6 +467,7 @@ class StreamRequest:
             isinstance(pair, (list, tuple)) and len(pair) == 2 for pair in jobs
         ):
             raise ValueError("jobs must be a list of [job_id, time] pairs")
+        payload.setdefault("protocol", 1)
         return cls(
             action=str(action),
             tenant=str(tenant),

@@ -56,8 +56,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.algorithms.lpt import lpt, lpt_worst_case_ratio
 from repro.model.instance import Instance
+from repro.model.qinstance import QInstance
 from repro.service.admission import AdmissionController
 from repro.service.cache import CacheKey, ResultCache, canonical_key
 from repro.service.metrics import (
@@ -71,6 +71,7 @@ from repro.service.registry import (
     UnknownEngineError,
     build_solve_context,
     canonical_engine_name,
+    fallback_result,
     get_engine,
     solve_to_result,
 )
@@ -101,14 +102,18 @@ class _Job:
 
     request: SolveRequest
     spec: EngineSpec
-    instance: Instance
+    instance: Instance | QInstance
     deadline_at: float | None
     admitted_at: float
     future: "asyncio.Future[SolveResult]"
 
     @property
-    def batch_key(self) -> tuple[str, float]:
-        return (canonical_engine_name(self.request.engine), self.request.eps)
+    def batch_key(self) -> tuple[str, str, float]:
+        return (
+            self.request.problem,
+            canonical_engine_name(self.request.engine),
+            self.request.eps,
+        )
 
 
 class SolveService:
@@ -182,9 +187,10 @@ class SolveService:
         """Serve one request end to end (cache → admission → solve)."""
         t0 = self._clock()
         self.metrics.counter("requests_total").inc()
+        self.metrics.counter(f"requests.problem.{request.problem}").inc()
         try:
             request.instance()  # eager structural validation
-            get_engine(request.engine)
+            get_engine(request.engine, problem=request.problem)
         except (UnknownEngineError, ValueError, TypeError) as exc:
             self.metrics.counter("requests_invalid").inc()
             return SolveResult(
@@ -255,7 +261,7 @@ class SolveService:
         self, request: SolveRequest, t0: float
     ) -> SolveResult:
         instance = request.instance()
-        spec = get_engine(request.engine)
+        spec = get_engine(request.engine, problem=request.problem)
         decision = self.admission.try_admit(request)
         if not decision.admitted:
             self.metrics.counter("requests_shed").inc()
@@ -352,7 +358,7 @@ class SolveService:
                     )
                 except asyncio.TimeoutError:
                     break
-            groups: dict[tuple[str, float], list[_Job]] = {}
+            groups: dict[tuple[str, str, float], list[_Job]] = {}
             for job in batch:
                 groups.setdefault(job.batch_key, []).append(job)
             self.metrics.counter("batches_total").inc(len(groups))
@@ -442,18 +448,10 @@ class SolveService:
             pass  # archival is best-effort; never fail the solve
 
     def _degrade(self, job: _Job) -> SolveResult:
-        """The anytime fallback: LPT in O(n log n), tagged ``degraded``."""
+        """The anytime fallback: problem-appropriate LPT in O(n log n),
+        tagged ``degraded`` (:func:`repro.service.registry.fallback_result`)."""
         self.metrics.counter("degradations_total").inc()
-        schedule = lpt(job.instance)
-        return SolveResult(
-            request_id=job.request.request_id,
-            status=STATUS_OK,
-            engine="lpt",
-            makespan=schedule.makespan,
-            assignment=schedule.assignment,
-            guarantee=lpt_worst_case_ratio(job.instance.num_machines),
-            degraded=True,
-        )
+        return fallback_result(job.request)
 
     # ------------------------------------------------------------------
     # Introspection and lifecycle

@@ -34,9 +34,9 @@ __all__ = ["shard_key", "shard_index", "shard_of_request", "tenant_shard"]
 def shard_key(request: SolveRequest) -> CacheKey:
     """The permutation-invariant routing identity of *request*.
 
-    Exactly :func:`repro.service.cache.canonical_key` — ``(sorted
-    times, machines, engine, eps)`` — re-exported under the routing
-    vocabulary so call sites say what they mean.
+    Exactly :func:`repro.service.cache.canonical_key` — ``(problem,
+    sorted times, sorted speeds, machines, engine, eps)`` — re-exported
+    under the routing vocabulary so call sites say what they mean.
     """
     return canonical_key(request)
 
@@ -47,20 +47,25 @@ def shard_index(key: CacheKey, num_shards: int) -> int:
     Stable: depends only on the key's canonical JSON, never on process
     state.  Uniform: the top 64 bits of the SHA-256 digest mod
     ``num_shards``.
+
+    The hashed body for ``p_cmax`` keys is the historical four-field
+    form, so pinned placements (and the durable store's addresses, which
+    hash the same body) survive the problem-variant upgrade; other
+    problems add their tag and speed multiset.
     """
     if num_shards < 1:
         raise ValueError(f"num_shards must be >= 1, got {num_shards}")
-    times, machines, engine, eps = key
-    body = json.dumps(
-        {
-            "times": list(times),
-            "machines": int(machines),
-            "engine": engine,
-            "eps": eps,
-        },
-        sort_keys=True,
-        separators=(",", ":"),
-    )
+    problem, times, speeds, machines, engine, eps = key
+    body_dict = {
+        "times": list(times),
+        "machines": int(machines),
+        "engine": engine,
+        "eps": eps,
+    }
+    if problem != "p_cmax":
+        body_dict["problem"] = problem
+        body_dict["speeds"] = list(speeds)
+    body = json.dumps(body_dict, sort_keys=True, separators=(",", ":"))
     digest = hashlib.sha256(body.encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big") % num_shards
 

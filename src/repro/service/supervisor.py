@@ -48,14 +48,16 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.algorithms.lpt import lpt, lpt_worst_case_ratio
 from repro.service.admission import AdmissionController
 from repro.service.cache import CacheKey
 from repro.service.metrics import MetricsRegistry, aggregate_pool_stats
-from repro.service.registry import UnknownEngineError, get_engine
+from repro.service.registry import (
+    UnknownEngineError,
+    fallback_result,
+    get_engine,
+)
 from repro.service.requests import (
     STATUS_ERROR,
-    STATUS_OK,
     STATUS_REJECTED,
     SolveRequest,
     SolveResult,
@@ -389,19 +391,11 @@ class SupervisorPool:
         )
 
     def _degrade_result(self, request: SolveRequest) -> SolveResult:
-        """The anytime fallback, computed supervisor-side: LPT tagged
-        ``degraded`` with Graham's ``4/3 - 1/(3m)`` guarantee.
+        """The anytime fallback, computed supervisor-side: the
+        problem-appropriate LPT tagged ``degraded``
+        (:func:`repro.service.registry.fallback_result`).
         (``degradations_total`` is counted once, in ``_admit_and_solve``.)"""
-        schedule = lpt(request.instance())
-        return SolveResult(
-            request_id=request.request_id,
-            status=STATUS_OK,
-            engine="lpt",
-            makespan=schedule.makespan,
-            assignment=schedule.assignment,
-            guarantee=lpt_worst_case_ratio(request.machines),
-            degraded=True,
-        )
+        return fallback_result(request)
 
     # ------------------------------------------------------------------
     # Request path
@@ -631,9 +625,10 @@ class PooledSolveService:
         await self.start()
         t0 = self._clock()
         self.metrics.counter("requests_total").inc()
+        self.metrics.counter(f"requests.problem.{request.problem}").inc()
         try:
             request.instance()  # eager structural validation
-            get_engine(request.engine)
+            get_engine(request.engine, problem=request.problem)
         except (UnknownEngineError, ValueError, TypeError) as exc:
             self.metrics.counter("requests_invalid").inc()
             return SolveResult(

@@ -61,7 +61,6 @@ import threading
 import time
 from typing import Any
 
-from repro.algorithms.lpt import lpt, lpt_worst_case_ratio
 from repro.core.context import SolveContext
 from repro.obs import Tracer, publish_phase_summary, trace_to_payload
 from repro.online.session import SessionManager
@@ -74,12 +73,12 @@ from repro.service.metrics import (
 from repro.service.registry import (
     UnknownEngineError,
     canonical_engine_name,
+    fallback_result,
     get_engine,
     solve_to_result,
 )
 from repro.service.requests import (
     STATUS_ERROR,
-    STATUS_OK,
     DeadlineExceeded,
     SolveRequest,
     SolveResult,
@@ -220,16 +219,7 @@ class _Worker:
     # -- solve path ------------------------------------------------------
     def _degrade(self, request: SolveRequest) -> SolveResult:
         self.metrics.counter("degradations_total").inc()
-        schedule = lpt(request.instance())
-        return SolveResult(
-            request_id=request.request_id,
-            status=STATUS_OK,
-            engine="lpt",
-            makespan=schedule.makespan,
-            assignment=schedule.assignment,
-            guarantee=lpt_worst_case_ratio(request.machines),
-            degraded=True,
-        )
+        return fallback_result(request)
 
     def _check_hook(self, request_id: str, deadline_at: float | None):
         def check() -> None:
@@ -250,7 +240,7 @@ class _Worker:
             return
         try:
             request = SolveRequest.from_dict(msg["request"])
-            get_engine(request.engine)
+            get_engine(request.engine, problem=request.problem)
         except (KeyError, ValueError, TypeError, UnknownEngineError) as exc:
             self.metrics.counter("errors_total").inc()
             self._reply(
@@ -267,6 +257,7 @@ class _Worker:
             return
 
         t0 = self._clock()
+        self.metrics.counter(f"requests.problem.{request.problem}").inc()
         hit = self.cache.get(request)
         if hit is not None:
             self.metrics.counter("cache_hits").inc()

@@ -1,12 +1,24 @@
-"""Content-addressed durable result store for ``P || Cmax`` answers.
+"""Content-addressed durable result store for solver answers.
 
 The store persists *canonical* solve results — the same representation
 the service cache keeps in memory (:mod:`repro.service.cache`): times
-sorted ascending, the assignment expressed over sorted positions.  Its
+sorted ascending, the assignment expressed over sorted positions (and,
+under machine speeds, canonical sorted-speed machine order).  Its
 address space is therefore exactly the cache's key space: the SHA-256
-of the canonical key ``(sorted times, m, engine, eps)``, so any
-permutation of a stored instance resolves to the same record and the
-caller-side remapping machinery of the cache works unchanged on top.
+of the canonical key ``(problem, sorted times, sorted speeds, m,
+engine, eps)``, so any permutation of a stored instance resolves to the
+same record and the caller-side remapping machinery of the cache works
+unchanged on top.
+
+Migration note (problem-variant keys): the in-memory key gained a
+``problem`` tag and a speed multiset, but the *hashed address body* for
+``p_cmax`` keys is unchanged — exactly the historical ``{"times",
+"machines", "engine", "eps"}`` JSON.  Only non-default problems
+(``q_cmax``) add ``problem``/``speeds`` fields to the hashed body and
+the stored record.  Pre-existing segments therefore keep their
+addresses and keep hitting after an upgrade; no rewrite is needed, and
+a ``q_cmax`` answer can never collide with a ``p_cmax`` record because
+its hashed body (hence address) carries the problem tag.
 
 Layout under the store root::
 
@@ -49,6 +61,8 @@ from typing import Any, Callable, Iterator
 
 from repro.io.atomic import atomic_write, fsync_dir
 from repro.model.instance import Instance
+from repro.model.problem import P_CMAX, Q_CMAX
+from repro.model.qinstance import QInstance, QSchedule
 from repro.model.schedule import Schedule
 from repro.model.verify import verify_schedule
 from repro.service.requests import SolveResult
@@ -64,21 +78,37 @@ from repro.store.segment import (
     segment_seq,
 )
 
-#: ``(sorted times, machines, engine, eps)`` — identical to
-#: :data:`repro.service.cache.CacheKey`.
-StoreKey = tuple[tuple[int, ...], int, str, float]
+#: ``(problem, sorted times, sorted speeds, machines, engine, eps)`` —
+#: identical to :data:`repro.service.cache.CacheKey`.
+StoreKey = tuple[str, tuple[int, ...], tuple[int, ...], int, str, float]
 
 
-def key_address(key: StoreKey) -> str:
-    """The content address (SHA-256 hex) of a canonical key."""
-    times, machines, engine, eps = key
-    body = {
+def _address_body(key: StoreKey) -> dict[str, Any]:
+    """The canonical JSON body a key's address hashes over.
+
+    ``p_cmax`` keys keep the historical four-field body so pre-existing
+    segments stay addressable (see the module migration note); other
+    problems add their tag and speed multiset, which namespaces them
+    away from every legacy address.
+    """
+    problem, times, speeds, machines, engine, eps = key
+    body: dict[str, Any] = {
         "times": list(times),
         "machines": int(machines),
         "engine": engine,
         "eps": eps,
     }
-    return hashlib.sha256(canonical_json(body).encode("utf-8")).hexdigest()
+    if problem != P_CMAX:
+        body["problem"] = problem
+        body["speeds"] = list(speeds)
+    return body
+
+
+def key_address(key: StoreKey) -> str:
+    """The content address (SHA-256 hex) of a canonical key."""
+    return hashlib.sha256(
+        canonical_json(_address_body(key)).encode("utf-8")
+    ).hexdigest()
 
 
 def result_fingerprint(result: SolveResult) -> str:
@@ -231,17 +261,11 @@ class ResultStore:
         the store never re-sorts; it trusts and records.  Returns the
         content address.
         """
-        times, machines, engine, eps = key
         address = key_address(key)
-        body = {
-            "address": address,
-            "times": list(times),
-            "machines": int(machines),
-            "engine": engine,
-            "eps": eps,
-            "result": result.to_dict(),
-            "stored_at": round(self._clock(), 6),
-        }
+        body = dict(_address_body(key))
+        body["address"] = address
+        body["result"] = result.to_dict()
+        body["stored_at"] = round(self._clock(), 6)
         with self._lock:
             path, offset = self._writer.append("result", body)
             self._index[address] = (path, offset)
@@ -292,14 +316,24 @@ class ResultStore:
 
     @staticmethod
     def _schedule_ok(record: dict[str, Any], result: SolveResult) -> bool:
-        """Re-verify a stored schedule against its canonical instance."""
+        """Re-verify a stored schedule against its canonical instance
+        (problem-aware: records tagged ``q_cmax`` rebuild a
+        :class:`QInstance`/:class:`QSchedule` pair)."""
         if result.assignment is None:
             return result.makespan is None
+        problem = record.get("problem", P_CMAX)
         try:
-            instance = Instance(
-                tuple(int(t) for t in record["times"]), int(record["machines"])
-            )
-            schedule = Schedule(instance, result.assignment)
+            times = tuple(int(t) for t in record["times"])
+            if problem == Q_CMAX:
+                instance: Instance | QInstance = QInstance(
+                    times, tuple(int(s) for s in record.get("speeds", ()))
+                )
+                schedule: Schedule | QSchedule = QSchedule(
+                    instance, result.assignment
+                )
+            else:
+                instance = Instance(times, int(record["machines"]))
+                schedule = Schedule(instance, result.assignment)
         except (KeyError, ValueError, TypeError):
             return False
         if schedule.makespan != result.makespan:

@@ -17,13 +17,27 @@ family key         processing times                        role in the paper
 The first four families form the speedup experiments (Figs. 2–4, with
 ``m ∈ {10, 20}``, ``n ∈ {30, 50, 100}``, 20 instances per type); the last
 two join them in the approximation-ratio studies (Tables II/III, Fig. 5).
+
+For ``Q || Cmax`` workloads, :data:`SPEED_FAMILIES` supplies the machine
+side (``unit``, ``u_1_4``, ``one_fast``, ``geometric``) and
+:func:`make_qinstance` pairs any time family with a speed vector — the
+times match :func:`make_instance` job for job at the same seed.
 """
 
-from repro.workloads.families import FAMILIES, Family, family, speedup_families
+from repro.workloads.families import (
+    FAMILIES,
+    SPEED_FAMILIES,
+    Family,
+    SpeedFamily,
+    family,
+    speed_family,
+    speedup_families,
+)
 from repro.workloads.generator import (
     generate_batch,
     lpt_adversarial,
     make_instance,
+    make_qinstance,
     uniform_instance,
 )
 
@@ -32,7 +46,11 @@ __all__ = [
     "Family",
     "family",
     "speedup_families",
+    "SPEED_FAMILIES",
+    "SpeedFamily",
+    "speed_family",
     "make_instance",
+    "make_qinstance",
     "uniform_instance",
     "lpt_adversarial",
     "generate_batch",

@@ -59,6 +59,61 @@ FAMILIES: dict[str, Family] = {
 SPEEDUP_FAMILY_KEYS = ("u_2m", "u_100", "u_10", "u_10n")
 
 
+@dataclass(frozen=True)
+class SpeedFamily:
+    """A named machine-speed distribution for ``Q || Cmax`` workloads.
+
+    The processing-time families above stay exactly as the paper defines
+    them; a speed family supplies the *machine* side of a uniform-machine
+    instance.  ``draw(m, rng)`` returns ``m`` positive integer speeds —
+    deterministic families ignore ``rng``.
+    """
+
+    key: str
+    label: str
+    draw: Callable[[int, "object"], list[int]]
+
+
+def _unit_speeds(m: int, rng: object) -> list[int]:
+    return [1] * m
+
+
+def _u_1_4_speeds(m: int, rng: object) -> list[int]:
+    return [int(s) for s in rng.integers(1, 5, size=m)]  # type: ignore[attr-defined]
+
+
+def _one_fast_speeds(m: int, rng: object) -> list[int]:
+    # One machine 4x the rest: the classic regime where plain LPT's
+    # identical-machine tie-breaking goes wrong and ECT ordering matters.
+    return [4] + [1] * (m - 1)
+
+
+def _geometric_speeds(m: int, rng: object) -> list[int]:
+    # Speeds 1, 2, 4, ... capped at 8 — a wide but bounded spread.
+    return [min(2**i, 8) for i in range(m)]
+
+
+SPEED_FAMILIES: dict[str, SpeedFamily] = {
+    f.key: f
+    for f in (
+        SpeedFamily("unit", "all speeds 1 (degenerates to P||Cmax)", _unit_speeds),
+        SpeedFamily("u_1_4", "speeds U(1, 4)", _u_1_4_speeds),
+        SpeedFamily("one_fast", "one 4x machine, rest speed 1", _one_fast_speeds),
+        SpeedFamily("geometric", "speeds 1,2,4,8,8,... (capped)", _geometric_speeds),
+    )
+}
+
+
+def speed_family(key: str) -> SpeedFamily:
+    """Look up a speed family by key with a helpful error."""
+    try:
+        return SPEED_FAMILIES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown speed family {key!r}; available: {sorted(SPEED_FAMILIES)}"
+        ) from None
+
+
 def family(key: str) -> Family:
     """Look up a family by key with a helpful error."""
     try:

@@ -14,7 +14,9 @@ from typing import Iterator
 import numpy as np
 
 from repro.model.instance import Instance
+from repro.model.qinstance import QInstance
 from repro.workloads.families import Family, family
+from repro.workloads.families import speed_family as _speed_family_lookup
 
 
 def uniform_instance(
@@ -50,6 +52,45 @@ def make_instance(kind: str, m: int, n: int, seed: int | None = None) -> Instanc
     fam = family(kind)
     low, high = fam.bounds(m, n)
     return uniform_instance(m, fam.job_count(m, n), low, high, seed=seed)
+
+
+def make_qinstance(
+    kind: str,
+    m: int,
+    n: int,
+    seed: int | None = None,
+    *,
+    speeds: tuple[int, ...] | list[int] | None = None,
+    speed_family: str | None = None,
+) -> QInstance:
+    """Draw one ``Q || Cmax`` instance: processing times from the named
+    time family *kind*, machine speeds either given explicitly
+    (*speeds* — also fixes the machine count) or drawn from a named
+    :data:`~repro.workloads.families.SPEED_FAMILIES` entry
+    (*speed_family*, default ``u_1_4``).
+
+    Times and speeds are drawn from independent streams of the same
+    seed (``seed`` and ``seed + 1``), so the times of
+    ``make_qinstance(kind, m, n, seed)`` match
+    ``make_instance(kind, m, n, seed)`` job for job.
+
+    >>> q = make_qinstance("u_10", 3, 8, seed=0, speeds=(2, 1, 1))
+    >>> q.num_machines, q.num_jobs
+    (3, 8)
+    >>> q.processing_times == make_instance("u_10", 3, 8, seed=0).processing_times
+    True
+    """
+    if speeds is not None and speed_family is not None:
+        raise ValueError("pass speeds= or speed_family=, not both")
+    if speeds is not None:
+        m = len(speeds)
+        chosen = [int(s) for s in speeds]
+    else:
+        fam = _speed_family_lookup(speed_family or "u_1_4")
+        rng = np.random.default_rng(None if seed is None else seed + 1)
+        chosen = fam.draw(m, rng)
+    inst = make_instance(kind, m, n, seed=seed)
+    return QInstance(inst.processing_times, chosen)
 
 
 def lpt_adversarial(m: int, seed: int | None = None) -> Instance:

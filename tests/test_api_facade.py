@@ -1,0 +1,60 @@
+"""`repro.solve` — the facade over the engine registry."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.context import SolveContext
+from repro.service.registry import UnknownEngineError, UnsupportedProblemError
+from repro.service.requests import DeadlineExceeded
+
+
+class TestSolveFacade:
+    def test_p_cmax_roundtrip(self):
+        inst = repro.Instance([9, 8, 7, 6, 5, 5, 4, 3, 2, 1], 3)
+        result = repro.solve(inst, engine="lpt")
+        assert result.ok
+        assert result.engine == "lpt"
+        assert result.makespan == repro.lpt(inst).makespan
+        schedule = result.schedule(inst)
+        assert repro.verify_schedule(schedule, inst).ok
+
+    def test_ptas_respects_eps(self):
+        inst = repro.Instance([9, 8, 7, 6, 5, 5, 4, 3, 2, 1], 3)
+        result = repro.solve(inst, engine="ptas", eps=0.2)
+        assert result.ok
+        assert result.guarantee == pytest.approx(1.2)
+        opt = repro.solve_exact(inst, "bnb").makespan
+        assert result.makespan <= 1.2 * opt
+
+    def test_q_cmax_inferred_from_instance_type(self):
+        q = repro.QInstance([6, 4, 3, 2], speeds=(3, 1))
+        result = repro.solve(q, engine="lpt")
+        assert result.ok
+        assert result.makespan == pytest.approx(4.0)
+        assert repro.verify_schedule(result.schedule(q), q).ok
+
+    def test_unsupported_pair_raises_listing_valid_pairs(self):
+        q = repro.QInstance([6, 4], speeds=(2, 1))
+        with pytest.raises(UnsupportedProblemError, match="q_cmax"):
+            repro.solve(q, engine="ptas")
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(UnknownEngineError, match="nosuch"):
+            repro.solve(repro.Instance([3, 2], 1), engine="nosuch")
+
+    def test_ctx_deadline_hook_is_honoured(self):
+        def hook():
+            raise DeadlineExceeded("now")
+
+        inst = repro.Instance([9, 8, 7, 6, 5, 5, 4, 3, 2, 1], 3)
+        with pytest.raises(DeadlineExceeded):
+            repro.solve(inst, engine="ptas", ctx=SolveContext(check_deadline=hook))
+
+    def test_no_deprecation_warnings(self, recwarn):
+        inst = repro.Instance([5, 4, 3], 2)
+        repro.solve(inst, engine="ptas")
+        q = repro.QInstance([5, 4, 3], speeds=(2, 1))
+        repro.solve(q, engine="ls")
+        assert not [w for w in recwarn if issubclass(w.category, DeprecationWarning)]

@@ -1,0 +1,57 @@
+"""The API-stability checker (`python -m repro.apicheck`)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.apicheck import compute_surface, diff_surface, main
+
+
+class TestSurface:
+    def test_live_surface_matches_the_pin(self):
+        pinned = Path("docs/api-surface.txt").read_text()
+        assert diff_surface(pinned, compute_surface()) == []
+
+    def test_surface_is_deterministic(self):
+        assert compute_surface() == compute_surface()
+
+    def test_surface_covers_the_facade_and_variants(self):
+        surface = compute_surface()
+        assert "repro.solve: function" in surface
+        assert "repro.QInstance: class" in surface
+        assert "repro.service.UnsupportedProblemError: class" in surface
+        assert "repro.service.PROTOCOL_VERSION: int = 2" in surface
+
+    def test_diff_reports_both_directions(self):
+        live = compute_surface()
+        mutated = live.replace(
+            "repro.solve: function", "repro.solve_renamed: function"
+        )
+        problems = diff_surface(mutated, live)
+        assert any(p.startswith("- repro.solve_renamed") for p in problems)
+        assert any(p.startswith("+ repro.solve:") for p in problems)
+
+
+class TestMain:
+    def test_check_passes_against_fresh_pin(self, tmp_path, capsys):
+        pin = tmp_path / "surface.txt"
+        assert main(["--write", "--surface", str(pin)]) == 0
+        assert main(["--surface", str(pin)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_drift_fails_with_diff(self, tmp_path, capsys):
+        pin = tmp_path / "surface.txt"
+        main(["--write", "--surface", str(pin)])
+        pin.write_text(
+            pin.read_text().replace(
+                "repro.solve: function", "repro.gone: function (x)"
+            )
+        )
+        assert main(["--surface", str(pin)]) == 1
+        out = capsys.readouterr().out
+        assert "- repro.gone" in out
+        assert "+ repro.solve" in out
+
+    def test_missing_pin_fails_pointing_at_write(self, tmp_path, capsys):
+        assert main(["--surface", str(tmp_path / "nope.txt")]) == 1
+        assert "--write" in capsys.readouterr().out

@@ -86,6 +86,132 @@ class TestSolve:
         assert "makespan" in capsys.readouterr().out
 
 
+class TestProblemOption:
+    def test_q_solve_with_times_and_speeds(self, capsys):
+        assert (
+            main(
+                [
+                    "solve",
+                    "--problem",
+                    "q_cmax",
+                    "--engine",
+                    "lpt",
+                    "--times",
+                    "6,4,3,2",
+                    "--speeds",
+                    "3,1",
+                    "--show-schedule",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "problem  : q_cmax" in out
+        assert "makespan : 4.0" in out
+        assert "verified : ok" in out
+        assert "speed   3" in out
+
+    def test_engine_flag_sniffs_registry_names(self, capsys):
+        # `--engine lpt` names a registry engine, not a DP engine: the
+        # CLI accepts it as the algorithm (the name sets are disjoint).
+        assert main(["solve", "--times", "5,4,3,3,3", "-m", "2", "--engine", "lpt"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm: lpt" in out
+
+    def test_problem_alias_accepted(self, capsys):
+        assert (
+            main(
+                [
+                    "solve",
+                    "--problem",
+                    "uniform",
+                    "-a",
+                    "ls",
+                    "--times",
+                    "6,4",
+                    "--speeds",
+                    "2,1",
+                ]
+            )
+            == 0
+        )
+        assert "problem  : q_cmax" in capsys.readouterr().out
+
+    def test_q_speed_family_generation(self, capsys):
+        assert (
+            main(
+                [
+                    "solve",
+                    "--problem",
+                    "q_cmax",
+                    "-a",
+                    "lpt",
+                    "--family",
+                    "u_100",
+                    "-m",
+                    "4",
+                    "-n",
+                    "16",
+                    "--speed-family",
+                    "one_fast",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "speeds=(4, 1, 1, 1)" in out
+        assert "verified : ok" in out
+
+    def test_unsupported_pair_exits_2_listing_pairs(self, capsys):
+        assert (
+            main(
+                [
+                    "solve",
+                    "--problem",
+                    "q_cmax",
+                    "-a",
+                    "ptas",
+                    "--times",
+                    "6,4",
+                    "--speeds",
+                    "2,1",
+                ]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "does not support problem 'q_cmax'" in err
+        assert "lpt" in err and "ls" in err
+
+    def test_q_without_speeds_exits_with_message(self):
+        with pytest.raises(SystemExit, match="--speeds"):
+            main(
+                [
+                    "solve",
+                    "--problem",
+                    "q_cmax",
+                    "-a",
+                    "lpt",
+                    "--times",
+                    "6,4",
+                ]
+            )
+
+    def test_unknown_problem_rejected(self):
+        with pytest.raises(ValueError, match="r_cmax"):
+            main(
+                [
+                    "solve",
+                    "--problem",
+                    "r_cmax",
+                    "-a",
+                    "lpt",
+                    "--times",
+                    "6,4",
+                ]
+            )
+
+
 class TestGenerate:
     def test_generate(self, capsys):
         assert main(["generate", "--family", "u_10", "-m", "2", "-n", "5"]) == 0

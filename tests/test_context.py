@@ -110,6 +110,38 @@ class TestDeprecationShims:
         bisect_target_makespan(INSTANCE, 4, _standard_solver, ctx=SolveContext())
         assert not [w for w in recwarn.list if w.category is DeprecationWarning]
 
+    def test_shim_message_points_at_the_facade(self):
+        with pytest.warns(DeprecationWarning, match=r"repro\.solve\(\) facade"):
+            ptas(INSTANCE, 0.3, warm_start=False)
+
+    def test_no_internal_path_uses_the_shims(self):
+        """Deprecation sweep acceptance: every internal caller passes
+        ``ctx=``, so the full spread of entry points — the facade, the
+        registry, a deadline-bearing service-style solve — runs clean
+        with DeprecationWarning escalated to an error."""
+        import warnings
+
+        import repro
+        from repro.service.registry import build_solve_context, solve_to_result
+        from repro.service.requests import SolveRequest
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            repro.solve(INSTANCE, engine="ptas")
+            repro.solve(
+                repro.QInstance(INSTANCE.processing_times, speeds=(1,) * INSTANCE.num_machines),
+                engine="lpt",
+            )
+            request = SolveRequest(
+                times=INSTANCE.processing_times,
+                machines=INSTANCE.num_machines,
+                engine="parallel_ptas",
+                backend="numpy-serial",
+                deadline=30.0,
+            )
+            ctx = build_solve_context(request, deadline_at=None)
+            solve_to_result(request, ctx)
+
 
 class TestContextEquivalence:
     def test_ctx_matches_legacy_warm_start_results(self):

@@ -1,0 +1,169 @@
+"""The problem-variant registry and the Q||Cmax model types."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.model.instance import Instance
+from repro.model.problem import (
+    P_CMAX,
+    Q_CMAX,
+    UnknownProblemError,
+    available_problems,
+    canonical_problem_name,
+    get_problem,
+    problem_of_instance,
+)
+from repro.model.qinstance import QInstance, QSchedule
+from repro.model.verify import verify_qschedule, verify_schedule
+
+
+class TestProblemRegistry:
+    def test_available_problems(self):
+        assert available_problems() == [P_CMAX, Q_CMAX]
+
+    @pytest.mark.parametrize(
+        "alias, expected",
+        [
+            ("p_cmax", P_CMAX),
+            ("P", P_CMAX),
+            ("  p||cmax ", P_CMAX),
+            ("identical", P_CMAX),
+            ("q_cmax", Q_CMAX),
+            ("Q-CMAX", Q_CMAX),
+            ("Q||Cmax", Q_CMAX),
+            ("uniform", Q_CMAX),
+            ("related", Q_CMAX),
+        ],
+    )
+    def test_aliases(self, alias, expected):
+        assert canonical_problem_name(alias) == expected
+
+    def test_unknown_problem_lists_valid_names(self):
+        with pytest.raises(UnknownProblemError, match="p_cmax") as exc:
+            canonical_problem_name("r_cmax")
+        assert "q_cmax" in str(exc.value)
+
+    def test_problem_of_instance(self):
+        assert problem_of_instance(Instance([3, 2], 1)) == P_CMAX
+        assert problem_of_instance(QInstance([3, 2], speeds=(2,))) == Q_CMAX
+        with pytest.raises(TypeError):
+            problem_of_instance([3, 2])
+
+    def test_build_instance_p_rejects_speeds(self):
+        model = get_problem(P_CMAX)
+        inst = model.build_instance((4, 3), machines=2)
+        assert isinstance(inst, Instance)
+        with pytest.raises(ValueError, match="speeds"):
+            model.build_instance((4, 3), machines=2, speeds=(1, 1))
+
+    def test_build_instance_q_requires_matching_speeds(self):
+        model = get_problem(Q_CMAX)
+        inst = model.build_instance((4, 3), machines=2, speeds=(2, 1))
+        assert isinstance(inst, QInstance)
+        with pytest.raises(ValueError):
+            model.build_instance((4, 3), machines=3, speeds=(2, 1))
+        with pytest.raises(ValueError):
+            model.build_instance((4, 3), machines=2, speeds=())
+
+    def test_baselines_return_verified_schedules(self):
+        p_sched, p_guarantee = get_problem(P_CMAX).baseline(Instance([4, 3, 3], 2))
+        assert verify_schedule(p_sched).ok
+        assert p_guarantee > 1.0
+        q_inst = QInstance([4, 3, 3], speeds=(2, 1))
+        q_sched, q_guarantee = get_problem(Q_CMAX).baseline(q_inst)
+        assert verify_qschedule(q_sched, q_inst).ok
+        assert q_guarantee > 1.0
+
+
+class TestQInstance:
+    def test_basic_aggregates(self):
+        inst = QInstance([6, 4, 3, 2], speeds=(3, 1))
+        assert inst.num_jobs == 4
+        assert inst.num_machines == 2
+        assert inst.total_work == 15
+        assert inst.max_time == 6
+        assert inst.total_speed == 4
+        assert inst.max_speed == 3
+        assert not inst.is_identical
+        assert QInstance([5], speeds=(2, 2)).is_identical
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QInstance([], speeds=(1,))
+        with pytest.raises(ValueError):
+            QInstance([3], speeds=())
+        with pytest.raises(ValueError):
+            QInstance([0], speeds=(1,))
+        with pytest.raises(ValueError):
+            QInstance([3], speeds=(0,))
+        with pytest.raises(TypeError):
+            QInstance([3.5], speeds=(1,))
+
+    def test_trivial_bounds(self):
+        inst = QInstance([6, 4, 3, 2], speeds=(3, 1))
+        # max(W/S, t_max/s_max) = max(15/4, 6/3) = 3.75
+        assert inst.trivial_lower_bound() == pytest.approx(3.75)
+        # all work on the fastest machine
+        assert inst.trivial_upper_bound() == pytest.approx(5.0)
+
+    def test_identity_round_trip(self):
+        p = Instance([5, 4, 3], 2)
+        q = QInstance.from_identical(p)
+        assert q.speeds == (1, 1)
+        assert q.to_identical() == p
+        with pytest.raises(ValueError):
+            QInstance([5, 4], speeds=(2, 1)).to_identical()
+
+    def test_sorted_jobs_desc_breaks_ties_by_index(self):
+        inst = QInstance([3, 5, 3, 5], speeds=(1, 1))
+        assert tuple(inst.sorted_jobs_desc()) == (1, 3, 0, 2)
+
+
+class TestQSchedule:
+    def test_completion_times_are_exact(self):
+        inst = QInstance([6, 4, 3, 2], speeds=(3, 1))
+        sched = QSchedule(inst, [(0, 1, 3), (2,)])
+        assert sched.machine_loads == (12, 3)
+        assert sched.exact_completion_times() == (Fraction(4), Fraction(3))
+        assert sched.completion_times == (4.0, 3.0)
+        assert sched.makespan == 4.0
+        assert sched.is_valid()
+        assert sched.job_machine() == {0: 0, 1: 0, 2: 1, 3: 0}
+
+    def test_partition_validation(self):
+        inst = QInstance([6, 4], speeds=(1, 1))
+        with pytest.raises(ValueError):
+            QSchedule(inst, [(0,), (0, 1)])  # duplicate job
+        with pytest.raises(ValueError):
+            QSchedule(inst, [(0,), ()])  # missing job 1
+        with pytest.raises(ValueError):
+            QSchedule(inst, [(0, 1)])  # wrong machine count
+
+    def test_canonical_sorts_jobs_but_keeps_machine_order(self):
+        inst = QInstance([6, 4, 3], speeds=(2, 1))
+        sched = QSchedule(inst, [(2, 0), (1,)])
+        # Machines are distinguishable by speed: rows must not be
+        # re-ordered, only the job lists normalized.
+        assert sched.canonical() == ((0, 2), (1,))
+
+
+class TestVerifyQSchedule:
+    def test_ok_schedule(self):
+        inst = QInstance([6, 4, 3, 2], speeds=(3, 1))
+        report = verify_qschedule(QSchedule(inst, [(0, 1, 3), (2,)]), inst)
+        assert report.ok, report.violations
+
+    def test_dispatch_through_verify_schedule(self):
+        inst = QInstance([6, 4], speeds=(2, 1))
+        sched = QSchedule(inst, [(0,), (1,)])
+        assert verify_schedule(sched).ok
+        assert verify_schedule(sched, inst).ok
+
+    def test_mismatched_instance_fails(self):
+        inst = QInstance([6, 4], speeds=(2, 1))
+        sched = QSchedule(inst, [(0,), (1,)])
+        report = verify_schedule(sched, Instance([6, 4], 2))
+        assert not report.ok

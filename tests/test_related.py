@@ -1,0 +1,167 @@
+"""Property tests for the Q||Cmax baselines (`repro.algorithms.related`).
+
+Three of the ISSUE's pinned properties live here:
+
+* `q_lpt` / `q_list_scheduling` respect their stated worst-case ratio
+  against brute-force OPT on random tiny instances and speed vectors;
+* with all speeds equal, the Q path reproduces the identical-machine
+  path byte for byte — schedules AND canonical cache keys;
+* the registry rejects unsupported (engine, problem) pairs with a
+  message listing the valid ones.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.list_scheduling import list_scheduling
+from repro.algorithms.lpt import lpt
+from repro.algorithms.related import (
+    q_list_scheduling,
+    q_list_worst_case_ratio,
+    q_lpt,
+    q_lpt_worst_case_ratio,
+)
+from repro.model.instance import Instance
+from repro.model.qinstance import QInstance
+from repro.model.verify import verify_qschedule
+from repro.service.cache import canonical_key
+from repro.service.registry import UnsupportedProblemError, get_engine
+from repro.service.requests import SolveRequest
+
+
+def brute_force_q_opt(instance: QInstance) -> Fraction:
+    """Exact Q||Cmax optimum by enumerating all machine assignments
+    (exponential — tiny instances only)."""
+    t = instance.processing_times
+    s = instance.speeds
+    m = instance.num_machines
+    best = None
+    for assign in product(range(m), repeat=len(t)):
+        loads = [0] * m
+        for j, i in enumerate(assign):
+            loads[i] += t[j]
+        span = max(Fraction(loads[i], s[i]) for i in range(m))
+        if best is None or span < best:
+            best = span
+    assert best is not None
+    return best
+
+
+tiny_q_instances = st.builds(
+    QInstance,
+    st.lists(st.integers(min_value=1, max_value=12), min_size=1, max_size=7),
+    st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=3),
+)
+
+q_instances = st.builds(
+    QInstance,
+    st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=25),
+    st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=6),
+)
+
+
+class TestBoundsAgainstBruteForce:
+    @settings(max_examples=60, deadline=None)
+    @given(tiny_q_instances)
+    def test_q_lpt_within_stated_bound_of_opt(self, inst):
+        opt = brute_force_q_opt(inst)
+        sched = q_lpt(inst)
+        assert verify_qschedule(sched, inst).ok
+        bound = q_lpt_worst_case_ratio(inst.speeds)
+        assert max(sched.exact_completion_times()) <= bound * opt + Fraction(1, 10**9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(tiny_q_instances)
+    def test_q_list_within_stated_bound_of_opt(self, inst):
+        opt = brute_force_q_opt(inst)
+        sched = q_list_scheduling(inst)
+        assert verify_qschedule(sched, inst).ok
+        bound = q_list_worst_case_ratio(inst.speeds)
+        assert max(sched.exact_completion_times()) <= bound * opt + Fraction(1, 10**9)
+
+
+class TestInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(q_instances)
+    def test_schedules_verify_and_respect_trivial_lb(self, inst):
+        for sched in (q_lpt(inst), q_list_scheduling(inst)):
+            assert verify_qschedule(sched, inst).ok
+            assert sched.makespan >= inst.trivial_lower_bound() - 1e-9
+            assert sched.makespan <= inst.trivial_upper_bound() + 1e-9
+
+    def test_bound_collapses_at_unit_speeds(self):
+        assert q_list_worst_case_ratio([1] * 4) == pytest.approx(2 - 1 / 4)
+        from repro.algorithms.lpt import dcs_lpt_bound
+
+        assert q_lpt_worst_case_ratio([2, 2, 2]) == pytest.approx(dcs_lpt_bound(3))
+
+
+class TestEqualSpeedsDegenerateToP:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=25),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=5),
+    )
+    def test_assignments_byte_identical(self, times, m, speed):
+        p = Instance(times, m)
+        q = QInstance(times, speeds=[speed] * m)
+        assert q_lpt(q).assignment == lpt(p).assignment
+        assert q_list_scheduling(q).assignment == list_scheduling(p).assignment
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=20),
+        st.integers(min_value=1, max_value=5),
+    )
+    def test_unit_speed_canonical_keys_byte_identical(self, times, m):
+        p_request = SolveRequest(times=tuple(times), machines=m, engine="lpt")
+        q_request = SolveRequest(
+            times=tuple(times),
+            machines=m,
+            problem="q_cmax",
+            speeds=(1,) * m,
+            engine="lpt",
+        )
+        assert canonical_key(q_request) == canonical_key(p_request)
+
+    def test_non_unit_equal_speeds_do_not_share_p_namespace(self):
+        # Speeds (2,2) scale every makespan by 1/2: the assignment is
+        # the p_cmax one but the cached result is not, so the key must
+        # live in the q_cmax namespace.
+        p_request = SolveRequest(times=(5, 4, 3), machines=2, engine="lpt")
+        q_request = SolveRequest(
+            times=(5, 4, 3),
+            machines=2,
+            problem="q_cmax",
+            speeds=(2, 2),
+            engine="lpt",
+        )
+        assert canonical_key(q_request) != canonical_key(p_request)
+
+
+class TestRegistryRejection:
+    def test_rejection_lists_valid_pairs(self):
+        with pytest.raises(UnsupportedProblemError) as exc:
+            get_engine("ptas", problem="q_cmax")
+        message = str(exc.value)
+        assert "ptas" in message
+        assert "p_cmax" in message  # what the engine does solve
+        assert "lpt" in message and "ls" in message  # who solves q_cmax
+
+    @pytest.mark.parametrize("engine", ["lpt", "ls"])
+    def test_q_capable_engines_resolve(self, engine):
+        assert get_engine(engine, problem="q_cmax").supports_problem("q_cmax")
+
+    @pytest.mark.parametrize(
+        "engine", ["ptas", "parallel_ptas", "multifit", "ilp", "bnb", "brute"]
+    )
+    def test_p_only_engines_reject_q(self, engine):
+        with pytest.raises(UnsupportedProblemError):
+            get_engine(engine, problem="q_cmax")

@@ -93,6 +93,74 @@ class TestPermutedHits:
         assert cache.misses == 1
 
 
+def _q_request(times, speeds, engine="lpt", eps=0.3, request_id=""):
+    return SolveRequest(
+        times=tuple(times),
+        machines=len(speeds),
+        problem="q_cmax",
+        speeds=tuple(speeds),
+        engine=engine,
+        eps=eps,
+        request_id=request_id,
+    )
+
+
+def _q_ok_result(request: SolveRequest, assignment) -> SolveResult:
+    from repro.model.qinstance import QSchedule
+
+    sched = QSchedule(request.instance(), assignment)
+    return SolveResult(
+        request_id=request.request_id,
+        status="ok",
+        engine=request.engine,
+        makespan=sched.makespan,
+        assignment=sched.assignment,
+        guarantee=1.75,
+    )
+
+
+class TestQProblemKeys:
+    def test_speed_multiset_joins_the_key(self):
+        a = _q_request([5, 4], (2, 1))
+        assert canonical_key(a) == canonical_key(_q_request([4, 5], (1, 2)))
+        assert canonical_key(a) != canonical_key(_q_request([5, 4], (3, 1)))
+        assert canonical_key(a) != canonical_key(_q_request([5, 4], (2, 2)))
+
+    def test_unit_speeds_normalize_into_p_namespace(self):
+        q = _q_request([5, 4, 3], (1, 1, 1), engine="lpt")
+        p = _request([5, 4, 3], machines=3, engine="lpt")
+        assert canonical_key(q) == canonical_key(p)
+
+    def test_unit_speed_q_hits_a_p_entry_and_back(self):
+        cache = ResultCache()
+        p = _request([7, 3, 5], machines=2, engine="lpt", request_id="p")
+        assert cache.put(p, _ok_result(p, [(0,), (1, 2)]))
+        hit = cache.get(_q_request([7, 3, 5], (1, 1), request_id="q"))
+        assert hit is not None and hit.cached
+        sched = hit.schedule(_q_request([7, 3, 5], (1, 1)).instance())
+        assert verify_schedule(sched).ok
+        assert sched.makespan == 8.0
+
+    def test_permuted_q_instance_hits_and_remaps(self):
+        cache = ResultCache()
+        req = _q_request([6, 4, 3, 2], (3, 1), request_id="orig")
+        assert cache.put(req, _q_ok_result(req, [(0, 1, 3), (2,)]))
+        # Permute times AND machine order (speeds travel with machines).
+        permuted = _q_request([2, 3, 4, 6], (1, 3), request_id="twin")
+        hit = cache.get(permuted)
+        assert hit is not None and hit.cached
+        inst = permuted.instance()
+        sched = hit.schedule(inst)
+        assert verify_schedule(sched, inst).ok
+        assert sched.makespan == hit.makespan == 4.0
+
+    def test_miss_on_different_speed_multiset(self):
+        cache = ResultCache()
+        req = _q_request([6, 4], (2, 1))
+        cache.put(req, _q_ok_result(req, [(0,), (1,)]))
+        assert cache.get(_q_request([6, 4], (4, 1))) is None
+
+
 class TestBoundsAndPolicies:
     def test_lru_eviction(self):
         cache = ResultCache(max_entries=2)

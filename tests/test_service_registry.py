@@ -119,3 +119,71 @@ class TestBisectionModes:
     def test_unknown_mode_rejected(self):
         with pytest.raises(UnknownEngineError, match="mode"):
             solve_to_result(self.request(mode="bogus"))
+
+
+class TestProblemVariants:
+    def _q_request(self, engine="lpt", **kwargs) -> SolveRequest:
+        return SolveRequest(
+            times=(37, 21, 18, 95, 42, 7),
+            machines=3,
+            problem="q_cmax",
+            speeds=(4, 2, 1),
+            engine=engine,
+            **kwargs,
+        )
+
+    @pytest.mark.parametrize("engine", ["lpt", "ls"])
+    def test_q_solve_to_result(self, engine):
+        request = self._q_request(engine)
+        result = solve_to_result(request)
+        assert result.ok
+        inst = request.instance()
+        sched = result.schedule(inst)
+        assert verify_schedule(sched, inst).ok
+        assert isinstance(result.makespan, float)
+        spec = get_engine(engine)
+        assert result.guarantee == pytest.approx(spec.guarantee(request))
+        # Speed-aware trivial lower bound sandwiches the result.
+        assert result.makespan <= result.guarantee * inst.trivial_lower_bound() + 1e-9
+
+    def test_q_guarantees_are_speed_aware(self):
+        request = self._q_request("lpt")
+        # max speed 4, total 7, m=3: list ratio = 1 + 2*4/7; LPT uses
+        # the tighter min(2 - 2/(m+1), list ratio) = 1.5 here.
+        assert get_engine("ls").guarantee(request) == pytest.approx(1 + 8 / 7)
+        assert get_engine("lpt").guarantee(request) == pytest.approx(1.5)
+
+    @pytest.mark.parametrize("problem", ["p_cmax", "q_cmax"])
+    def test_fallback_result_is_problem_correct(self, problem):
+        if problem == "q_cmax":
+            request = self._q_request("ptas")  # engine irrelevant for fallback
+        else:
+            request = _request("ptas")
+        from repro.service.registry import fallback_result
+
+        result = fallback_result(request)
+        assert result.ok and result.degraded
+        assert result.engine == "lpt"
+        inst = request.instance()
+        assert verify_schedule(result.schedule(inst), inst).ok
+
+    def test_engine_problem_pairs_matrix(self):
+        from repro.service.registry import engine_problem_pairs
+
+        pairs = engine_problem_pairs()
+        assert ("lpt", "p_cmax") in pairs
+        assert ("lpt", "q_cmax") in pairs
+        assert ("ls", "q_cmax") in pairs
+        assert ("ptas", "p_cmax") in pairs
+        assert ("ptas", "q_cmax") not in pairs
+        # Every registered engine appears, sorted by engine name.
+        assert [p[0] for p in pairs] == sorted(p[0] for p in pairs)
+        assert set(p[0] for p in pairs) == set(available_engines())
+
+    def test_solve_to_result_rejects_unsupported_pair(self):
+        # solve_to_result propagates; the server maps this to a typed
+        # error response (UnsupportedProblemError is a ValueError).
+        with pytest.raises(
+            UnknownEngineError, match="does not support problem 'q_cmax'"
+        ):
+            solve_to_result(self._q_request("ptas"))

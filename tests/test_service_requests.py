@@ -5,10 +5,14 @@ from __future__ import annotations
 import pytest
 
 from repro.model.instance import Instance
+from repro.model.qinstance import QInstance, QSchedule
 from repro.service.requests import (
+    PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOLS,
     DeadlineExceeded,
     SolveRequest,
     SolveResult,
+    StreamRequest,
     deadline_checker,
 )
 
@@ -55,6 +59,101 @@ class TestSolveRequest:
     def test_non_positive_eps_rejected(self):
         with pytest.raises(ValueError, match="eps"):
             SolveRequest(times=(1,), machines=1, eps=0.0)
+
+
+class TestProtocolVersioning:
+    def test_constants(self):
+        assert PROTOCOL_VERSION == 2
+        assert SUPPORTED_PROTOCOLS == (1, 2)
+
+    def test_wire_request_without_protocol_is_v1(self):
+        req = SolveRequest.from_json('{"times": [5, 4], "machines": 2}')
+        assert req.protocol == 1
+        assert req.problem == "p_cmax"
+
+    def test_internal_constructor_defaults_to_current(self):
+        assert SolveRequest(times=(1,), machines=1).protocol == PROTOCOL_VERSION
+
+    def test_v2_q_round_trip(self):
+        req = SolveRequest(
+            times=(6, 4, 3, 2),
+            machines=2,
+            problem="q_cmax",
+            speeds=(3, 1),
+            engine="lpt",
+            request_id="q1",
+        )
+        again = SolveRequest.from_json(req.to_json())
+        assert again == req
+        assert again.protocol == 2
+        inst = again.instance()
+        assert isinstance(inst, QInstance)
+        assert inst.speeds == (3, 1)
+
+    def test_v1_round_trip_unchanged(self):
+        payload = '{"times": [5, 4, 3], "machines": 2, "engine": "ptas"}'
+        req = SolveRequest.from_json(payload)
+        again = SolveRequest.from_json(req.to_json())
+        assert again == req
+        assert isinstance(req.instance(), Instance)
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError, match="supports versions 1, 2"):
+            SolveRequest.from_json(
+                '{"times": [1], "machines": 1, "protocol": 3}'
+            )
+
+    def test_problem_field_requires_v2(self):
+        with pytest.raises(ValueError, match="protocol version 2"):
+            SolveRequest.from_json(
+                '{"times": [1], "machines": 1, "problem": "q_cmax", "speeds": [1]}'
+            )
+
+    def test_q_requires_speeds_matching_machines(self):
+        with pytest.raises(ValueError):
+            SolveRequest(times=(1,), machines=2, problem="q_cmax", speeds=(1,))
+        with pytest.raises(ValueError):
+            SolveRequest(times=(1,), machines=1, problem="q_cmax")
+
+    def test_p_forbids_speeds(self):
+        with pytest.raises(ValueError, match="speeds"):
+            SolveRequest(times=(1,), machines=1, speeds=(1,))
+
+    def test_unknown_problem_rejected(self):
+        with pytest.raises(ValueError, match="r_cmax"):
+            SolveRequest(times=(1,), machines=1, problem="r_cmax")
+
+    def test_stream_request_versioning(self):
+        req = StreamRequest.from_dict(
+            {"op": "stream", "action": "open_session", "tenant": "t", "machines": 2}
+        )
+        assert req.protocol == 1
+        assert req.problem == "p_cmax"
+        with pytest.raises(ValueError, match="protocol"):
+            StreamRequest.from_dict(
+                {
+                    "op": "stream",
+                    "action": "open_session",
+                    "tenant": "t",
+                    "machines": 2,
+                    "protocol": 99,
+                }
+            )
+
+    def test_q_result_schedule_dispatches(self):
+        req = SolveRequest(
+            times=(6, 4, 3, 2),
+            machines=2,
+            problem="q_cmax",
+            speeds=(3, 1),
+            engine="lpt",
+        )
+        result = SolveResult(
+            request_id="", makespan=4.0, assignment=((0, 1, 3), (2,)), engine="lpt"
+        )
+        sched = result.schedule(req.instance())
+        assert isinstance(sched, QSchedule)
+        assert sched.makespan == 4.0
 
 
 class TestSolveResult:

@@ -102,6 +102,57 @@ class TestHandle:
         assert first.makespan == second.makespan == permuted.makespan
         assert stats["hits"] == 2
 
+    def test_q_cmax_request_end_to_end(self):
+        async def scenario():
+            svc = SolveService(batch_window=0.0)
+            try:
+                res = await svc.handle(
+                    SolveRequest(
+                        times=(37, 21, 18, 95, 42, 7),
+                        machines=3,
+                        problem="q_cmax",
+                        speeds=(4, 2, 1),
+                        engine="lpt",
+                        request_id="q1",
+                    )
+                )
+                counted = svc.metrics.counter("requests.problem.q_cmax").value
+            finally:
+                await _closed(svc)
+            return res, counted
+
+        res, counted = run(scenario())
+        assert res.ok and not res.degraded
+        assert counted == 1
+        from repro.model.qinstance import QInstance
+
+        inst = QInstance((37, 21, 18, 95, 42, 7), speeds=(4, 2, 1))
+        sched = res.schedule(inst)
+        assert verify_schedule(sched, inst).ok
+        assert res.makespan == sched.makespan
+        assert res.makespan <= res.guarantee * inst.trivial_lower_bound() + 1e-9
+
+    def test_q_unsupported_engine_pair_is_clean_error(self):
+        async def scenario():
+            svc = SolveService(batch_window=0.0)
+            try:
+                return await svc.handle(
+                    SolveRequest(
+                        times=(5, 4),
+                        machines=2,
+                        problem="q_cmax",
+                        speeds=(2, 1),
+                        engine="ptas",
+                    )
+                )
+            finally:
+                await _closed(svc)
+
+        res = run(scenario())
+        assert res.status == "error"
+        assert "does not support problem 'q_cmax'" in res.error
+        assert "lpt" in res.error
+
     def test_deadline_degrades_to_lpt(self):
         async def scenario():
             svc = SolveService(batch_window=0.0)

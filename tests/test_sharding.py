@@ -91,6 +91,37 @@ class TestShardIndex:
         assert shard_index(key2, 2) == 0
         assert shard_index(key2, 7) == 4
 
+    def test_p_cmax_placement_unchanged_by_problem_field(self):
+        """The problem axis must not re-route legacy traffic: the hashed
+        body of a p_cmax key is the historical four-field form, so the
+        pins in test_deterministic_across_processes stay valid — and a
+        unit-speed q_cmax request (which normalizes into the p_cmax
+        namespace) lands on the identical shard."""
+        p = _req([1, 2, 3], machines=2, eps=0.5, engine="lpt")
+        q = SolveRequest(
+            times=(1, 2, 3),
+            machines=2,
+            problem="q_cmax",
+            speeds=(1, 1),
+            engine="lpt",
+            eps=0.5,
+        )
+        for shards in (2, 3, 7, 16):
+            assert shard_of_request(p, shards) == shard_of_request(q, shards)
+
+    def test_q_requests_route_consistently(self):
+        a = SolveRequest(
+            times=(6, 4, 3), machines=2, problem="q_cmax", speeds=(3, 1),
+            engine="lpt", request_id="a",
+        )
+        b = SolveRequest(
+            times=(3, 6, 4), machines=2, problem="q_cmax", speeds=(1, 3),
+            engine="lpt", request_id="b",
+        )
+        for shards in (2, 5, 9):
+            assert shard_of_request(a, shards) == shard_of_request(b, shards)
+            assert 0 <= shard_of_request(a, shards) < shards
+
     def test_rejects_nonpositive_shard_count(self):
         key = canonical_key(_req([1, 2]))
         with pytest.raises(ValueError):

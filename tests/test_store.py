@@ -156,7 +156,7 @@ class TestResultStore:
 
     def test_missing_key_counts_a_miss(self, tmp_path):
         with ResultStore(tmp_path) as store:
-            assert store.get(((1, 2, 3), 2, "lpt", 0.3)) is None
+            assert store.get(("p_cmax", (1, 2, 3), (), 2, "lpt", 0.3)) is None
             assert store.stats()["misses"] == 1
 
     def test_reopen_serves_previous_writes(self, tmp_path):
