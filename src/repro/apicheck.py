@@ -27,6 +27,7 @@ PUBLIC_MODULES: tuple[str, ...] = (
     "repro",
     "repro.algorithms",
     "repro.model",
+    "repro.qa",
     "repro.service",
     "repro.store",
     "repro.workloads",

@@ -29,6 +29,11 @@ Subcommands
     (checksum + schedule audit, quarantining corrupt segments),
     ``compact``, and ``replay`` (drain the journal's uncommitted
     entries without starting the server).
+``qa``
+    Differential fuzzing of the engine fleet (``docs/qa.md``): ``fuzz``
+    draws seeded instances and checks the cross-engine, metamorphic and
+    service-equivalence oracles, minimizing and persisting any failure;
+    ``replay`` re-runs recorded repro files.
 """
 
 from __future__ import annotations
@@ -673,6 +678,48 @@ def _cmd_store_replay(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_qa_fuzz(args: argparse.Namespace) -> int:
+    from repro.qa import FuzzConfig, run_fuzz
+
+    config = FuzzConfig(
+        seed=args.seed,
+        budget=args.budget,
+        problem=args.problem,
+        corpus_dir=args.corpus,
+        eps=args.eps,
+        max_jobs=args.max_jobs,
+        max_machines=args.max_machines,
+        max_failures=args.max_failures,
+        engines=tuple(args.engines.split(",")) if args.engines else (),
+        metamorphic=not args.no_metamorphic,
+        service=not args.no_service,
+    )
+    report = run_fuzz(config)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_qa_replay(args: argparse.Namespace) -> int:
+    from repro.qa import replay_file
+
+    exit_code = 0
+    for path in args.files:
+        record, violations = replay_file(path, all_oracles=args.all_oracles)
+        case = record["case"]
+        label = (
+            f"{path}: {case.problem}, {case.num_jobs} jobs x "
+            f"{case.machines} machines, oracle={record['oracle']}"
+        )
+        if violations:
+            exit_code = 1
+            print(f"STILL FAILING {label}")
+            for violation in violations:
+                print(f"  {violation}")
+        else:
+            print(f"clean {label}")
+    return exit_code
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.experiments.reproduce import reproduce_all
 
@@ -984,6 +1031,75 @@ def build_parser() -> argparse.ArgumentParser:
     )
     st_replay.add_argument("dir", help="store directory")
     st_replay.set_defaults(fn=_cmd_store_replay)
+
+    qa = subs.add_parser(
+        "qa",
+        help="differential fuzzing of the engine fleet (docs/qa.md)",
+    )
+    qa_subs = qa.add_subparsers(dest="qa_command", required=True)
+    qa_fuzz = qa_subs.add_parser(
+        "fuzz",
+        help="draw seeded instances, run every capable engine, check the "
+        "cross-engine / metamorphic / service oracles, and write "
+        "minimized repro files for any failure",
+    )
+    qa_fuzz.add_argument("--seed", type=int, default=0)
+    qa_fuzz.add_argument(
+        "--budget", type=int, default=200, help="number of fuzz cases"
+    )
+    qa_fuzz.add_argument(
+        "--problem",
+        choices=("both", "p_cmax", "q_cmax"),
+        default="both",
+        help="restrict the drawn problem variant",
+    )
+    qa_fuzz.add_argument(
+        "--corpus",
+        default="qa-corpus",
+        metavar="DIR",
+        help="directory minimized repro files are written to",
+    )
+    qa_fuzz.add_argument("--eps", type=float, default=0.3)
+    qa_fuzz.add_argument("--max-jobs", type=int, default=12)
+    qa_fuzz.add_argument("--max-machines", type=int, default=4)
+    qa_fuzz.add_argument(
+        "--max-failures",
+        type=int,
+        default=10,
+        help="stop after this many distinct failures",
+    )
+    qa_fuzz.add_argument(
+        "--engines",
+        default="",
+        metavar="A,B,...",
+        help="comma-separated engine subset (default: every registered "
+        "engine whose capabilities match each case)",
+    )
+    qa_fuzz.add_argument(
+        "--no-metamorphic",
+        action="store_true",
+        help="skip the metamorphic-invariant oracle",
+    )
+    qa_fuzz.add_argument(
+        "--no-service",
+        action="store_true",
+        help="skip the sampled wire/in-process equivalence oracle",
+    )
+    qa_fuzz.set_defaults(fn=_cmd_qa_fuzz)
+    qa_replay = qa_subs.add_parser(
+        "replay",
+        help="re-run the recorded oracle on corpus repro files; exits "
+        "non-zero while any still fails",
+    )
+    qa_replay.add_argument(
+        "files", nargs="+", help="repro .json files written by 'qa fuzz'"
+    )
+    qa_replay.add_argument(
+        "--all-oracles",
+        action="store_true",
+        help="re-run all three oracle classes, not just the recorded one",
+    )
+    qa_replay.set_defaults(fn=_cmd_qa_replay)
 
     rep = subs.add_parser(
         "reproduce", help="regenerate every paper artifact into a directory"

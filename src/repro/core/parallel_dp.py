@@ -478,7 +478,9 @@ def compute_table(
     :meth:`LevelKernel.sweep` fast path.
     """
     if backend not in BACKENDS:
-        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {sorted(BACKENDS)}"
+        )
     if num_workers < 1:
         raise ValueError("num_workers must be >= 1")
     if cost_fidelity not in ("uniform", "per_state"):
@@ -629,7 +631,9 @@ def parallel_dp(
         ``"parallel-<backend>"``.
     """
     if backend not in BACKENDS:
-        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {sorted(BACKENDS)}"
+        )
     if num_workers < 1:
         raise ValueError("num_workers must be >= 1")
     if cost_fidelity not in ("uniform", "per_state"):

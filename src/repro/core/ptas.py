@@ -375,9 +375,13 @@ def parallel_ptas(
     anti-diagonals only, never the table contents.
     """
     if backend not in BACKENDS:
-        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {sorted(BACKENDS)}"
+        )
     if mode not in MODES:
-        raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
+        raise ValueError(
+            f"unknown mode {mode!r}; expected one of {sorted(MODES)}"
+        )
     ctx = resolve_context(
         ctx,
         warm_start=warm_start,

@@ -11,7 +11,11 @@ provides three exact solvers (DESIGN.md §6, substitution 1):
   branch-and-bound with an LPT incumbent, load-based lower bounds and
   machine-symmetry breaking (no third-party solver at all);
 * :mod:`repro.exact.brute` — exhaustive search for tiny instances, the
-  oracle the others are verified against.
+  oracle the others are verified against;
+* :mod:`repro.exact.cp` — a CP-style propagate-and-branch solver
+  bisecting the makespan target, deliberately sharing no search order or
+  bound library with the others so the :mod:`repro.qa` differential
+  fuzzer has an independent exact implementation to differ against.
 
 :func:`solve_exact` dispatches by name and is what the public API
 re-exports.
@@ -20,6 +24,7 @@ re-exports.
 from repro.exact.api import ExactResult, solve_exact
 from repro.exact.branch_and_bound import branch_and_bound
 from repro.exact.brute import brute_force
+from repro.exact.cp import CPResult, cp_solve
 from repro.exact.ilp import ilp_solve
 from repro.exact.lower_bounds import lb_best
 from repro.exact.sahni import exact_dp, sahni_fptas
@@ -29,6 +34,8 @@ __all__ = [
     "ExactResult",
     "brute_force",
     "branch_and_bound",
+    "cp_solve",
+    "CPResult",
     "ilp_solve",
     "exact_dp",
     "sahni_fptas",

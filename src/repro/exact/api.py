@@ -6,11 +6,12 @@ from dataclasses import dataclass
 
 from repro.exact.branch_and_bound import branch_and_bound
 from repro.exact.brute import brute_force
+from repro.exact.cp import cp_solve
 from repro.exact.ilp import ilp_solve
 from repro.model.instance import Instance
 from repro.model.schedule import Schedule
 
-METHODS = ("ilp", "bnb", "brute")
+METHODS = ("ilp", "bnb", "brute", "cp")
 
 
 @dataclass(frozen=True)
@@ -39,11 +40,13 @@ def solve_exact(
     ----------
     method:
         ``"ilp"`` (HiGHS MILP — the CPLEX stand-in), ``"bnb"`` (own
-        branch-and-bound), or ``"brute"`` (tiny instances only).
+        branch-and-bound), ``"cp"`` (constraint-propagation bisection,
+        the independent cross-check oracle), or ``"brute"`` (tiny
+        instances only).
     time_limit:
         Wall-clock budget for ``"ilp"``.
     node_budget:
-        Node budget for ``"bnb"``.
+        Node budget for ``"bnb"`` and ``"cp"``.
 
     When a budget is exhausted the best incumbent is returned with
     ``optimal=False`` — matching how the paper reports CPLEX runs that
@@ -58,4 +61,10 @@ def solve_exact(
     if method == "brute":
         schedule = brute_force(instance)
         return ExactResult(schedule, True, "brute")
-    raise ValueError(f"unknown exact method {method!r}; expected one of {METHODS}")
+    if method == "cp":
+        res = cp_solve(instance, node_budget=node_budget)
+        return ExactResult(res.schedule, res.optimal, "cp")
+    raise ValueError(
+        f"unknown exact method {method!r}; expected one of "
+        f"{sorted(METHODS)}"
+    )

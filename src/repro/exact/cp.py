@@ -1,0 +1,239 @@
+"""CP-style exact solver — an *independent* cross-check oracle.
+
+Modeled on the classic constraint-programming formulation for parallel
+machine scheduling (machine-assignment integer variables plus
+element/load-style constraints): each job carries one variable whose
+domain is the set of machines it may still run on, and each machine a
+*load* constraint ``sum of assigned times <= T``.  The optimum is found
+by bisecting the target ``T`` and answering each decision question with
+a propagate-and-branch search:
+
+* **Value pruning** — machine ``i`` leaves job ``j``'s domain as soon as
+  ``load_i + t_j > T`` (the element-constraint view of the load limit).
+* **Unit propagation** — a single-machine domain commits the job, which
+  tightens loads and re-triggers pruning to a fixpoint.
+* **Aggregate capacity** — the unassigned work must fit into the sum of
+  residual capacities ``sum_i (T - load_i)``; a deficit fails the node
+  without branching.
+* **First-fail branching** — branch on the job with the smallest domain
+  (ties: largest time), trying machines by ascending load and skipping
+  equal-load machines (symmetric, since every constraint here is a
+  function of load alone).
+
+The point of this solver is *diversity*, not speed: it shares no search
+order, no bound library (only the trivial Eq. 1 bound), and no incumbent
+heuristic with :mod:`repro.exact.branch_and_bound`, so a bug in one is
+overwhelmingly unlikely to be mirrored in the other.  The differential
+fuzzing oracle of :mod:`repro.qa` leans on exactly that independence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.instance import Instance
+from repro.model.schedule import Schedule
+
+
+class _BudgetExhausted(Exception):
+    """Internal: the shared node budget ran out mid-search."""
+
+
+@dataclass(frozen=True)
+class CPResult:
+    """Outcome of a CP-style exact run."""
+
+    schedule: Schedule
+    optimal: bool
+    nodes_explored: int
+    probes: int
+
+    @property
+    def makespan(self) -> int:
+        """Makespan of the returned schedule."""
+        return self.schedule.makespan
+
+
+class _NodeCounter:
+    """Node counter shared across every bisection probe of one solve."""
+
+    __slots__ = ("nodes", "budget")
+
+    def __init__(self, budget: int | None):
+        self.nodes = 0
+        self.budget = budget if budget is not None else float("inf")
+
+    def tick(self) -> None:
+        """Count one search node; raise when the budget is exhausted."""
+        self.nodes += 1
+        if self.nodes > self.budget:
+            raise _BudgetExhausted
+
+
+def cp_feasible(
+    instance: Instance, target: int, *, counter: _NodeCounter | None = None
+) -> list[int] | None:
+    """Decide whether an assignment with every machine load ``<= target``
+    exists; return one (job index -> machine index) or ``None``.
+
+    This is the CP decision kernel: value pruning, unit propagation and
+    the aggregate-capacity check run to a fixpoint at every node, then
+    the search branches first-fail.  State is copied per node — the
+    instances this solver is asked to certify are small by design
+    (the :mod:`repro.qa` fuzzer and the golden grid), so clarity wins
+    over an undo trail.
+
+    >>> cp_feasible(Instance([5, 4, 3, 3, 3], num_machines=2), 9) is not None
+    True
+    >>> cp_feasible(Instance([5, 4, 3, 3, 3], num_machines=2), 8) is None
+    True
+    """
+    t = instance.processing_times
+    n, m = instance.num_jobs, instance.num_machines
+    if counter is None:
+        counter = _NodeCounter(None)
+    if instance.max_time > target:
+        return None
+
+    def propagate(
+        loads: list[int],
+        domains: dict[int, frozenset[int]],
+        assign: list[int],
+    ) -> bool:
+        """Prune/commit to a fixpoint; False on a domain wipeout or an
+        aggregate-capacity deficit.  Mutates all three arguments."""
+        changed = True
+        while changed:
+            changed = False
+            for j in list(domains):
+                kept = frozenset(
+                    i for i in domains[j] if loads[i] + t[j] <= target
+                )
+                if not kept:
+                    return False
+                if kept != domains[j]:
+                    domains[j] = kept
+                if len(kept) == 1:
+                    (i,) = kept
+                    loads[i] += t[j]
+                    assign[j] = i
+                    del domains[j]
+                    changed = True
+            remaining = sum(t[j] for j in domains)
+            slack = sum(target - load for load in loads)
+            if remaining > slack:
+                return False
+        return True
+
+    def dfs(
+        loads: list[int],
+        domains: dict[int, frozenset[int]],
+        assign: list[int],
+    ) -> list[int] | None:
+        counter.tick()
+        if not propagate(loads, domains, assign):
+            return None
+        if not domains:
+            return assign
+        # First-fail: smallest domain, ties broken toward the longest job.
+        j = min(domains, key=lambda j: (len(domains[j]), -t[j], j))
+        tried_loads: set[int] = set()
+        for i in sorted(domains[j], key=lambda i: (loads[i], i)):
+            if loads[i] in tried_loads:
+                # Every constraint is a function of load alone, so two
+                # machines at equal load are fully interchangeable here.
+                continue
+            tried_loads.add(loads[i])
+            child_loads = loads[:]
+            child_loads[i] += t[j]
+            child_domains = dict(domains)
+            del child_domains[j]
+            child_assign = assign[:]
+            child_assign[j] = i
+            found = dfs(child_loads, child_domains, child_assign)
+            if found is not None:
+                return found
+        return None
+
+    return dfs(
+        [0] * m, {j: frozenset(range(m)) for j in range(n)}, [-1] * n
+    )
+
+
+def _greedy_incumbent(instance: Instance) -> list[int]:
+    """Deliberately naive least-loaded placement (input order) — the
+    emergency incumbent when the node budget dies before any probe
+    succeeds.  Kept independent of :mod:`repro.algorithms` on purpose."""
+    loads = [0] * instance.num_machines
+    assign = []
+    for time in instance.processing_times:
+        i = min(range(instance.num_machines), key=lambda i: (loads[i], i))
+        loads[i] += time
+        assign.append(i)
+    return assign
+
+
+def _to_schedule(instance: Instance, assign: list[int]) -> Schedule:
+    """Materialize a job->machine vector as a validated Schedule."""
+    groups: list[list[int]] = [[] for _ in range(instance.num_machines)]
+    for j, i in enumerate(assign):
+        groups[i].append(j)
+    return Schedule(instance, groups)
+
+
+def cp_solve(instance: Instance, *, node_budget: int | None = None) -> CPResult:
+    """Solve ``P || Cmax`` exactly by bisecting the makespan target.
+
+    The search interval starts at the trivial Eq. (1) bounds — no shared
+    lower-bound library, no LPT incumbent — and each probe is decided by
+    :func:`cp_feasible`.  With an exhausted ``node_budget`` the best
+    assignment found so far is returned with ``optimal=False`` (the
+    greedy placement when not even one probe finished).
+
+    >>> res = cp_solve(Instance([5, 4, 3, 3, 3], num_machines=2))
+    >>> res.makespan, res.optimal
+    (9, True)
+    """
+    import sys
+
+    counter = _NodeCounter(node_budget)
+    lo = instance.trivial_lower_bound()
+    hi = instance.total_work  # one machine takes everything: feasible
+    best: list[int] | None = None
+    best_target = hi
+    probes = 0
+    exhausted = False
+    old_limit = sys.getrecursionlimit()
+    if old_limit < instance.num_jobs + 64:
+        sys.setrecursionlimit(instance.num_jobs + 64)
+    try:
+        while lo < hi:
+            mid = (lo + hi) // 2
+            probes += 1
+            found = cp_feasible(instance, mid, counter=counter)
+            if found is not None:
+                best, best_target, hi = found, mid, mid
+            else:
+                lo = mid + 1
+        if best is None or best_target != lo:
+            # Either every probe was infeasible (OPT == the trivial
+            # upper bound) or lo rose past the last feasible probe:
+            # certify the final target explicitly.
+            probes += 1
+            found = cp_feasible(instance, lo, counter=counter)
+            if found is not None:
+                best, best_target = found, lo
+    except _BudgetExhausted:
+        exhausted = True
+    finally:
+        sys.setrecursionlimit(old_limit)
+    if best is None:
+        best = _greedy_incumbent(instance)
+    schedule = _to_schedule(instance, best)
+    optimal = not exhausted
+    return CPResult(
+        schedule=schedule,
+        optimal=optimal,
+        nodes_explored=counter.nodes,
+        probes=probes,
+    )

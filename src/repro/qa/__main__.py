@@ -1,0 +1,13 @@
+"""``python -m repro.qa`` — module-form alias for ``repro-pcmax qa``.
+
+Delegates to the main CLI so the fuzz/replay surface exists exactly
+once; ``python -m repro.qa fuzz --seed 0 --budget 50`` and
+``repro-pcmax qa fuzz --seed 0 --budget 50`` are the same program.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["qa", *sys.argv[1:]]))

@@ -1,0 +1,169 @@
+"""Replayable repro files — the fuzzer's failure corpus.
+
+Every oracle violation the fuzzer finds is persisted as one JSON file in
+the corpus directory, carrying everything needed to re-run the exact
+check later: the (minimized) instance, the engine set, the oracle class
+that tripped, and the pre-minimization original.  The file name embeds a
+content fingerprint so re-finding the same minimized failure is
+idempotent::
+
+    corpus/
+      qa-cross_engine-3f2a9c01d4e5.json
+      qa-metamorphic-81b0c2377aa2.json
+
+``python -m repro.qa replay corpus/qa-....json`` re-runs the recorded
+oracles and exits non-zero while the failure still reproduces — the
+workflow for turning a fuzzing find into a fixed regression test.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.model.instance import Instance
+from repro.model.problem import P_CMAX, Q_CMAX, canonical_problem_name
+from repro.model.qinstance import QInstance
+
+FORMAT_NAME = "repro-pcmax-qa-repro"
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ReproCase:
+    """One failing (or formerly failing) fuzz case: the instance
+    coordinates plus the engine set the oracles ran with."""
+
+    problem: str
+    times: tuple[int, ...]
+    machines: int
+    speeds: tuple[int, ...] = ()
+    eps: float = 0.3
+    engines: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "problem", canonical_problem_name(self.problem)
+        )
+        object.__setattr__(self, "times", tuple(int(t) for t in self.times))
+        object.__setattr__(self, "speeds", tuple(int(s) for s in self.speeds))
+        object.__setattr__(self, "engines", tuple(self.engines))
+        if self.problem == Q_CMAX and len(self.speeds) != self.machines:
+            raise ValueError(
+                f"q_cmax case needs one speed per machine "
+                f"({self.machines} machines, {len(self.speeds)} speeds)"
+            )
+        if self.problem == P_CMAX and self.speeds:
+            raise ValueError("p_cmax case does not take speeds")
+
+    @property
+    def num_jobs(self) -> int:
+        """Number of jobs in the case."""
+        return len(self.times)
+
+    def instance(self) -> Instance | QInstance:
+        """The validated instance this case describes."""
+        if self.problem == Q_CMAX:
+            return QInstance(self.times, self.speeds)
+        return Instance(self.times, self.machines)
+
+    def replaced(self, **changes: Any) -> "ReproCase":
+        """A copy with the given fields replaced (``dataclasses.replace``
+        with the class's validation re-run)."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict form."""
+        return {
+            "problem": self.problem,
+            "times": list(self.times),
+            "machines": self.machines,
+            "speeds": list(self.speeds),
+            "eps": self.eps,
+            "engines": list(self.engines),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReproCase":
+        """Inverse of :meth:`to_dict` (strict: unknown keys rejected)."""
+        known = {"problem", "times", "machines", "speeds", "eps", "engines"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown repro-case fields: {sorted(unknown)}")
+        return cls(
+            problem=data["problem"],
+            times=tuple(data["times"]),
+            machines=int(data["machines"]),
+            speeds=tuple(data.get("speeds", ())),
+            eps=float(data.get("eps", 0.3)),
+            engines=tuple(data.get("engines", ())),
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content hash (12 hex chars) of the case coordinates."""
+        payload = json.dumps(self.to_dict(), sort_keys=True).encode()
+        return hashlib.sha256(payload).hexdigest()[:12]
+
+
+def write_repro(
+    directory: str | Path,
+    case: ReproCase,
+    violations: Sequence[object],
+    *,
+    oracle: str,
+    original: ReproCase | None = None,
+    seed: int | None = None,
+) -> Path:
+    """Persist one failure as ``qa-<oracle>-<fingerprint>.json`` under
+    *directory* (created if needed); returns the path written.
+
+    *violations* may be :class:`~repro.qa.oracles.Violation` records or
+    plain strings — they are stored stringified, for humans reading the
+    corpus, and are not needed to replay."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    record = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "oracle": oracle,
+        "case": case.to_dict(),
+        "violations": [str(v) for v in violations],
+        "original": original.to_dict() if original is not None else None,
+        "seed": seed,
+        "minimized": original is not None,
+    }
+    path = directory / f"qa-{oracle}-{case.fingerprint()}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_repro(path: str | Path) -> dict:
+    """Load a repro file: returns the raw record with ``case`` (and
+    ``original``, when present) parsed into :class:`ReproCase`.
+
+    Raises ``ValueError`` on a file that is not a qa repro record.
+    """
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or data.get("format") != FORMAT_NAME:
+        raise ValueError(
+            f"{path} is not a {FORMAT_NAME} file "
+            f"(format={data.get('format')!r})"
+            if isinstance(data, dict)
+            else f"{path} is not a {FORMAT_NAME} file"
+        )
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported {FORMAT_NAME} version {data.get('version')!r}; "
+            f"this build reads version {FORMAT_VERSION}"
+        )
+    record = dict(data)
+    record["case"] = ReproCase.from_dict(data["case"])
+    record["original"] = (
+        ReproCase.from_dict(data["original"])
+        if data.get("original") is not None
+        else None
+    )
+    return record

@@ -1,0 +1,188 @@
+"""ddmin-style instance minimization for fuzzing finds.
+
+A raw fuzzing failure is rarely a good bug report: a 12-job instance
+with 3-digit times obscures the 4-job core that actually trips the
+oracle.  :func:`shrink_case` drives a failure predicate to a (local)
+minimum with four deterministic reduction passes, iterated to a
+fixpoint:
+
+1. **Job ddmin** — Zeller–Hildebrandt delta debugging over the job
+   vector (:func:`ddmin`): drop progressively finer chunks while the
+   failure persists.
+2. **Machine reduction** — fewer machines (dropping one speed at a time
+   for ``q_cmax``).
+3. **Speed flattening** — each ``q_cmax`` speed individually toward 1.
+4. **Time shrinking** — each processing time toward 1 (try 1, then
+   repeated halving, then decrement).
+
+The predicate is arbitrary — the fuzzer passes "the same oracle class
+still reports a violation on this case" — so the reducer works for any
+failure the harness can express.  Every pass only ever *shrinks* the
+case, so termination is guaranteed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from repro.model.problem import Q_CMAX
+from repro.qa.corpus import ReproCase
+
+T = TypeVar("T")
+
+
+def ddmin(
+    items: Sequence[T], fails: Callable[[list[T]], bool]
+) -> list[T]:
+    """Classic delta debugging: a 1-minimal sublist of *items* on which
+    *fails* still returns True.
+
+    ``fails(list(items))`` must hold on entry; the result is 1-minimal
+    in the ddmin sense (removing any single remaining chunk at the
+    finest granularity no longer fails).
+
+    >>> ddmin([1, 2, 3, 4, 5, 6], lambda xs: 4 in xs and 2 in xs)
+    [2, 4]
+    """
+    current = list(items)
+    granularity = 2
+    while len(current) >= 2:
+        chunk = -(-len(current) // granularity)  # ceil division
+        chunks = [
+            current[i : i + chunk] for i in range(0, len(current), chunk)
+        ]
+        reduced = False
+        for index in range(len(chunks)):
+            complement = [
+                item
+                for k, part in enumerate(chunks)
+                if k != index
+                for item in part
+            ]
+            if complement and fails(complement):
+                current = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), 2 * granularity)
+    return current
+
+
+def _shrunk_times(t: int) -> list[int]:
+    """Candidate replacements for one processing time, most aggressive
+    first: 1, then repeated halving, then the decrement."""
+    candidates: list[int] = []
+    if t > 1:
+        candidates.append(1)
+    half = t // 2
+    while half > 1:
+        candidates.append(half)
+        half //= 2
+    if t > 1:
+        candidates.append(t - 1)
+    # Deduplicate, preserving the aggressive-first order.
+    seen: set[int] = set()
+    ordered = []
+    for c in candidates:
+        if 1 <= c < t and c not in seen:
+            seen.add(c)
+            ordered.append(c)
+    return ordered
+
+
+def _reduce_jobs(
+    case: ReproCase, fails: Callable[[ReproCase], bool]
+) -> ReproCase:
+    """Pass 1: ddmin over the job vector."""
+    kept = ddmin(
+        list(case.times),
+        lambda times: bool(times)
+        and fails(case.replaced(times=tuple(times))),
+    )
+    return case.replaced(times=tuple(kept))
+
+
+def _reduce_machines(
+    case: ReproCase, fails: Callable[[ReproCase], bool]
+) -> ReproCase:
+    """Pass 2: fewer machines while the failure persists."""
+    while case.machines > 1:
+        if case.problem == Q_CMAX:
+            dropped = None
+            for i in range(case.machines):
+                speeds = case.speeds[:i] + case.speeds[i + 1 :]
+                candidate = case.replaced(
+                    machines=case.machines - 1, speeds=speeds
+                )
+                if fails(candidate):
+                    dropped = candidate
+                    break
+            if dropped is None:
+                break
+            case = dropped
+        else:
+            candidate = case.replaced(machines=case.machines - 1)
+            if not fails(candidate):
+                break
+            case = candidate
+    return case
+
+
+def _reduce_speeds(
+    case: ReproCase, fails: Callable[[ReproCase], bool]
+) -> ReproCase:
+    """Pass 3: flatten each ``q_cmax`` speed toward 1."""
+    if case.problem != Q_CMAX:
+        return case
+    for i in range(case.machines):
+        for value in _shrunk_times(case.speeds[i]):
+            speeds = (
+                case.speeds[:i] + (value,) + case.speeds[i + 1 :]
+            )
+            candidate = case.replaced(speeds=speeds)
+            if fails(candidate):
+                case = candidate
+                break
+    return case
+
+
+def _reduce_times(
+    case: ReproCase, fails: Callable[[ReproCase], bool]
+) -> ReproCase:
+    """Pass 4: shrink each processing time toward 1."""
+    for i in range(case.num_jobs):
+        for value in _shrunk_times(case.times[i]):
+            times = case.times[:i] + (value,) + case.times[i + 1 :]
+            candidate = case.replaced(times=times)
+            if fails(candidate):
+                case = candidate
+                break
+    return case
+
+
+def shrink_case(
+    case: ReproCase,
+    fails: Callable[[ReproCase], bool],
+    *,
+    max_rounds: int = 8,
+) -> ReproCase:
+    """Minimize *case* while ``fails(case)`` holds, iterating the four
+    reduction passes to a fixpoint (bounded by *max_rounds*).
+
+    Returns *case* unchanged when the failure does not reproduce on
+    entry — the caller then records the original un-minimized case.
+    """
+    if not fails(case):
+        return case
+    for _ in range(max_rounds):
+        before = case
+        case = _reduce_jobs(case, fails)
+        case = _reduce_machines(case, fails)
+        case = _reduce_speeds(case, fails)
+        case = _reduce_times(case, fails)
+        if case == before:
+            break
+    return case

@@ -129,7 +129,7 @@ class UnsupportedProblemError(UnknownEngineError):
         ) or "none"
         super().__init__(
             f"engine {engine!r} does not support problem {problem!r} "
-            f"(it solves: {', '.join(_REGISTRY[engine].problems)}); "
+            f"(it solves: {', '.join(sorted(_REGISTRY[engine].problems))}); "
             f"engines supporting {problem!r}: {supported}"
         )
         self.engine = engine
@@ -328,6 +328,17 @@ _register(
         description="brute force (exact, tiny instances only)",
         guarantee=lambda req: 1.0,
         solve=_solve_exact("brute"),
+        exact=True,
+    )
+)
+_register(
+    EngineSpec(
+        name="cp",
+        description="CP-style propagate-and-branch over machine-assignment "
+        "variables, bisecting the makespan target (exact; the qa "
+        "cross-check oracle)",
+        guarantee=lambda req: 1.0,
+        solve=_solve_exact("cp"),
         exact=True,
     )
 )

@@ -639,13 +639,19 @@ async def _handle_connection(
             task.add_done_callback(pending.discard)
         if pending:
             await asyncio.gather(*pending, return_exceptions=True)
+    except asyncio.CancelledError:
+        # Loop/server teardown cancels live connection tasks.  Exiting
+        # cleanly (after the finally's close below) keeps
+        # asyncio.streams' done-callback from logging every shutdown as
+        # "Exception in callback ... CancelledError".
+        pass
     finally:
         for task in pending:
             task.cancel()
         writer.close()
         try:
             await writer.wait_closed()
-        except (ConnectionError, OSError):
+        except (ConnectionError, OSError, asyncio.CancelledError):
             pass
 
 

@@ -1,11 +1,38 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures, hypothesis profiles and strategies for the suite."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 from hypothesis import strategies as st
 
 from repro.model.instance import Instance
+
+# ---------------------------------------------------------------------------
+# Hypothesis profiles
+# ---------------------------------------------------------------------------
+# One shared policy instead of `deadline=None` repeated on every
+# @settings: solver tests legitimately have heavy-tailed per-example
+# times (a hard instance can cost 100x the median), so per-example
+# deadlines only produce flaky timeouts.  CI additionally derandomizes —
+# a red CI run must mean a real regression, reproducible locally with
+# HYPOTHESIS_PROFILE=repro-ci, never an unlucky draw.
+
+settings.register_profile("repro-dev", deadline=None)
+settings.register_profile(
+    "repro-ci",
+    parent=settings.get_profile("repro-dev"),
+    derandomize=True,
+    suppress_health_check=(HealthCheck.too_slow,),
+)
+settings.load_profile(
+    os.environ.get(
+        "HYPOTHESIS_PROFILE",
+        "repro-ci" if os.environ.get("CI") else "repro-dev",
+    )
+)
 
 
 # ---------------------------------------------------------------------------

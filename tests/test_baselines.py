@@ -51,7 +51,7 @@ class TestListScheduling:
             list_scheduling_worst_case_ratio(0)
 
     @given(small_instances())
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_property_two_approximation(self, inst: Instance):
         opt = brute_force(inst).makespan
         ratio = list_scheduling(inst).makespan / opt
@@ -80,7 +80,7 @@ class TestLPT:
         assert lpt_worst_case_ratio(2) == pytest.approx(4 / 3 - 1 / 6)
 
     @given(small_instances())
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_property_four_thirds_approximation(self, inst: Instance):
         opt = brute_force(inst).makespan
         ratio = lpt(inst).makespan / opt
@@ -131,7 +131,7 @@ class TestMultifit:
         assert multifit_worst_case_ratio(10) == pytest.approx(1.22, abs=1e-2)
 
     @given(small_instances())
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_property_multifit_guarantee(self, inst: Instance):
         opt = brute_force(inst).makespan
         sched = multifit(inst, iterations=10)
@@ -139,7 +139,7 @@ class TestMultifit:
         assert sched.makespan / opt <= 1.23 + 2e-3
 
     @given(small_instances())
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_property_multifit_vs_lpt(self, inst: Instance):
         """Not a theorem, but on tiny instances MULTIFIT should stay
         within LPT's guarantee envelope too."""

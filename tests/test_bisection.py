@@ -145,7 +145,7 @@ class TestWarmStart:
         assert cache.reuses == 0
 
     @given(small_instances())
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_property_warm_as_valid_as_faithful(self, inst: Instance):
         opt = brute_force(inst).makespan
         bounds = makespan_bounds(inst)
@@ -171,7 +171,7 @@ class TestWarmStart:
 
 
 @given(small_instances())
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 def test_property_final_target_bounds_optimum(inst: Instance):
     """The certified rounded target never exceeds UB and is never below
     LB; and the true optimum is at least LB (so the (1+eps) argument can

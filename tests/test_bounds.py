@@ -60,7 +60,7 @@ class TestMakespanBounds:
 
 
 @given(small_instances())
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60)
 def test_property_bounds_bracket_optimum(inst: Instance):
     """The optimum always lies in [LB, UB] (checked by brute force)."""
     opt = brute_force(inst).makespan
@@ -69,7 +69,7 @@ def test_property_bounds_bracket_optimum(inst: Instance):
 
 
 @given(small_instances())
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60)
 def test_property_interval_width_at_most_max_time(inst: Instance):
     """The paper's termination argument: UB - LB <= max t."""
     b = makespan_bounds(inst)

@@ -111,7 +111,7 @@ class TestMaximal:
     st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=3),
     st.integers(min_value=0, max_value=30),
 )
-@settings(max_examples=80, deadline=None)
+@settings(max_examples=80)
 def test_property_enumeration_complete_and_sound(sizes, caps, target):
     """Cross-check the DFS enumeration against brute-force iteration over
     the whole count box."""

@@ -1,0 +1,111 @@
+"""Tests for the CP-style exact engine (``repro.exact.cp``).
+
+The engine exists to give the :mod:`repro.qa` differential fuzzer an
+exact reference that shares no search order, bound library, or incumbent
+with ``bnb``/``ilp``/``brute`` — so the tests here pin exactly that:
+agreement with the other exact engines on the golden grid, registry
+capabilities, and graceful budget exhaustion.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.exact import brute_force, cp_solve, solve_exact
+from repro.exact.cp import CPResult, cp_feasible
+from repro.experiments.golden import GOLDEN_GRID
+from repro.model.instance import Instance
+from repro.model.problem import P_CMAX
+from repro.model.verify import verify_schedule
+from repro.service.registry import get_engine
+from repro.workloads.generator import make_instance
+
+from conftest import small_instances
+
+
+class TestCPSolve:
+    def test_single_machine(self):
+        res = cp_solve(Instance([3, 1, 4], 1))
+        assert res.makespan == 8
+        assert res.optimal
+
+    def test_single_job(self):
+        res = cp_solve(Instance([7], 3))
+        assert res.makespan == 7
+        assert res.optimal
+
+    def test_perfect_split(self):
+        res = cp_solve(Instance([4, 4, 4, 4, 4, 4], 3))
+        assert res.makespan == 8
+        assert res.optimal
+
+    def test_classic_lpt_trap(self):
+        # LPT gives 7 on this instance; the optimum is 6 — the shape the
+        # qa acceptance test's off-by-one scratch engine gets wrong.
+        res = cp_solve(Instance([3, 3, 2, 2, 2], 2))
+        assert res.makespan == 6
+        assert res.optimal
+
+    def test_schedule_verifies(self):
+        inst = Instance([9, 8, 7, 6, 5, 5, 4, 3, 2, 1], 3)
+        res = cp_solve(inst)
+        report = verify_schedule(res.schedule, inst)
+        assert report.ok, report.violations
+
+    @given(small_instances())
+    @settings(max_examples=80)
+    def test_matches_brute_force(self, inst):
+        assert cp_solve(inst).makespan == brute_force(inst).makespan
+
+    def test_golden_grid_agreement(self):
+        # The acceptance bar: cp matches every other exact engine on the
+        # golden probe grid.
+        for kind, m, n, seed in GOLDEN_GRID:
+            inst = make_instance(kind, m, n, seed)
+            cp = cp_solve(inst)
+            assert cp.optimal
+            for method in ("ilp", "bnb", "brute"):
+                other = solve_exact(inst, method=method)
+                assert cp.makespan == other.schedule.makespan, (
+                    kind, m, n, seed, method,
+                )
+
+    def test_budget_exhaustion_returns_incumbent(self):
+        inst = make_instance("u_100", 4, 14, 9)
+        res = cp_solve(inst, node_budget=3)
+        assert isinstance(res, CPResult)
+        assert not res.optimal
+        assert verify_schedule(res.schedule, inst).ok
+        # The incumbent is a real schedule, so it is at least the LB.
+        assert res.makespan >= inst.trivial_lower_bound()
+
+
+class TestCPFeasible:
+    def test_infeasible_below_lb(self):
+        inst = Instance([5, 5], 2)
+        assert cp_feasible(inst, 4) is None
+        assert cp_feasible(inst, 5) is not None
+
+    def test_feasible_at_total_work(self):
+        inst = Instance([2, 3, 4], 1)
+        assert cp_feasible(inst, 9) is not None
+        assert cp_feasible(inst, 8) is None
+
+
+class TestRegistration:
+    def test_cp_is_registered_exact_p_only(self):
+        spec = get_engine("cp")
+        assert spec.exact
+        assert spec.problems == (P_CMAX,)
+        assert spec.guarantee is not None
+
+    def test_solve_exact_dispatch(self):
+        inst = Instance([3, 3, 2, 2, 2], 2)
+        res = solve_exact(inst, method="cp")
+        assert res.method == "cp"
+        assert res.schedule.makespan == 6
+
+    def test_unknown_method_lists_sorted_names(self):
+        with pytest.raises(ValueError, match=r"\['bnb', 'brute', 'cp', 'ilp'\]"):
+            solve_exact(Instance([1], 1), method="nope")

@@ -58,7 +58,7 @@ class TestPaperExample:
 
 
 @given(dp_problems(max_classes=2, max_count=3, max_size=8))
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=30)
 def test_property_generations_equal_level_index(problem: DPProblem):
     """networkx's topological generations coincide with the anti-diagonal
     grouping the parallel DP computes arithmetically."""

@@ -178,7 +178,7 @@ class TestStats:
 
 
 @given(dp_problems())
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60)
 def test_property_engines_agree(problem: DPProblem):
     """All five engines return the same OPT and valid witnesses."""
     reference = solve_table(problem, track_schedule=True)
@@ -198,7 +198,7 @@ def test_property_engines_agree(problem: DPProblem):
 
 
 @given(dp_problems(), st.integers(min_value=1, max_value=4))
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 def test_property_engines_agree_under_job_cap(problem: DPProblem, cap: int):
     """The guarantee-fix job cap preserves engine agreement and witness
     validity (witness configs must respect the cap too)."""
@@ -220,7 +220,7 @@ def test_property_engines_agree_under_job_cap(problem: DPProblem, cap: int):
 
 
 @given(dp_problems())
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=30)
 def test_property_cap_never_below_uncapped_opt(problem: DPProblem):
     """Capping configurations can only increase the machine count."""
     if problem.num_long_jobs == 0:
@@ -235,7 +235,7 @@ def test_property_cap_never_below_uncapped_opt(problem: DPProblem):
 
 
 @given(dp_problems())
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 def test_property_opt_bounds(problem: DPProblem):
     """OPT is between the work bound and the number of jobs."""
     result = solve_table(problem, track_schedule=False)
@@ -250,7 +250,7 @@ def test_property_opt_bounds(problem: DPProblem):
 
 
 @given(dp_problems())
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=30)
 def test_property_monotone_in_target(problem: DPProblem):
     """A larger target never needs more machines."""
     if not problem.counts or problem.num_long_jobs == 0:

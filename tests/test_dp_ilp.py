@@ -49,7 +49,7 @@ class TestConfigILP:
         assert -(-total // 60) <= result.opt <= 4 * 99
 
     @given(dp_problems())
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_property_agrees_with_table_dp(self, problem: DPProblem):
         reference = solve_table(problem, track_schedule=False)
         result = solve_config_ilp(problem)

@@ -74,7 +74,7 @@ class TestBranchAndBound:
         assert res.makespan == 53  # total 210 / 4 = 52.5 -> 53
 
     @given(small_instances())
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=50)
     def test_property_matches_brute(self, inst: Instance):
         assert branch_and_bound(inst).makespan == brute_force(inst).makespan
 
@@ -105,7 +105,7 @@ class TestILP:
         assert ilp_solve(Instance([3, 4], 1)).makespan == 7
 
     @given(small_instances(max_jobs=8, max_machines=3, max_time=15))
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     def test_property_matches_brute(self, inst: Instance):
         res = ilp_solve(inst)
         assert res.optimal

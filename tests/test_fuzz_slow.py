@@ -40,7 +40,7 @@ def medium_instance_strategy():
 
 
 @given(medium_instance_strategy())
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=25)
 def test_fuzz_full_stack_consistency(inst: Instance):
     """One instance through the whole library: exact solvers agree,
     heuristics respect their guarantees against the exact optimum, the
@@ -79,7 +79,7 @@ def test_fuzz_full_stack_consistency(inst: Instance):
 
 
 @given(medium_instance_strategy())
-@settings(max_examples=15, deadline=None)
+@settings(max_examples=15)
 def test_fuzz_rounded_dp_engines_on_real_instances(inst: Instance):
     """All sequential engines + the wavefront agree on rounded problems
     arising from real instances (bigger than the synthetic strategy's)."""
@@ -99,7 +99,7 @@ def test_fuzz_rounded_dp_engines_on_real_instances(inst: Instance):
     st.lists(st.integers(min_value=1, max_value=40), min_size=4, max_size=14),
     st.integers(min_value=2, max_value=3),
 )
-@settings(max_examples=15, deadline=None)
+@settings(max_examples=15)
 def test_fuzz_ilp_vs_sahni_vs_bnb(times, m):
     inst = Instance(times, m)
     a = ilp_solve(inst).makespan
@@ -109,7 +109,7 @@ def test_fuzz_ilp_vs_sahni_vs_bnb(times, m):
 
 
 @given(medium_instance_strategy(), st.sampled_from([0.25, 0.4, 0.6]))
-@settings(max_examples=15, deadline=None)
+@settings(max_examples=15)
 def test_fuzz_ptas_schedule_always_verifies(inst: Instance, eps: float):
     result = ptas(inst, eps)
     assert verify_schedule(result.schedule).ok

@@ -53,7 +53,7 @@ class TestGantt:
         assert out.splitlines()[1].startswith("machine   1")
 
     @given(medium_instances(max_jobs=15, max_machines=4))
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     def test_property_renders_every_schedule(self, inst):
         from repro.algorithms.lpt import lpt
 

@@ -70,7 +70,7 @@ class TestTheGap:
 
 class TestFixedPipelineProperties:
     @given(small_instances(), st.sampled_from([0.2, 0.3, 0.5, 0.8]))
-    @settings(max_examples=80, deadline=None)
+    @settings(max_examples=80)
     def test_property_guarantee_holds_with_fix(self, inst, eps):
         """The tight (1+eps) guarantee across eps values, engines default."""
         opt = brute_force(inst).makespan
@@ -78,7 +78,7 @@ class TestFixedPipelineProperties:
         assert result.makespan <= (1 + eps) * opt + 1e-9
 
     @given(small_instances())
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_property_fix_never_worsens_certified_target(self, inst):
         """The cap never cuts off a true schedule: the certified target
         with the fix is still a valid lower bound on OPT."""
@@ -87,7 +87,7 @@ class TestFixedPipelineProperties:
         assert fixed.final_target <= opt
 
     @given(small_instances())
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_property_parallel_equals_sequential_with_fix(self, inst):
         seq = ptas(inst, 0.5, engine="table")
         par = parallel_ptas(inst, 0.5, num_workers=3, backend="serial")

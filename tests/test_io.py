@@ -98,7 +98,7 @@ class TestInstanceFiles:
             read_instance(tmp_path / "i.yaml")
 
     @given(medium_instances())
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     def test_property_json_roundtrip(self, inst):
         assert instance_from_json(instance_to_json(inst)) == inst
 

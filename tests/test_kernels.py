@@ -120,7 +120,7 @@ class TestKernelPrimitives:
 
 class TestBackendsBitIdentical:
     @given(dp_problems())
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_property_tables_bit_identical(self, problem: DPProblem):
         if not problem.counts:
             return
@@ -139,7 +139,7 @@ class TestBackendsBitIdentical:
             assert np.array_equal(table, tables["numpy-serial"]), backend
 
     @given(dp_problems())
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=20)
     def test_property_results_match_solve_table_with_limits(
         self, problem: DPProblem
     ):

@@ -58,7 +58,7 @@ class TestLptWithLocalSearch:
         assert lpt_with_local_search(inst).makespan <= lpt(inst).makespan
 
     @given(small_instances())
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_property_sandwich(self, inst):
         """OPT <= LPT+LS <= LPT, and the result is valid."""
         opt = brute_force(inst).makespan
@@ -67,7 +67,7 @@ class TestLptWithLocalSearch:
         assert opt <= improved.makespan <= lpt(inst).makespan
 
     @given(medium_instances(max_jobs=25, max_machines=5))
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     def test_property_terminates_and_improves(self, inst):
         result = improve(lpt(inst))
         assert isinstance(result, LocalSearchResult)

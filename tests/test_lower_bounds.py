@@ -30,7 +30,7 @@ class TestPairing:
         assert lb_pairing(inst) == 20
 
     @given(small_instances())
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_property_sound(self, inst):
         assert lb_pairing(inst) <= brute_force(inst).makespan
 
@@ -49,14 +49,14 @@ class TestThird:
         assert lb_third(inst) <= opt
 
     @given(small_instances())
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_property_sound(self, inst):
         assert lb_third(inst) <= brute_force(inst).makespan
 
 
 class TestBest:
     @given(small_instances())
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_property_sound_and_dominates_trivial(self, inst):
         best = lb_best(inst)
         assert lb_trivial(inst) <= best <= brute_force(inst).makespan
@@ -77,7 +77,7 @@ class TestBnBIntegration:
         assert strong.nodes_explored <= weak.nodes_explored
 
     @given(small_instances())
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_property_strong_bounds_preserve_correctness(self, inst):
         assert (
             branch_and_bound(inst, strong_bounds=True).makespan

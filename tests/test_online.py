@@ -210,7 +210,7 @@ _event_seq = st.lists(
 
 
 class TestDriftInvariant:
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     @given(machines=st.integers(min_value=2, max_value=4), seq=_event_seq)
     def test_ratio_never_exceeds_dcs_bound_after_any_event(self, machines, seq):
         """After every applied event the tracked ratio is at most the

@@ -52,7 +52,7 @@ class TestLevelIndex:
         assert idx.sizes == (1, 1, 1, 1, 1)
 
     @given(dp_problems())
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_property_level_count(self, problem: DPProblem):
         if not problem.counts:
             return
@@ -92,7 +92,7 @@ class TestBackendsAgree:
         assert parallel_dp(p, 2, "serial", limit=4).opt == 4
 
     @given(dp_problems())
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_property_serial_backend_matches_table(self, problem: DPProblem):
         seq = solve_table(problem)
         par = parallel_dp(problem, 3, "serial")
@@ -100,7 +100,7 @@ class TestBackendsAgree:
         assert par.machine_configs == seq.machine_configs
 
     @given(dp_problems())
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=15)
     def test_property_thread_backend_matches_table(self, problem: DPProblem):
         seq = solve_table(problem)
         par = parallel_dp(problem, 4, "thread")

@@ -67,7 +67,7 @@ class TestLinePlot:
             st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=8
         )
     )
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_property_any_series_renders(self, ys):
         xs = list(range(len(ys)))
         out = line_plot(xs, {"s": ys})

@@ -5,6 +5,8 @@ from __future__ import annotations
 from fractions import Fraction
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.model.instance import Instance
 from repro.model.problem import (
@@ -18,6 +20,8 @@ from repro.model.problem import (
 )
 from repro.model.qinstance import QInstance, QSchedule
 from repro.model.verify import verify_qschedule, verify_schedule
+
+from conftest import small_instances
 
 
 class TestProblemRegistry:
@@ -167,3 +171,45 @@ class TestVerifyQSchedule:
         sched = QSchedule(inst, [(0,), (1,)])
         report = verify_schedule(sched, Instance([6, 4], 2))
         assert not report.ok
+
+
+class TestIdenticalRoundTrips:
+    """Satellite coverage: the P <-> Q identity embedding is lossless in
+    both directions, at any uniform speed, and the unit-speed special
+    case is exactly what the cache key folds into the P namespace."""
+
+    @given(small_instances())
+    @settings(max_examples=60)
+    def test_from_identical_round_trips(self, inst):
+        q = QInstance.from_identical(inst)
+        assert q.is_identical
+        assert q.to_identical() == inst
+        assert q.processing_times == inst.processing_times
+        assert q.num_machines == inst.num_machines
+
+    @given(small_instances(), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=60)
+    def test_round_trip_at_any_uniform_speed(self, inst, speed):
+        q = QInstance.from_identical(inst, speed=speed)
+        assert q.speeds == (speed,) * inst.num_machines
+        assert q.is_identical
+        # to_identical drops the speed (it only encodes a time unit), so
+        # the projection returns the original times verbatim.
+        assert q.to_identical() == inst
+
+    @given(small_instances())
+    @settings(max_examples=60)
+    def test_unit_speed_lift_relaxes_bounds(self, inst):
+        # The Q bound is the fractional load (no ceil), so the lift's
+        # bound never exceeds — and stays within one unit of — the
+        # integral identical-machine bound.
+        q = QInstance.from_identical(inst)
+        assert (
+            inst.trivial_lower_bound() - 1
+            < q.trivial_lower_bound()
+            <= inst.trivial_lower_bound()
+        )
+
+    def test_non_uniform_projection_rejected(self):
+        with pytest.raises(ValueError, match="no identical-machine"):
+            QInstance([5, 4], speeds=(2, 1)).to_identical()

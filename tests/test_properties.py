@@ -28,7 +28,7 @@ from conftest import medium_instances, small_instances
 
 
 @given(small_instances())
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 def test_all_exact_solvers_agree(inst: Instance):
     """brute == B&B == ILP on every small instance."""
     opt = brute_force(inst).makespan
@@ -38,7 +38,7 @@ def test_all_exact_solvers_agree(inst: Instance):
 
 
 @given(small_instances())
-@settings(max_examples=50, deadline=None)
+@settings(max_examples=50)
 def test_algorithm_hierarchy(inst: Instance):
     """OPT <= every heuristic's makespan <= its guarantee * OPT, and
     each schedule is a valid partition."""
@@ -56,7 +56,7 @@ def test_algorithm_hierarchy(inst: Instance):
 
 
 @given(medium_instances(max_jobs=25, max_machines=6, max_time=40))
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=30)
 def test_ptas_within_bounds_without_oracle(inst: Instance):
     """On instances too big for brute force: PTAS stays within the
     trivial bounds and at most (1+eps) times the LB."""
@@ -68,7 +68,7 @@ def test_ptas_within_bounds_without_oracle(inst: Instance):
 
 
 @given(medium_instances(max_jobs=20, max_machines=5, max_time=30))
-@settings(max_examples=20, deadline=None)
+@settings(max_examples=20)
 def test_parallel_ptas_deterministic_across_backends(inst: Instance):
     """serial / thread / simulated backends and any worker count produce
     byte-identical schedules."""
@@ -80,7 +80,7 @@ def test_parallel_ptas_deterministic_across_backends(inst: Instance):
 
 @given(medium_instances(max_jobs=18, max_machines=5, max_time=25),
        st.integers(min_value=2, max_value=6))
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=25)
 def test_dp_decision_monotone_in_bisection(inst: Instance, k: int):
     """For any two targets T1 < T2 in [LB, UB]: feasibility at T1 implies
     feasibility at T2 (the property bisection relies on)."""
@@ -103,7 +103,7 @@ def test_dp_decision_monotone_in_bisection(inst: Instance, k: int):
 
 
 @given(medium_instances(max_jobs=15, max_machines=4, max_time=20))
-@settings(max_examples=20, deadline=None)
+@settings(max_examples=20)
 def test_parallel_dp_equals_sequential_on_rounded_instances(inst: Instance):
     """End-to-end: DP problems arising from real rounding (not just the
     synthetic strategy) agree across sequential and wavefront engines."""
@@ -117,7 +117,7 @@ def test_parallel_dp_equals_sequential_on_rounded_instances(inst: Instance):
 
 
 @given(small_instances(), st.sampled_from([1, 2, 3, 5, 8]))
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=30)
 def test_makespan_weakly_decreasing_in_machines(inst: Instance, extra: int):
     """Adding machines never hurts the optimum (sanity of the model and
     the exact solvers together)."""
@@ -127,7 +127,7 @@ def test_makespan_weakly_decreasing_in_machines(inst: Instance, extra: int):
 
 
 @given(small_instances())
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=30)
 def test_optimum_invariant_under_job_permutation(inst: Instance):
     """OPT depends only on the multiset of processing times."""
     shuffled = Instance(tuple(reversed(inst.processing_times)), inst.num_machines)
@@ -135,7 +135,7 @@ def test_optimum_invariant_under_job_permutation(inst: Instance):
 
 
 @given(small_instances(), st.integers(min_value=2, max_value=4))
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=30)
 def test_optimum_scales_with_processing_times(inst: Instance, factor: int):
     """Scaling all times by c scales OPT by exactly c (integral scaling
     is lossless)."""

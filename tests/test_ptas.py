@@ -134,7 +134,7 @@ class TestGuarantee:
             )
 
     @given(small_instances(), st.sampled_from([0.3, 0.5, 1.0]))
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_property_guarantee(self, inst: Instance, eps: float):
         opt = brute_force(inst).makespan
         result = ptas(inst, eps)
@@ -142,14 +142,14 @@ class TestGuarantee:
         assert result.makespan <= (1 + eps) * opt + 1e-9
 
     @given(small_instances())
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_property_parallel_equals_sequential(self, inst: Instance):
         seq = ptas(inst, 0.3, engine="table")
         par = parallel_ptas(inst, 0.3, num_workers=3, backend="serial")
         assert par.schedule.assignment == seq.schedule.assignment
 
     @given(small_instances())
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_property_never_worse_than_guarantee_vs_lpt_baseline(self, inst):
         """Sanity floor: the PTAS with eps=0.3 must not exceed LPT's
         makespan by more than the guarantee gap allows (both are within

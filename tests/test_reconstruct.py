@@ -94,7 +94,7 @@ class TestBuildSchedule:
 
 
 @given(medium_instances())
-@settings(max_examples=50, deadline=None)
+@settings(max_examples=50)
 def test_property_reconstruction_partitions_jobs(inst: Instance):
     """Using the real DP witness, reconstruction always yields a valid
     schedule containing every job exactly once."""

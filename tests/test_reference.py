@@ -60,7 +60,7 @@ class TestAgreementWithModularPipeline:
         assert reference.makespan == modular.makespan
 
     @given(small_instances())
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_property_same_makespan(self, inst):
         """The modular pipeline and the literal transcription agree on
         every randomized small instance (both use first-fit backtracking
@@ -71,7 +71,7 @@ class TestAgreementWithModularPipeline:
         assert reference.canonical() == modular.schedule.canonical()
 
     @given(small_instances())
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_property_reference_loose_guarantee(self, inst):
         """The printed algorithm's honest bound: per-machine un-rounding
         error is below k * unit <= T/k + k, so the makespan stays within

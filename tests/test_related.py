@@ -67,7 +67,7 @@ q_instances = st.builds(
 
 
 class TestBoundsAgainstBruteForce:
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     @given(tiny_q_instances)
     def test_q_lpt_within_stated_bound_of_opt(self, inst):
         opt = brute_force_q_opt(inst)
@@ -76,7 +76,7 @@ class TestBoundsAgainstBruteForce:
         bound = q_lpt_worst_case_ratio(inst.speeds)
         assert max(sched.exact_completion_times()) <= bound * opt + Fraction(1, 10**9)
 
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     @given(tiny_q_instances)
     def test_q_list_within_stated_bound_of_opt(self, inst):
         opt = brute_force_q_opt(inst)
@@ -87,7 +87,7 @@ class TestBoundsAgainstBruteForce:
 
 
 class TestInvariants:
-    @settings(max_examples=80, deadline=None)
+    @settings(max_examples=80)
     @given(q_instances)
     def test_schedules_verify_and_respect_trivial_lb(self, inst):
         for sched in (q_lpt(inst), q_list_scheduling(inst)):
@@ -103,7 +103,7 @@ class TestInvariants:
 
 
 class TestEqualSpeedsDegenerateToP:
-    @settings(max_examples=80, deadline=None)
+    @settings(max_examples=80)
     @given(
         st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=25),
         st.integers(min_value=1, max_value=6),
@@ -115,7 +115,7 @@ class TestEqualSpeedsDegenerateToP:
         assert q_lpt(q).assignment == lpt(p).assignment
         assert q_list_scheduling(q).assignment == list_scheduling(p).assignment
 
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     @given(
         st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=20),
         st.integers(min_value=1, max_value=5),

@@ -122,7 +122,7 @@ class TestRoundInstance:
 
 
 @given(medium_instances(), st.sampled_from([2, 3, 4, 5]))
-@settings(max_examples=80, deadline=None)
+@settings(max_examples=80)
 def test_property_rounding_invariants(inst: Instance, k: int):
     """Structural invariants of the rounding stage for any target in the
     bisection range."""

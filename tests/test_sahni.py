@@ -47,7 +47,7 @@ class TestExactDP:
         assert res.schedule.is_valid()
 
     @given(small_instances(max_jobs=8, max_machines=3, max_time=12))
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_property_matches_brute(self, inst: Instance):
         assert exact_dp(inst).makespan == brute_force(inst).makespan
 
@@ -71,7 +71,7 @@ class TestFPTAS:
                 assert res.makespan <= (1 + eps) * opt + 1e-9
 
     @given(small_instances(max_jobs=8, max_machines=3, max_time=15))
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_property_guarantee(self, inst: Instance):
         opt = brute_force(inst).makespan
         res = sahni_fptas(inst, 0.25)

@@ -49,7 +49,7 @@ class TestDynamicPolicy:
         st.lists(st.floats(min_value=0.1, max_value=20.0), min_size=1, max_size=30),
         st.integers(min_value=1, max_value=6),
     )
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_property_both_policies_within_graham_bounds(self, costs, p):
         """Neither policy is universally better (greedy self-scheduling is
         list scheduling, a (2 - 1/p)-approximation — fitting, given the

@@ -222,3 +222,46 @@ class TestBoundsAndPolicies:
             "currsize": 0,
             "maxsize": 8,
         }
+
+
+class TestCanonicalProblemKey:
+    """Direct pins on the unit-speed normalization rule: exactly the
+    all-speeds-1 vector folds into the ``p_cmax`` namespace; any other
+    vector — including uniform speeds > 1, which rescale completion
+    times — keeps its own ``q_cmax`` namespace."""
+
+    def test_unit_speeds_fold_to_p(self):
+        from repro.service.cache import canonical_problem_key
+
+        problem, speeds = canonical_problem_key(
+            _q_request([5, 4, 3], (1, 1, 1))
+        )
+        assert problem == "p_cmax"
+        assert speeds == ()
+
+    def test_p_request_is_already_canonical(self):
+        from repro.service.cache import canonical_problem_key
+
+        assert canonical_problem_key(_request([5, 4, 3])) == ("p_cmax", ())
+
+    def test_uniform_fast_speeds_do_not_fold(self):
+        from repro.service.cache import canonical_problem_key
+
+        problem, speeds = canonical_problem_key(
+            _q_request([5, 4, 3], (2, 2, 2))
+        )
+        assert problem == "q_cmax"
+        assert speeds == (2, 2, 2)
+
+    def test_speed_vector_is_sorted_in_key(self):
+        from repro.service.cache import canonical_problem_key
+
+        _, speeds = canonical_problem_key(_q_request([5, 4], (3, 1)))
+        assert speeds == (1, 3)
+
+    def test_unit_fold_matches_lifted_instance_key(self):
+        # The fold is exactly QInstance.from_identical's inverse at the
+        # key level: P request and its unit-speed lift share identity.
+        p = _request([7, 3, 5], machines=2, engine="lpt")
+        q = _q_request([7, 3, 5], (1, 1))
+        assert canonical_key(p) == canonical_key(q)

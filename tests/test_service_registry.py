@@ -187,3 +187,46 @@ class TestProblemVariants:
             UnknownEngineError, match="does not support problem 'q_cmax'"
         ):
             solve_to_result(self._q_request("ptas"))
+
+
+class TestSortedErrorMessages:
+    """Engine-listing error messages enumerate names in sorted order, so
+    the text is stable as engines are added (and diffable in logs)."""
+
+    def test_unknown_engine_lists_sorted_names(self):
+        with pytest.raises(UnknownEngineError) as err:
+            get_engine("definitely-not-an-engine")
+        listed = str(err.value).split("available: ")[1].split(", ")
+        assert listed == sorted(listed)
+        assert "cp" in listed
+
+    def test_unsupported_problem_lists_sorted_problems(self):
+        from repro.service.registry import UnsupportedProblemError
+
+        with pytest.raises(UnsupportedProblemError) as err:
+            get_engine("ptas", problem="q_cmax")
+        message = str(err.value)
+        solves = message.split("it solves: ")[1].split(")")[0].split(", ")
+        assert solves == sorted(solves)
+        supporting = message.split("supporting 'q_cmax': ")[1].split(", ")
+        assert supporting == sorted(supporting)
+
+    def test_exact_api_lists_sorted_methods(self):
+        from repro.exact import solve_exact
+        from repro.model.instance import Instance
+
+        with pytest.raises(ValueError, match=r"\['bnb', 'brute', 'cp', 'ilp'\]"):
+            solve_exact(Instance([1], 1), method="nope")
+
+    def test_ptas_backend_error_lists_sorted_backends(self):
+        from repro.core.ptas import BACKENDS, parallel_ptas
+        from repro.model.instance import Instance
+
+        with pytest.raises(ValueError) as err:
+            parallel_ptas(Instance([1, 2], 1), 0.3, 2, backend="warp")
+        assert str(sorted(BACKENDS)) in str(err.value)
+
+    def test_cli_algorithms_listing_is_sorted(self):
+        from repro.cli import ALGORITHMS
+
+        assert list(ALGORITHMS) == sorted(ALGORITHMS)

@@ -49,7 +49,7 @@ class TestShardIndex:
         num_shards=st.integers(1, 32),
         seed=st.integers(0, 2**32 - 1),
     )
-    @settings(max_examples=200, deadline=None)
+    @settings(max_examples=200)
     def test_permuted_duplicates_land_on_the_same_shard(
         self, times, machines, num_shards, seed
     ):
@@ -68,7 +68,7 @@ class TestShardIndex:
         machines=st.integers(1, 16),
         num_shards=st.integers(1, 32),
     )
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=100)
     def test_index_in_range(self, times, machines, num_shards):
         shard = shard_of_request(_req(times, machines=machines), num_shards)
         assert 0 <= shard < num_shards

@@ -147,7 +147,7 @@ class TestCalibration:
     st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=40),
     st.integers(min_value=1, max_value=8),
 )
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60)
 def test_property_parallel_time_bracketed(costs, p):
     """Zero-overhead level time lies between serial/P and serial, and the
     speedup never exceeds P."""

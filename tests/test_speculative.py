@@ -80,7 +80,7 @@ class TestSpeculativeBisect:
         assert spec.final_target == min(feasible_targets)
 
     @given(small_instances(), st.integers(min_value=1, max_value=6))
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_property_equivalent_to_standard(self, inst, branching):
         standard = bisect_target_makespan(inst, 3, solver)
         spec = speculative_bisect(inst, 3, solver, branching=branching)
@@ -164,7 +164,7 @@ class TestConcurrentProbes:
         assert spec.dp_result.machine_configs
 
     @given(small_instances(), st.integers(min_value=1, max_value=5))
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     def test_property_executor_equivalent_to_plain(self, inst, branching):
         from repro.parallel.executor import SerialExecutor
 

@@ -38,7 +38,7 @@ class TestVerifySchedule:
             report.raise_if_failed()
 
     @given(medium_instances())
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_property_all_algorithms_verify(self, inst):
         from repro.algorithms.list_scheduling import list_scheduling
         from repro.algorithms.lpt import lpt
@@ -60,7 +60,7 @@ class TestVerifyPTASResult:
         assert report.ok, report.violations
 
     @given(small_instances())
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_property_every_run_verifies(self, inst):
         for eps in (0.3, 0.7):
             report = verify_ptas_result(ptas(inst, eps))
